@@ -1,0 +1,42 @@
+//! Ablations of the design choices called out in DESIGN.md §7:
+//! bounce-back size, associativity, admission policy, access time, and
+//! 16-byte physical lines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_core::SoftCacheConfig;
+use sac_experiments::{figures, Config};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::ablation_bb_size(suite));
+    print_figure(&figures::ablation_bb_ways(suite));
+    print_figure(&figures::ablation_bb_policy(suite));
+    print_figure(&figures::ablation_physical_16(suite));
+    print_figure(&figures::ablation_associativity(suite));
+    print_figure(&figures::ablation_bus_width(suite));
+
+    let trace = suite.trace("MV").expect("MV in suite");
+    for (name, cfg) in [
+        (
+            "bb4way",
+            Config::Soft(SoftCacheConfig::soft().with_bounce_ways(Some(4))),
+        ),
+        (
+            "temp_only_admission",
+            Config::Soft(SoftCacheConfig::soft().with_admit_nontemporal(false)),
+        ),
+    ] {
+        c.bench_function(&format!("ablation/{name}_mv"), |b| {
+            b.iter(|| black_box(cfg).run(black_box(trace)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

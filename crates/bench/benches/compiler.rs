@@ -1,0 +1,49 @@
+//! Compiler-side throughput: the locality analysis, the tracer, the
+//! static validator and the pretty-printer on the largest benchmark
+//! programs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_loopir::TraceOptions;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mv = sac_workloads::mv::program(256);
+    let spmv = sac_workloads::spmv::program(sac_workloads::spmv::Params::small());
+    let slalom = sac_workloads::slalom::program(sac_workloads::slalom::Params::small());
+
+    c.bench_function("compiler/analyze_slalom", |b| {
+        b.iter(|| black_box(&slalom).analyze())
+    });
+    c.bench_function("compiler/analyze_levels_mv", |b| {
+        b.iter(|| sac_loopir::analysis::analyze(black_box(&mv)))
+    });
+    c.bench_function("compiler/validate_slalom", |b| {
+        b.iter(|| black_box(&slalom).validate())
+    });
+    c.bench_function("compiler/pseudocode_spmv", |b| {
+        b.iter(|| black_box(&spmv).to_pseudocode())
+    });
+    let opts = TraceOptions {
+        seed: 1,
+        gaps: true,
+        levels: false,
+    };
+    c.bench_function("compiler/trace_mv_256", |b| {
+        b.iter(|| black_box(&mv).trace(black_box(&opts)).expect("traces"))
+    });
+    let leveled = TraceOptions {
+        seed: 1,
+        gaps: true,
+        levels: true,
+    };
+    c.bench_function("compiler/trace_mv_256_leveled", |b| {
+        b.iter(|| black_box(&mv).trace(black_box(&leveled)).expect("traces"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

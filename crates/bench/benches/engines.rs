@@ -1,0 +1,73 @@
+//! Simulator throughput: references per second for every engine on the
+//! same trace. Useful for sizing sweeps, not a figure of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sac_bench::small_suite;
+use sac_core::SoftCacheConfig;
+use sac_experiments::Config;
+use sac_simcache::{BypassMode, CacheGeometry, MemoryModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    let trace = suite.trace("MV").expect("MV in suite");
+    let geom = CacheGeometry::standard();
+    let mem = MemoryModel::default();
+
+    let engines: Vec<(&str, Config)> = vec![
+        ("standard", Config::standard()),
+        ("victim", Config::standard_victim()),
+        (
+            "bypass",
+            Config::Bypass {
+                geom,
+                mem,
+                mode: BypassMode::Plain,
+            },
+        ),
+        (
+            "hw_prefetch",
+            Config::HwPrefetch {
+                geom,
+                mem,
+                lines: 8,
+            },
+        ),
+        (
+            "stream_buffers",
+            Config::StreamBuffer {
+                geom,
+                mem,
+                buffers: 4,
+                depth: 4,
+            },
+        ),
+        ("column_assoc", Config::ColumnAssoc { geom, mem }),
+        (
+            "assist",
+            Config::Assist {
+                geom,
+                mem,
+                lines: 16,
+            },
+        ),
+        ("soft", Config::soft()),
+        (
+            "soft_prefetch",
+            Config::Soft(SoftCacheConfig::soft().with_prefetch(true)),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("engine_throughput");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    for (name, cfg) in engines {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(cfg).run(black_box(trace)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! The paper's proposed extensions (§3.2 variable virtual lines, §4.4
+//! prefetch distance) and the §5 related designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_core::SoftCacheConfig;
+use sac_experiments::{figures, Config, Suite};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    let leveled = Suite::small_leveled();
+    print_figure(&figures::ext_variable_vlines(&leveled));
+    print_figure(&figures::ext_prefetch_distance(suite));
+    print_figure(&figures::ext_related_designs(suite));
+    print_figure(&figures::ext_related_traffic(suite));
+
+    let trace = leveled.trace("MV").expect("MV in suite");
+    c.bench_function("ext/variable_vlines_mv", |b| {
+        b.iter(|| {
+            Config::Soft(SoftCacheConfig::soft().with_variable_vlines(true)).run(black_box(trace))
+        })
+    });
+    let plain = suite.trace("MV").expect("MV in suite");
+    c.bench_function("ext/assist_mv", |b| {
+        b.iter(|| {
+            Config::Assist {
+                geom: sac_simcache::CacheGeometry::standard(),
+                mem: sac_simcache::MemoryModel::default(),
+                lines: 16,
+            }
+            .run(black_box(plain))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

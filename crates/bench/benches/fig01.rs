@@ -1,0 +1,29 @@
+//! Figure 1a/1b — reuse-distance and vector-length characterization.
+//! Regenerates both tables, then times the two trace-analysis passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_experiments::figures;
+use sac_trace::stats::{ReuseHistogram, VectorLengths};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::fig01a(suite));
+    print_figure(&figures::fig01b(suite));
+
+    let trace = suite.trace("MV").expect("MV in suite");
+    c.bench_function("fig01a/reuse_histogram_mv", |b| {
+        b.iter(|| ReuseHistogram::of(black_box(trace)))
+    });
+    c.bench_function("fig01b/vector_lengths_mv", |b| {
+        b.iter(|| VectorLengths::of(black_box(trace)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

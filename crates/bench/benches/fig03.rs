@@ -1,0 +1,48 @@
+//! Figure 3a/3b — bypassing and victim-cache baselines vs the
+//! software-assisted cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_experiments::{figures, Config};
+use sac_simcache::{BypassMode, CacheGeometry, MemoryModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::fig03a(suite));
+    print_figure(&figures::fig03b(suite));
+
+    let trace = suite.trace("MV").expect("MV in suite");
+    let geom = CacheGeometry::standard();
+    let mem = MemoryModel::default();
+    for (name, cfg) in [
+        (
+            "bypass_plain",
+            Config::Bypass {
+                geom,
+                mem,
+                mode: BypassMode::Plain,
+            },
+        ),
+        (
+            "bypass_buffered",
+            Config::Bypass {
+                geom,
+                mem,
+                mode: BypassMode::Buffered { lines: 2 },
+            },
+        ),
+        ("victim", Config::standard_victim()),
+    ] {
+        c.bench_function(&format!("fig03/{name}_mv"), |b| {
+            b.iter(|| black_box(cfg).run(black_box(trace)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

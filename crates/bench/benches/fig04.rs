@@ -1,0 +1,36 @@
+//! Figure 4a/4b — software-tag fractions and the issue-gap distribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_experiments::figures;
+use sac_trace::stats::TagFractions;
+use sac_trace::GapModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::fig04a(suite));
+    print_figure(&figures::fig04b());
+
+    let trace = suite.trace("TRF").expect("TRF in suite");
+    c.bench_function("fig04a/tag_fractions_trf", |b| {
+        b.iter(|| TagFractions::of(black_box(trace)))
+    });
+    c.bench_function("fig04b/gap_sampling_100k", |b| {
+        b.iter(|| {
+            let mut g = GapModel::seeded(black_box(7));
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc += g.sample() as u64;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 6a/6b — the headline result: AMAT of the four software-control
+//! variants and the main/bounce-back hit repartition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_core::SoftCacheConfig;
+use sac_experiments::{figures, Config};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::fig06a(suite));
+    print_figure(&figures::fig06b(suite));
+
+    let trace = suite.trace("MV").expect("MV in suite");
+    for (name, cfg) in [
+        ("standard", Config::standard()),
+        (
+            "temporal_only",
+            Config::Soft(SoftCacheConfig::temporal_only()),
+        ),
+        (
+            "spatial_only",
+            Config::Soft(SoftCacheConfig::spatial_only()),
+        ),
+        ("soft", Config::soft()),
+    ] {
+        c.bench_function(&format!("fig06/{name}_mv"), |b| {
+            b.iter(|| black_box(cfg).run(black_box(trace)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 7a/7b — memory traffic and miss ratio of the software-control
+//! variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_experiments::{figures, Config};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::fig07a(suite));
+    print_figure(&figures::fig07b(suite));
+
+    let trace = suite.trace("SpMV").expect("SpMV in suite");
+    c.bench_function("fig07/soft_spmv", |b| {
+        b.iter(|| Config::soft().run(black_box(trace)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 8a/8b — virtual vs physical line-size sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_core::SoftCacheConfig;
+use sac_experiments::{figures, Config};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::fig08a(suite));
+    print_figure(&figures::fig08b(suite));
+
+    let trace = suite.trace("LIV").expect("LIV in suite");
+    for vline in [32u64, 64, 128, 256] {
+        let cfg = Config::Soft(SoftCacheConfig::soft().with_virtual_line(vline));
+        c.bench_function(&format!("fig08/vline{vline}_liv"), |b| {
+            b.iter(|| black_box(cfg).run(black_box(trace)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 9a/9b — cache-size and set-associativity sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_core::SoftCacheConfig;
+use sac_experiments::{figures, Config};
+use sac_simcache::CacheGeometry;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::fig09a(suite));
+    print_figure(&figures::fig09b(suite));
+
+    let trace = suite.trace("DYF").expect("DYF in suite");
+    for (name, cfg) in [
+        (
+            "soft_64k",
+            Config::Soft(
+                SoftCacheConfig::soft()
+                    .with_geometry(CacheGeometry::new(64 * 1024, 64, 1))
+                    .with_virtual_line(128),
+            ),
+        ),
+        (
+            "soft_2way",
+            Config::Soft(SoftCacheConfig::soft().with_geometry(CacheGeometry::new(8192, 32, 2))),
+        ),
+        (
+            "simplified_2way",
+            Config::Soft(SoftCacheConfig::simplified_assoc(2)),
+        ),
+    ] {
+        c.bench_function(&format!("fig09/{name}_dyf"), |b| {
+            b.iter(|| black_box(cfg).run(black_box(trace)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

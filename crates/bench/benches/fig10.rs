@@ -1,0 +1,34 @@
+//! Figure 10a/10b — the fully instrumented Perfect Club kernels and the
+//! memory-latency sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_core::SoftCacheConfig;
+use sac_experiments::{figures, Config, Suite};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::fig10a());
+    print_figure(&figures::fig10b(suite));
+
+    let kernels = Suite::kernels();
+    let trace = kernels.trace("ADM").expect("ADM kernel");
+    c.bench_function("fig10a/soft_adm_kernel", |b| {
+        b.iter(|| Config::soft().run(black_box(trace)))
+    });
+    let mv = suite.trace("MV").expect("MV in suite");
+    for lat in [5u64, 30] {
+        let cfg = Config::Soft(SoftCacheConfig::soft().with_latency(lat));
+        c.bench_function(&format!("fig10b/soft_lat{lat}_mv"), |b| {
+            b.iter(|| black_box(cfg).run(black_box(mv)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 11a/11b — blocking and data copying under software control.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::print_figure;
+use sac_experiments::{figures, Config};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_figure(&figures::fig11a(true));
+    print_figure(&figures::fig11b(true));
+
+    let blocked =
+        sac_workloads::blocked::program(sac_workloads::blocked::Params { n: 240, block: 40 })
+            .trace_default();
+    c.bench_function("fig11a/soft_blocked_mv", |b| {
+        b.iter(|| Config::soft().run(black_box(&blocked)))
+    });
+
+    let copied = sac_workloads::copying::program(sac_workloads::copying::Params {
+        n: 32,
+        ld: 120,
+        block: 16,
+        copying: true,
+    })
+    .trace_default();
+    c.bench_function("fig11b/soft_copied_mm", |b| {
+        b.iter(|| Config::soft().run(black_box(&copied)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 12 — hardware vs software-assisted prefetching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sac_bench::{print_figure, small_suite};
+use sac_core::SoftCacheConfig;
+use sac_experiments::{figures, Config};
+use sac_simcache::{CacheGeometry, MemoryModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = small_suite();
+    print_figure(&figures::fig12(suite));
+
+    let trace = suite.trace("NAS").expect("NAS in suite");
+    for (name, cfg) in [
+        (
+            "hw_prefetch",
+            Config::HwPrefetch {
+                geom: CacheGeometry::standard(),
+                mem: MemoryModel::default(),
+                lines: 8,
+            },
+        ),
+        (
+            "soft_prefetch",
+            Config::Soft(SoftCacheConfig::soft().with_prefetch(true)),
+        ),
+    ] {
+        c.bench_function(&format!("fig12/{name}_nas"), |b| {
+            b.iter(|| black_box(cfg).run(black_box(trace)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Shared helpers for the per-figure Criterion benchmarks.
+//!
+//! Every bench target regenerates its figure's rows (printed to stdout,
+//! so `cargo bench` reproduces the paper's series) and then times the
+//! simulations behind it on the scaled-down suite.
+
+use sac_experiments::{Suite, Table};
+use std::sync::OnceLock;
+
+/// The scaled-down benchmark suite, built once per bench process.
+pub fn small_suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(Suite::small)
+}
+
+/// Prints a regenerated figure table under a banner.
+pub fn print_figure(table: &Table) {
+    println!("\n=== regenerated: {} ===", table.title());
+    println!("{table}");
+}

@@ -1,0 +1,306 @@
+//! An HP PA-7200-style *assist cache* (§5 related work).
+//!
+//! The design the authors discovered after submission: a small
+//! fully-associative FIFO buffer placed **before** the main cache. Every
+//! miss fills the assist cache first; a line leaving it is promoted into
+//! the main cache only if it showed temporal locality — non-temporal
+//! (spatial-only) data flows through the assist cache and never pollutes
+//! the main array. The HP-7200 probes both arrays in the same cycle
+//! (170 MHz circuitry), so assist hits cost 1 cycle, unlike the paper's
+//! 3-cycle bounce-back cache.
+//!
+//! The HP design carries a per-line *spatial-only* (i.e. non-temporal)
+//! bit: a line marked spatial-only flows through the assist cache and is
+//! never promoted, while everything else — including untagged data, which
+//! gets the benefit of the doubt — moves into the main cache on eviction.
+//! We set the marker from the same software tags the bounce-back cache
+//! uses (`spatial && !temporal`), which makes the two designs directly
+//! comparable (`figures::ext_related_designs`). Differences from the
+//! bounce-back cache: the filter sits in *front*, promotion happens once
+//! per residency (no bouncing), and there is no virtual-line mechanism.
+
+use crate::config::SoftCacheConfig;
+use sac_simcache::{
+    CacheGeometry, CacheSim, Clock, Entry, Metrics, TagArray, WriteBuffer, MAIN_HIT_CYCLES,
+};
+use sac_trace::Access;
+
+/// The assist-cache organization.
+///
+/// ```
+/// use sac_core::AssistCache;
+/// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel};
+/// use sac_trace::Access;
+///
+/// let mut c = AssistCache::new(CacheGeometry::standard(), MemoryModel::default(), 16);
+/// c.access(&Access::read(0).with_temporal(true)); // fills the assist cache
+/// c.access(&Access::read(0));                     // assist hit: 1 cycle
+/// assert_eq!(c.metrics().aux_hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssistCache {
+    geom: CacheGeometry,
+    mem: sac_simcache::MemoryModel,
+    main: TagArray,
+    assist: TagArray,
+    /// FIFO order: insertion stamps (the LRU field is not touched on
+    /// hits, making the replacement FIFO as in the HP design).
+    fifo_clock: u64,
+    wb: WriteBuffer,
+    clock: Clock,
+    metrics: Metrics,
+}
+
+impl AssistCache {
+    /// Creates an assist cache of `assist_lines` fully-associative lines
+    /// in front of the main cache (the HP-7200 used 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assist_lines` is zero.
+    pub fn new(geom: CacheGeometry, mem: sac_simcache::MemoryModel, assist_lines: u32) -> Self {
+        assert!(assist_lines > 0, "assist cache needs at least one line");
+        let ls = geom.line_bytes();
+        let assist = TagArray::new(CacheGeometry::new(
+            assist_lines as u64 * ls,
+            ls,
+            assist_lines,
+        ));
+        let wb = WriteBuffer::new(8, mem.transfer_cycles(ls));
+        AssistCache {
+            geom,
+            mem,
+            main: TagArray::new(geom),
+            assist,
+            fifo_clock: 0,
+            wb,
+            clock: Clock::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The paper-comparable configuration: standard geometry, 16 assist
+    /// lines (scaled to our 8 KB cache from the HP's 64 × 32 B).
+    pub fn comparable() -> Self {
+        let cfg = SoftCacheConfig::soft();
+        AssistCache::new(cfg.geometry, cfg.memory, 16)
+    }
+
+    fn discard(&mut self, entry: Entry) -> u64 {
+        if entry.valid && entry.dirty {
+            self.metrics.writebacks += 1;
+            self.wb.push(self.clock.now())
+        } else {
+            0
+        }
+    }
+
+    /// FIFO victim way: smallest insertion stamp, invalid ways first.
+    fn assist_victim_way(&self) -> usize {
+        let ways = self.assist.geometry().ways() as usize;
+        let mut best = 0;
+        let mut best_key = (u64::MAX, u64::MAX);
+        for way in 0..ways {
+            let e = self.assist.entry(0, way);
+            let key = if e.valid { (1, e.lru) } else { (0, 0) };
+            if key < best_key {
+                best_key = key;
+                best = way;
+            }
+        }
+        best
+    }
+
+    /// Inserts a line into the assist cache; the FIFO evictee is
+    /// promoted to the main cache unless it is marked spatial-only (the
+    /// `prefetched` field doubles as the HP spatial-only bit here).
+    /// Returns any write-buffer stall.
+    fn assist_insert(&mut self, entry: Entry) -> u64 {
+        let way = self.assist_victim_way();
+        let line = entry.line;
+        let evicted = self.assist.install(line, way, entry);
+        if !evicted.valid {
+            return 0;
+        }
+        if !evicted.prefetched {
+            // Promote into the main cache (hidden under the miss).
+            let way = self.main.victim_way(evicted.line);
+            let displaced = self.main.install(evicted.line, way, evicted);
+            self.discard(displaced)
+        } else {
+            self.discard(evicted)
+        }
+    }
+}
+
+impl CacheSim for AssistCache {
+    fn access(&mut self, a: &Access) {
+        self.metrics.record_ref(a.kind().is_write());
+        let mut cost = self.clock.arrive(a.gap());
+        self.metrics.stall_cycles += cost;
+
+        let line = self.geom.line_of(a.addr());
+        if let Some(idx) = self.main.probe(line) {
+            let e = self.main.entry_at_mut(idx);
+            if a.kind().is_write() {
+                e.dirty = true;
+            }
+            if a.temporal() {
+                e.temporal = true;
+            }
+            self.metrics.main_hits += 1;
+            cost += MAIN_HIT_CYCLES;
+        } else if let Some(idx) = self.assist.peek(line) {
+            // Both arrays are probed in parallel: 1 cycle. FIFO
+            // replacement: the hit does not refresh the stamp.
+            let e = self.assist.entry_at_mut(idx);
+            if a.kind().is_write() {
+                e.dirty = true;
+            }
+            if a.temporal() {
+                e.temporal = true;
+                e.prefetched = false; // temporal evidence clears the marker
+            }
+            self.metrics.aux_hits += 1;
+            cost += MAIN_HIT_CYCLES;
+        } else {
+            self.metrics.misses += 1;
+            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
+            self.metrics.record_fetch(1, self.geom.line_bytes());
+            self.fifo_clock += 1;
+            let entry = Entry {
+                line,
+                valid: true,
+                dirty: a.kind().is_write(),
+                temporal: a.temporal(),
+                // The HP spatial-only marker: tagged streaming data.
+                prefetched: a.spatial() && !a.temporal(),
+                lru: self.fifo_clock,
+            };
+            // install() refreshes lru; restore FIFO stamping by using the
+            // insertion order we just assigned.
+            let stall = self.assist_insert(entry);
+            if let Some(idx) = self.assist.peek(line) {
+                self.assist.entry_at_mut(idx).lru = self.fifo_clock;
+            }
+            self.metrics.stall_cycles += stall;
+            cost += stall;
+        }
+        self.metrics.mem_cycles += cost;
+        self.clock.complete(cost);
+    }
+
+    fn invalidate_all(&mut self) {
+        self.metrics.writebacks += self.main.invalidate_all();
+        self.metrics.writebacks += self.assist.invalidate_all();
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_simcache::MemoryModel;
+
+    fn small(lines: u32) -> AssistCache {
+        AssistCache::new(
+            CacheGeometry::new(128, 32, 1),
+            MemoryModel::default(),
+            lines,
+        )
+    }
+
+    fn read(line: u64) -> Access {
+        Access::read(line * 32)
+    }
+
+    #[test]
+    fn misses_fill_the_assist_cache_first() {
+        let mut c = small(2);
+        c.access(&read(0));
+        c.access(&read(0));
+        let m = c.metrics();
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.aux_hits, 1, "line still in the assist cache");
+        assert_eq!(m.main_hits, 0);
+    }
+
+    #[test]
+    fn temporal_lines_promote_to_main() {
+        let mut c = small(2);
+        c.access(&read(0).with_temporal(true));
+        c.access(&read(1)); // assist {0t, 1}
+        c.access(&read(2)); // FIFO evicts 0 → promoted to main
+        let before = c.metrics().main_hits;
+        c.access(&read(0));
+        assert_eq!(c.metrics().main_hits, before + 1);
+    }
+
+    #[test]
+    fn untagged_lines_promote_by_default() {
+        // No compiler information: the HP design gives the line the
+        // benefit of the doubt.
+        let mut c = small(2);
+        c.access(&read(0));
+        c.access(&read(1));
+        c.access(&read(2)); // evicts 0 → promoted
+        let before = c.metrics().main_hits;
+        c.access(&read(0));
+        assert_eq!(c.metrics().main_hits, before + 1);
+    }
+
+    #[test]
+    fn spatial_only_lines_never_pollute_main() {
+        let mut c = small(2);
+        c.access(&read(0).with_spatial(true)); // marked spatial-only
+        c.access(&read(1));
+        c.access(&read(2)); // evicts 0 → discarded
+        let misses = c.metrics().misses;
+        c.access(&read(0));
+        assert_eq!(c.metrics().misses, misses + 1, "line 0 was dropped");
+    }
+
+    #[test]
+    fn temporal_evidence_clears_the_marker() {
+        let mut c = small(2);
+        c.access(&read(0).with_spatial(true)); // marked spatial-only
+        c.access(&read(0).with_temporal(true)); // re-touched as temporal
+        c.access(&read(1));
+        c.access(&read(2)); // evicts 0 → promoted after all
+        let before = c.metrics().main_hits;
+        c.access(&read(0));
+        assert_eq!(c.metrics().main_hits, before + 1);
+    }
+
+    #[test]
+    fn fifo_not_lru() {
+        let mut c = small(2);
+        c.access(&read(0));
+        c.access(&read(1));
+        c.access(&read(0)); // assist hit must NOT refresh the FIFO stamp
+        c.access(&read(2)); // evicts 0 (oldest insertion), not 1
+        let misses = c.metrics().misses;
+        c.access(&read(1));
+        assert_eq!(c.metrics().misses, misses, "line 1 survived");
+    }
+
+    #[test]
+    fn dirty_spatial_only_discards_write_back() {
+        let mut c = small(1);
+        c.access(&Access::write(0).with_spatial(true));
+        c.access(&read(1)); // evicts dirty spatial-only 0 → write buffer
+        assert_eq!(c.metrics().writebacks, 1);
+    }
+
+    #[test]
+    fn assist_hits_cost_one_cycle() {
+        let mut c = small(2);
+        c.access(&read(0));
+        let before = c.metrics().mem_cycles;
+        c.access(&read(0));
+        assert_eq!(c.metrics().mem_cycles - before, 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Configuration of the software-assisted cache.
+
+use sac_simcache::{CacheGeometry, MemoryModel};
+use std::fmt;
+
+/// Main-cache replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Plain LRU (the only choice for a direct-mapped main cache).
+    #[default]
+    Lru,
+    /// LRU biased against non-temporal lines (§3.2, "Set-Associativity"):
+    /// an efficient implementation of bypassing on associative caches,
+    /// used by the *simplified soft* configuration of Figure 9b.
+    PreferNonTemporal,
+}
+
+/// Full configuration of a [`crate::SoftCache`].
+///
+/// The paper's configurations are available as presets; every field can
+/// also be adjusted through the `with_*` builder methods for the
+/// parameter sweeps of Figures 8–10.
+///
+/// ```
+/// use sac_core::SoftCacheConfig;
+///
+/// let cfg = SoftCacheConfig::soft().with_virtual_line(128).with_latency(30);
+/// assert_eq!(cfg.virtual_line_bytes, 128);
+/// assert_eq!(cfg.memory.latency(), 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftCacheConfig {
+    /// Main-cache geometry (default: the 8 KB / 32 B / 1-way Standard).
+    pub geometry: CacheGeometry,
+    /// Memory latency and bus bandwidth (default: 20 cycles, 16 B/cycle).
+    pub memory: MemoryModel,
+    /// Virtual line size in bytes; equal to the physical line size when
+    /// virtual lines are disabled. The paper's default is 64 B.
+    pub virtual_line_bytes: u64,
+    /// Bounce-back cache capacity in lines (0 disables it). The paper's
+    /// default is 8 lines (256 B).
+    pub bounce_lines: u32,
+    /// Bounce-back cache associativity; `None` means fully associative
+    /// (§2.2 notes a 4-way bounce-back cache performs reasonably well).
+    pub bounce_ways: Option<u32>,
+    /// Honor temporal tags (temporal bits + bounce-back). When `false`
+    /// the bounce-back cache behaves as a plain victim cache.
+    pub use_temporal: bool,
+    /// Honor spatial tags (virtual-line fills).
+    pub use_spatial: bool,
+    /// Main-cache replacement policy.
+    pub replacement: Replacement,
+    /// Enable software-assisted progressive prefetching (§4.4).
+    pub prefetch: bool,
+    /// Maximum number of prefetched lines allowed to reside in the
+    /// bounce-back cache at once (§4.4).
+    pub max_prefetched: u32,
+    /// Access time of the bounce-back cache in cycles. The paper uses a
+    /// conservative 3 (2-cycle hit/miss answer + 1 cycle of miss-handling
+    /// overhead) and notes a 2-cycle design would perform better (§2.2).
+    pub bounce_hit_cycles: u64,
+    /// Whether non-temporal victims are admitted into the bounce-back
+    /// cache. The paper found admitting everything (victim-cache
+    /// behaviour) beats temporal-only admission, probably because of
+    /// spatial interferences (§2.2) — this knob exists for that ablation.
+    pub admit_nontemporal: bool,
+    /// Honor per-reference spatial *levels* (§3.2's variable-length
+    /// virtual-line extension): a level-`L` reference fills `2^L`
+    /// physical lines instead of the fixed default.
+    pub variable_vlines: bool,
+    /// Number of consecutive physical lines fetched per prefetch step.
+    /// §4.4: beyond ~25-cycle latencies "it becomes worthwhile to
+    /// increase the prefetch distance by prefetching several physical
+    /// lines at the same time, at the expense of a higher swap penalty".
+    pub prefetch_degree: u32,
+}
+
+impl SoftCacheConfig {
+    /// The full *Soft.* mechanism of the paper: 8 KB / 32 B / 1-way main
+    /// cache, 64-byte virtual lines, 256-byte (8-line) fully-associative
+    /// bounce-back cache, both tag kinds honored.
+    pub fn soft() -> Self {
+        SoftCacheConfig {
+            geometry: CacheGeometry::standard(),
+            memory: MemoryModel::default(),
+            virtual_line_bytes: 64,
+            bounce_lines: 8,
+            bounce_ways: None,
+            use_temporal: true,
+            use_spatial: true,
+            replacement: Replacement::Lru,
+            prefetch: false,
+            max_prefetched: 4,
+            bounce_hit_cycles: 3,
+            admit_nontemporal: true,
+            variable_vlines: false,
+            prefetch_degree: 1,
+        }
+    }
+
+    /// *Soft. for Temp. only*: bounce-back mechanism without virtual
+    /// lines.
+    pub fn temporal_only() -> Self {
+        let mut c = SoftCacheConfig::soft();
+        c.use_spatial = false;
+        c.virtual_line_bytes = c.geometry.line_bytes();
+        c
+    }
+
+    /// *Soft. for Spat. only*: virtual lines with the bounce-back cache
+    /// demoted to a plain victim cache.
+    pub fn spatial_only() -> Self {
+        let mut c = SoftCacheConfig::soft();
+        c.use_temporal = false;
+        c
+    }
+
+    /// The *simplified soft* scheme of Figure 9b: a set-associative main
+    /// cache whose LRU prefers replacing non-temporal lines; no
+    /// bounce-back cache; virtual lines retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways < 2` — the scheme needs associativity to choose a
+    /// victim.
+    pub fn simplified_assoc(ways: u32) -> Self {
+        assert!(ways >= 2, "simplified soft control needs associativity");
+        let mut c = SoftCacheConfig::soft();
+        c.geometry = CacheGeometry::new(c.geometry.size_bytes(), c.geometry.line_bytes(), ways);
+        c.bounce_lines = 0;
+        c.replacement = Replacement::PreferNonTemporal;
+        c
+    }
+
+    /// Replaces the main-cache geometry.
+    pub fn with_geometry(mut self, geometry: CacheGeometry) -> Self {
+        self.geometry = geometry;
+        if self.virtual_line_bytes < geometry.line_bytes() {
+            self.virtual_line_bytes = geometry.line_bytes();
+        }
+        self
+    }
+
+    /// Replaces the memory model.
+    pub fn with_memory(mut self, memory: MemoryModel) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Sets the memory latency (Figure 10b sweeps).
+    pub fn with_latency(mut self, latency: u64) -> Self {
+        self.memory = self.memory.with_latency(latency);
+        self
+    }
+
+    /// Sets the virtual line size (Figure 8a sweeps).
+    pub fn with_virtual_line(mut self, bytes: u64) -> Self {
+        self.virtual_line_bytes = bytes;
+        self
+    }
+
+    /// Sets the bounce-back cache size in lines.
+    pub fn with_bounce_lines(mut self, lines: u32) -> Self {
+        self.bounce_lines = lines;
+        self
+    }
+
+    /// Sets the bounce-back cache associativity (`None` = fully
+    /// associative).
+    pub fn with_bounce_ways(mut self, ways: Option<u32>) -> Self {
+        self.bounce_ways = ways;
+        self
+    }
+
+    /// Enables the software-assisted prefetcher (Figure 12).
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+
+    /// Sets the bounce-back cache access time in cycles (ablation).
+    pub fn with_bounce_hit_cycles(mut self, cycles: u64) -> Self {
+        self.bounce_hit_cycles = cycles;
+        self
+    }
+
+    /// Chooses whether non-temporal victims enter the bounce-back cache
+    /// (ablation; the paper's design admits everything).
+    pub fn with_admit_nontemporal(mut self, admit: bool) -> Self {
+        self.admit_nontemporal = admit;
+        self
+    }
+
+    /// Enables variable-length virtual lines driven by per-reference
+    /// spatial levels (§3.2 extension).
+    pub fn with_variable_vlines(mut self, on: bool) -> Self {
+        self.variable_vlines = on;
+        self
+    }
+
+    /// Sets the prefetch degree (§4.4's long-latency extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is 0 or greater than 4.
+    pub fn with_prefetch_degree(mut self, degree: u32) -> Self {
+        assert!((1..=4).contains(&degree), "prefetch degree must be 1..=4");
+        self.prefetch_degree = degree;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the virtual line is not a positive multiple of the
+    /// physical line, or a bounce-back associativity does not divide its
+    /// size.
+    pub fn validate(&self) {
+        let ls = self.geometry.line_bytes();
+        assert!(
+            self.virtual_line_bytes >= ls && self.virtual_line_bytes.is_multiple_of(ls),
+            "virtual line must be a multiple of the physical line"
+        );
+        if let Some(ways) = self.bounce_ways {
+            assert!(ways >= 1, "bounce-back ways must be positive");
+            assert!(
+                self.bounce_lines.is_multiple_of(ways),
+                "bounce-back ways must divide its line count"
+            );
+        }
+        assert!(self.bounce_hit_cycles >= 1, "bounce-back access takes time");
+        assert!(
+            (1..=4).contains(&self.prefetch_degree),
+            "prefetch degree must be 1..=4"
+        );
+        if self.replacement == Replacement::PreferNonTemporal {
+            assert!(
+                self.geometry.ways() >= 2,
+                "replacement bias needs an associative main cache"
+            );
+        }
+    }
+
+    /// Number of physical lines per virtual line.
+    pub fn vline_span(&self) -> u64 {
+        self.virtual_line_bytes / self.geometry.line_bytes()
+    }
+}
+
+impl Default for SoftCacheConfig {
+    fn default() -> Self {
+        SoftCacheConfig::soft()
+    }
+}
+
+impl fmt::Display for SoftCacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vline={}B bb={}x{}B temp={} spat={} repl={:?} pf={}",
+            self.geometry,
+            self.virtual_line_bytes,
+            self.bounce_lines,
+            self.geometry.line_bytes(),
+            u8::from(self.use_temporal),
+            u8::from(self.use_spatial),
+            self.replacement,
+            u8::from(self.prefetch),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_preset_matches_paper_defaults() {
+        let c = SoftCacheConfig::soft();
+        c.validate();
+        assert_eq!(c.geometry.size_bytes(), 8192);
+        assert_eq!(c.geometry.line_bytes(), 32);
+        assert_eq!(c.virtual_line_bytes, 64);
+        assert_eq!(c.bounce_lines, 8);
+        assert_eq!(c.memory.latency(), 20);
+        assert_eq!(c.vline_span(), 2);
+    }
+
+    #[test]
+    fn temporal_only_disables_virtual_lines() {
+        let c = SoftCacheConfig::temporal_only();
+        c.validate();
+        assert_eq!(c.vline_span(), 1);
+        assert!(c.use_temporal && !c.use_spatial);
+    }
+
+    #[test]
+    fn spatial_only_keeps_victim_cache() {
+        let c = SoftCacheConfig::spatial_only();
+        c.validate();
+        assert!(!c.use_temporal && c.use_spatial);
+        assert_eq!(c.bounce_lines, 8);
+    }
+
+    #[test]
+    fn simplified_assoc_has_no_bounce_back() {
+        let c = SoftCacheConfig::simplified_assoc(2);
+        c.validate();
+        assert_eq!(c.bounce_lines, 0);
+        assert_eq!(c.replacement, Replacement::PreferNonTemporal);
+        assert_eq!(c.geometry.ways(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn simplified_needs_ways() {
+        let _ = SoftCacheConfig::simplified_assoc(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_virtual_line_rejected() {
+        SoftCacheConfig::soft().with_virtual_line(48).validate();
+    }
+
+    #[test]
+    fn with_geometry_repairs_virtual_line() {
+        let c =
+            SoftCacheConfig::temporal_only().with_geometry(CacheGeometry::new(16 * 1024, 64, 1));
+        c.validate();
+        assert_eq!(c.virtual_line_bytes, 64);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = SoftCacheConfig::soft().to_string();
+        assert!(s.contains("vline=64B") && s.contains("8KB"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Prints any subset of the paper's figures as text tables.
+//!
+//! ```text
+//! cargo run --release -p sac-experiments --bin figures -- all
+//! cargo run --release -p sac-experiments --bin figures -- fig06a fig07b
+//! cargo run --release -p sac-experiments --bin figures -- --small fig11a
+//! ```
+
+use sac_experiments::{figures, Suite, Table};
+
+/// Figure ids in paper order.
+const ALL: [&str; 19] = [
+    "fig01a", "fig01b", "fig03a", "fig03b", "fig04a", "fig04b", "fig06a", "fig06b", "fig07a",
+    "fig07b", "fig08a", "fig08b", "fig09a", "fig09b", "fig10a", "fig10b", "fig11a", "fig11b",
+    "fig12",
+];
+
+const ABLATIONS: [&str; 6] = [
+    "abl-bb-size",
+    "abl-bb-ways",
+    "abl-bb-policy",
+    "abl-phys16",
+    "abl-assoc",
+    "abl-bus",
+];
+
+const EXTENSIONS: [&str; 7] = [
+    "ext-var-vlines",
+    "ext-pf-distance",
+    "ext-related",
+    "ext-related-traffic",
+    "ext-miss-classes",
+    "ext-context-switch",
+    "ext-copy-vline",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--small").collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    if wanted.iter().any(|w| w == "ablations") {
+        wanted = ABLATIONS.iter().map(|s| s.to_string()).collect();
+    }
+    if wanted.iter().any(|w| w == "extensions") {
+        wanted = EXTENSIONS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let needs_suite = wanted
+        .iter()
+        .any(|w| !matches!(w.as_str(), "fig04b" | "fig10a" | "fig11a" | "fig11b"));
+    let suite = needs_suite.then(|| {
+        eprintln!(
+            "generating {} benchmark traces...",
+            if small { "small" } else { "paper-scale" }
+        );
+        if small {
+            Suite::small()
+        } else {
+            Suite::paper()
+        }
+    });
+
+    for id in &wanted {
+        let table = run_one(id, suite.as_ref(), small);
+        match table {
+            Some(t) => println!("{t}"),
+            None => {
+                eprintln!("unknown figure id: {id} (valid: {ALL:?}, {ABLATIONS:?}, {EXTENSIONS:?})")
+            }
+        }
+    }
+}
+
+fn run_one(id: &str, suite: Option<&Suite>, small: bool) -> Option<Table> {
+    let s = || suite.expect("suite was built for suite-based figures");
+    Some(match id {
+        "fig01a" => figures::fig01a(s()),
+        "fig01b" => figures::fig01b(s()),
+        "fig03a" => figures::fig03a(s()),
+        "fig03b" => figures::fig03b(s()),
+        "fig04a" => figures::fig04a(s()),
+        "fig04b" => figures::fig04b(),
+        "fig06a" => figures::fig06a(s()),
+        "fig06b" => figures::fig06b(s()),
+        "fig07a" => figures::fig07a(s()),
+        "fig07b" => figures::fig07b(s()),
+        "fig08a" => figures::fig08a(s()),
+        "fig08b" => figures::fig08b(s()),
+        "fig09a" => figures::fig09a(s()),
+        "fig09b" => figures::fig09b(s()),
+        "fig10a" => figures::fig10a(),
+        "fig10b" => figures::fig10b(s()),
+        "fig11a" => figures::fig11a(small),
+        "fig11b" => figures::fig11b(small),
+        "fig12" => figures::fig12(s()),
+        "summary" => figures::summary(s()),
+        "ext-var-vlines" => {
+            let leveled = if small {
+                Suite::small_leveled()
+            } else {
+                Suite::paper_leveled()
+            };
+            figures::ext_variable_vlines(&leveled)
+        }
+        "ext-pf-distance" => figures::ext_prefetch_distance(s()),
+        "ext-related" => figures::ext_related_designs(s()),
+        "ext-related-traffic" => figures::ext_related_traffic(s()),
+        "ext-miss-classes" => figures::ext_miss_classes(s()),
+        "ext-context-switch" => figures::ext_context_switch(s()),
+        "ext-copy-vline" => figures::ext_copy_vline(small),
+        "abl-bb-size" => figures::ablation_bb_size(s()),
+        "abl-bb-ways" => figures::ablation_bb_ways(s()),
+        "abl-bb-policy" => figures::ablation_bb_policy(s()),
+        "abl-phys16" => figures::ablation_physical_16(s()),
+        "abl-assoc" => figures::ablation_associativity(s()),
+        "abl-bus" => figures::ablation_bus_width(s()),
+        _ => return None,
+    })
+}

@@ -1,0 +1,80 @@
+//! Emits the full results section of EXPERIMENTS.md: every figure of the
+//! paper regenerated at paper scale, as markdown tables.
+//!
+//! ```text
+//! cargo run --release -p sac-experiments --bin report > results.md
+//! cargo run --release -p sac-experiments --bin report -- --csv out/   # + CSV per table
+//! ```
+
+use sac_experiments::{figures, Suite};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    eprintln!("generating benchmark traces...");
+    let suite = if small {
+        Suite::small()
+    } else {
+        Suite::paper()
+    };
+    eprintln!("suite: {} references total", suite.total_refs());
+
+    let tables = [
+        figures::summary(&suite),
+        figures::fig01a(&suite),
+        figures::fig01b(&suite),
+        figures::fig03a(&suite),
+        figures::fig03b(&suite),
+        figures::fig04a(&suite),
+        figures::fig04b(),
+        figures::fig06a(&suite),
+        figures::fig06b(&suite),
+        figures::fig07a(&suite),
+        figures::fig07b(&suite),
+        figures::fig08a(&suite),
+        figures::fig08b(&suite),
+        figures::fig09a(&suite),
+        figures::fig09b(&suite),
+        figures::fig10a(),
+        figures::fig10b(&suite),
+        figures::fig11a(small),
+        figures::fig11b(small),
+        figures::fig12(&suite),
+        figures::ext_variable_vlines(&if small {
+            Suite::small_leveled()
+        } else {
+            Suite::paper_leveled()
+        }),
+        figures::ext_prefetch_distance(&suite),
+        figures::ext_related_designs(&suite),
+        figures::ext_related_traffic(&suite),
+        figures::ext_miss_classes(&suite),
+        figures::ext_context_switch(&suite),
+        figures::ext_copy_vline(small),
+        figures::ablation_bb_size(&suite),
+        figures::ablation_bb_ways(&suite),
+        figures::ablation_bb_policy(&suite),
+        figures::ablation_physical_16(&suite),
+        figures::ablation_associativity(&suite),
+        figures::ablation_bus_width(&suite),
+    ];
+    let csv_dir = std::env::args()
+        .skip_while(|a| a != "--csv")
+        .nth(1)
+        .map(std::path::PathBuf::from);
+    for t in &tables {
+        println!("{}", t.to_markdown());
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let slug: String = t
+                .title()
+                .chars()
+                .take_while(|c| *c != '—')
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            let path = dir.join(format!("{slug}.csv"));
+            std::fs::write(&path, t.to_csv()).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

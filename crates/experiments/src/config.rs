@@ -1,0 +1,242 @@
+//! Named cache configurations used across the figures.
+
+use sac_core::{AssistCache, SoftCache, SoftCacheConfig};
+use sac_simcache::{
+    BypassCache, BypassMode, CacheGeometry, CacheSim, ColumnAssociativeCache, MemoryModel, Metrics,
+    NextLinePrefetchCache, StandardCache, StreamBufferCache, VictimCache,
+};
+use sac_trace::Trace;
+use std::fmt;
+
+/// One cache organization to evaluate.
+///
+/// `Config` is a cheap, copyable description; [`Config::run`] builds the
+/// engine and drives a trace through it.
+///
+/// ```
+/// use sac_experiments::Config;
+/// use sac_trace::{Access, Trace};
+///
+/// let trace: Trace = (0..64u64).map(|i| Access::read(i * 8)).collect();
+/// let m = Config::standard().run(&trace);
+/// assert_eq!(m.refs, 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Config {
+    /// A plain cache ([`StandardCache`]).
+    Standard {
+        /// Main-cache geometry.
+        geom: CacheGeometry,
+        /// Memory parameters.
+        mem: MemoryModel,
+    },
+    /// Main cache plus victim cache ([`VictimCache`]).
+    Victim {
+        /// Main-cache geometry.
+        geom: CacheGeometry,
+        /// Memory parameters.
+        mem: MemoryModel,
+        /// Victim-cache size in lines.
+        lines: u32,
+    },
+    /// Tag-driven bypassing ([`BypassCache`]).
+    Bypass {
+        /// Main-cache geometry.
+        geom: CacheGeometry,
+        /// Memory parameters.
+        mem: MemoryModel,
+        /// Plain or through a line buffer.
+        mode: BypassMode,
+    },
+    /// Hardware next-line prefetching ([`NextLinePrefetchCache`]).
+    HwPrefetch {
+        /// Main-cache geometry.
+        geom: CacheGeometry,
+        /// Memory parameters.
+        mem: MemoryModel,
+        /// Prefetch-buffer size in lines.
+        lines: u32,
+    },
+    /// Jouppi stream buffers ([`StreamBufferCache`], §5 related work).
+    StreamBuffer {
+        /// Main-cache geometry.
+        geom: CacheGeometry,
+        /// Memory parameters.
+        mem: MemoryModel,
+        /// Number of stream buffers.
+        buffers: u32,
+        /// Entries per buffer.
+        depth: u32,
+    },
+    /// The column-associative cache ([`ColumnAssociativeCache`], §5).
+    ColumnAssoc {
+        /// Main-cache geometry (direct-mapped).
+        geom: CacheGeometry,
+        /// Memory parameters.
+        mem: MemoryModel,
+    },
+    /// An HP-7200-style assist cache ([`AssistCache`], §5).
+    Assist {
+        /// Main-cache geometry.
+        geom: CacheGeometry,
+        /// Memory parameters.
+        mem: MemoryModel,
+        /// Assist-cache size in lines.
+        lines: u32,
+    },
+    /// The software-assisted cache ([`SoftCache`]).
+    Soft(SoftCacheConfig),
+}
+
+impl Config {
+    /// The paper's Standard baseline (8 KB / 32 B / 1-way, 20-cycle
+    /// latency, 16-byte bus).
+    pub fn standard() -> Self {
+        Config::Standard {
+            geom: CacheGeometry::standard(),
+            mem: MemoryModel::default(),
+        }
+    }
+
+    /// Standard plus an 8-line victim cache (Figure 3b).
+    pub fn standard_victim() -> Self {
+        Config::Victim {
+            geom: CacheGeometry::standard(),
+            mem: MemoryModel::default(),
+            lines: 8,
+        }
+    }
+
+    /// The full software-assisted mechanism.
+    pub fn soft() -> Self {
+        Config::Soft(SoftCacheConfig::soft())
+    }
+
+    /// Builds the engine and runs the whole trace.
+    pub fn run(&self, trace: &Trace) -> Metrics {
+        match *self {
+            Config::Standard { geom, mem } => {
+                let mut c = StandardCache::new(geom, mem);
+                c.run(trace);
+                *c.metrics()
+            }
+            Config::Victim { geom, mem, lines } => {
+                let mut c = VictimCache::new(geom, mem, lines);
+                c.run(trace);
+                *c.metrics()
+            }
+            Config::Bypass { geom, mem, mode } => {
+                let mut c = BypassCache::new(geom, mem, mode);
+                c.run(trace);
+                *c.metrics()
+            }
+            Config::HwPrefetch { geom, mem, lines } => {
+                let mut c = NextLinePrefetchCache::new(geom, mem, lines);
+                c.run(trace);
+                *c.metrics()
+            }
+            Config::StreamBuffer {
+                geom,
+                mem,
+                buffers,
+                depth,
+            } => {
+                let mut c = StreamBufferCache::new(geom, mem, buffers, depth);
+                c.run(trace);
+                *c.metrics()
+            }
+            Config::ColumnAssoc { geom, mem } => {
+                let mut c = ColumnAssociativeCache::new(geom, mem);
+                c.run(trace);
+                *c.metrics()
+            }
+            Config::Assist { geom, mem, lines } => {
+                let mut c = AssistCache::new(geom, mem, lines);
+                c.run(trace);
+                *c.metrics()
+            }
+            Config::Soft(cfg) => {
+                let mut c = SoftCache::new(cfg);
+                c.run(trace);
+                *c.metrics()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Config::Standard { geom, .. } => write!(f, "standard {geom}"),
+            Config::Victim { geom, lines, .. } => write!(f, "victim({lines}) {geom}"),
+            Config::Bypass { geom, mode, .. } => write!(f, "bypass({mode:?}) {geom}"),
+            Config::HwPrefetch { geom, lines, .. } => write!(f, "prefetch({lines}) {geom}"),
+            Config::StreamBuffer { buffers, depth, .. } => {
+                write!(f, "stream-buffers({buffers}x{depth})")
+            }
+            Config::ColumnAssoc { geom, .. } => write!(f, "column-assoc {geom}"),
+            Config::Assist { lines, .. } => write!(f, "assist({lines})"),
+            Config::Soft(cfg) => write!(f, "soft {cfg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_trace::Access;
+
+    fn trace() -> Trace {
+        (0..256u64)
+            .map(|i| Access::read((i % 64) * 8).with_temporal(true))
+            .collect()
+    }
+
+    #[test]
+    fn every_variant_runs() {
+        let t = trace();
+        let configs = [
+            Config::standard(),
+            Config::standard_victim(),
+            Config::Bypass {
+                geom: CacheGeometry::standard(),
+                mem: MemoryModel::default(),
+                mode: BypassMode::Plain,
+            },
+            Config::HwPrefetch {
+                geom: CacheGeometry::standard(),
+                mem: MemoryModel::default(),
+                lines: 8,
+            },
+            Config::StreamBuffer {
+                geom: CacheGeometry::standard(),
+                mem: MemoryModel::default(),
+                buffers: 4,
+                depth: 4,
+            },
+            Config::ColumnAssoc {
+                geom: CacheGeometry::standard(),
+                mem: MemoryModel::default(),
+            },
+            Config::Assist {
+                geom: CacheGeometry::standard(),
+                mem: MemoryModel::default(),
+                lines: 16,
+            },
+            Config::soft(),
+        ];
+        for c in configs {
+            let m = c.run(&t);
+            assert_eq!(m.refs, 256, "{c}");
+            assert!(m.amat() >= 1.0, "{c}");
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let t = trace();
+        let a = Config::soft().run(&t);
+        let b = Config::soft().run(&t);
+        assert_eq!(a, b);
+    }
+}

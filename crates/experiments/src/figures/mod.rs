@@ -1,0 +1,925 @@
+//! One function per figure of the paper's evaluation, plus the ablations
+//! called out in DESIGN.md.
+
+use crate::{Config, Suite, Table};
+use sac_core::SoftCacheConfig;
+use sac_simcache::{BypassMode, CacheGeometry, MemoryModel, Metrics};
+use sac_trace::stats::{
+    ReuseBand, ReuseHistogram, TagClass, TagFractions, VectorBand, VectorLengths,
+};
+use sac_trace::GapModel;
+
+/// Runs every `(label, config)` over every benchmark and tabulates
+/// `extract(metrics)`.
+fn metric_table(
+    title: &str,
+    suite: &Suite,
+    configs: &[(&str, Config)],
+    extract: impl Fn(&Metrics) -> f64,
+) -> Table {
+    let labels: Vec<&str> = configs.iter().map(|(l, _)| *l).collect();
+    let mut table = Table::new(title, &labels);
+    for (name, trace) in suite.entries() {
+        let row: Vec<f64> = configs
+            .iter()
+            .map(|(_, c)| extract(&c.run(trace)))
+            .collect();
+        table.push_row(name.clone(), row);
+    }
+    table
+}
+
+fn amat_table(title: &str, suite: &Suite, configs: &[(&str, Config)]) -> Table {
+    metric_table(title, suite, configs, |m| m.amat())
+}
+
+/// The four software-control variants of Figures 6a/7a/7b.
+fn soft_variants() -> [(&'static str, Config); 4] {
+    [
+        ("Stand.", Config::standard()),
+        ("Temp.only", Config::Soft(SoftCacheConfig::temporal_only())),
+        ("Spat.only", Config::Soft(SoftCacheConfig::spatial_only())),
+        ("Soft.", Config::soft()),
+    ]
+}
+
+/// Figure 1a: distribution of references over temporal reuse distances.
+pub fn fig01a(suite: &Suite) -> Table {
+    let labels: Vec<&str> = ReuseBand::ALL.iter().map(|b| b.label()).collect();
+    let mut t = Table::new(
+        "Figure 1a — reuse-distance distribution (fraction of references)",
+        &labels,
+    );
+    for (name, trace) in suite.entries() {
+        let h = ReuseHistogram::of(trace);
+        t.push_row(name.clone(), h.fractions().to_vec());
+    }
+    t
+}
+
+/// Figure 1b: distribution of references over the vector length of their
+/// instruction's reference stream.
+pub fn fig01b(suite: &Suite) -> Table {
+    let labels: Vec<&str> = VectorBand::ALL.iter().map(|b| b.label()).collect();
+    let mut t = Table::new(
+        "Figure 1b — vector-length distribution (fraction of references)",
+        &labels,
+    );
+    for (name, trace) in suite.entries() {
+        let v = VectorLengths::of(trace);
+        t.push_row(name.clone(), v.fractions().to_vec());
+    }
+    t
+}
+
+/// Figure 3a: efficiency of bypassing (AMAT).
+pub fn fig03a(suite: &Suite) -> Table {
+    let geom = CacheGeometry::standard();
+    let mem = MemoryModel::default();
+    amat_table(
+        "Figure 3a — efficiency of bypassing (AMAT, cycles)",
+        suite,
+        &[
+            ("Standard", Config::standard()),
+            (
+                "Bypass",
+                Config::Bypass {
+                    geom,
+                    mem,
+                    mode: BypassMode::Plain,
+                },
+            ),
+            (
+                "Buf.bypass",
+                Config::Bypass {
+                    geom,
+                    mem,
+                    mode: BypassMode::Buffered { lines: 2 },
+                },
+            ),
+            ("Soft.", Config::soft()),
+        ],
+    )
+}
+
+/// Figure 3b: efficiency of victim caches (AMAT).
+pub fn fig03b(suite: &Suite) -> Table {
+    amat_table(
+        "Figure 3b — efficiency of victim caches (AMAT, cycles)",
+        suite,
+        &[
+            ("Stand.", Config::standard()),
+            ("Stand.+Victim", Config::standard_victim()),
+            ("Soft.", Config::soft()),
+        ],
+    )
+}
+
+/// Figure 4a: fraction of references in each temporal × spatial tag class.
+pub fn fig04a(suite: &Suite) -> Table {
+    let labels: Vec<&str> = TagClass::ALL.iter().map(|c| c.label()).collect();
+    let mut t = Table::new(
+        "Figure 4a — software-tag classes (fraction of references)",
+        &labels,
+    );
+    for (name, trace) in suite.entries() {
+        let f = TagFractions::of(trace);
+        t.push_row(name.clone(), f.fractions().to_vec());
+    }
+    t
+}
+
+/// Figure 4b: the inter-reference issue-gap distribution used by the
+/// tracer (an input of the methodology, reproduced for completeness).
+pub fn fig04b() -> Table {
+    let mut t = Table::new(
+        "Figure 4b — time between consecutive load/stores (fraction of references)",
+        &["fraction"],
+    );
+    for &(gap, p) in GapModel::distribution() {
+        let label = if gap >= 25 {
+            "> 20 cycles".to_string()
+        } else {
+            format!("{gap} cycles")
+        };
+        t.push_row(label, vec![p]);
+    }
+    t
+}
+
+/// Figure 6a: AMAT of the four software-control variants.
+pub fn fig06a(suite: &Suite) -> Table {
+    amat_table(
+        "Figure 6a — performance of software control (AMAT, cycles)",
+        suite,
+        &soft_variants(),
+    )
+}
+
+/// Figure 6b: repartition of cache hits between main cache and
+/// bounce-back cache under the full mechanism.
+pub fn fig06b(suite: &Suite) -> Table {
+    let mut t = Table::new(
+        "Figure 6b — repartition of cache hits (hit ratio split, Soft.)",
+        &["main cache", "bounce-back"],
+    );
+    for (name, trace) in suite.entries() {
+        let m = Config::soft().run(trace);
+        t.push_row(name.clone(), vec![m.main_hit_ratio(), m.aux_hit_ratio()]);
+    }
+    t
+}
+
+/// Figure 7a: memory traffic (words fetched per reference).
+pub fn fig07a(suite: &Suite) -> Table {
+    metric_table(
+        "Figure 7a — memory traffic (words fetched / references)",
+        suite,
+        &soft_variants(),
+        |m| m.traffic_ratio(),
+    )
+}
+
+/// Figure 7b: miss ratio.
+pub fn fig07b(suite: &Suite) -> Table {
+    metric_table("Figure 7b — miss ratio", suite, &soft_variants(), |m| {
+        m.miss_ratio()
+    })
+}
+
+/// Figure 8a: influence of the virtual line size (AMAT).
+pub fn fig08a(suite: &Suite) -> Table {
+    let configs: Vec<(String, Config)> = [32u64, 64, 128, 256]
+        .into_iter()
+        .map(|v| {
+            (
+                format!("vline={v}B"),
+                Config::Soft(SoftCacheConfig::soft().with_virtual_line(v)),
+            )
+        })
+        .collect();
+    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 8a — influence of virtual line size (AMAT, cycles)",
+        &labels,
+    );
+    for (name, trace) in suite.entries() {
+        let row: Vec<f64> = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
+        t.push_row(name.clone(), row);
+    }
+    t
+}
+
+/// Figure 8b: influence of the physical line size (AMAT), standard
+/// caches vs the software-assisted design.
+pub fn fig08b(suite: &Suite) -> Table {
+    let mem = MemoryModel::default();
+    let mut configs: Vec<(String, Config)> = [32u64, 64, 128, 256]
+        .into_iter()
+        .map(|ls| {
+            (
+                format!("Stand.{ls}B"),
+                Config::Standard {
+                    geom: CacheGeometry::new(8 * 1024, ls, 1),
+                    mem,
+                },
+            )
+        })
+        .collect();
+    configs.push(("Soft.".to_string(), Config::soft()));
+    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 8b — influence of physical line size (AMAT, cycles)",
+        &labels,
+    );
+    for (name, trace) in suite.entries() {
+        let row: Vec<f64> = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
+        t.push_row(name.clone(), row);
+    }
+    t
+}
+
+/// Figure 9a: software control for larger caches (% of misses removed
+/// relative to the plain cache of the same geometry).
+pub fn fig09a(suite: &Suite) -> Table {
+    // 8 KB keeps 32-byte lines; larger caches use 64-byte physical lines
+    // (and thus 128-byte virtual lines), as in the paper.
+    let points: Vec<(String, CacheGeometry)> = vec![
+        ("Cs=8k,Ls=32".into(), CacheGeometry::new(8 * 1024, 32, 1)),
+        ("Cs=16k,Ls=64".into(), CacheGeometry::new(16 * 1024, 64, 1)),
+        ("Cs=32k,Ls=64".into(), CacheGeometry::new(32 * 1024, 64, 1)),
+        ("Cs=64k,Ls=64".into(), CacheGeometry::new(64 * 1024, 64, 1)),
+    ];
+    let labels: Vec<&str> = points.iter().map(|(l, _)| l.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 9a — % of misses removed by software control",
+        &labels,
+    );
+    let mem = MemoryModel::default();
+    for (name, trace) in suite.entries() {
+        let row: Vec<f64> = points
+            .iter()
+            .map(|(_, geom)| {
+                let base = Config::Standard { geom: *geom, mem }.run(trace);
+                let soft_cfg = SoftCacheConfig::soft()
+                    .with_geometry(*geom)
+                    .with_virtual_line(geom.line_bytes() * 2);
+                let soft = Config::Soft(soft_cfg).run(trace);
+                soft.misses_removed_vs(&base)
+            })
+            .collect();
+        t.push_row(name.clone(), row);
+    }
+    t
+}
+
+/// Figure 9b: software control for set-associative caches (AMAT).
+pub fn fig09b(suite: &Suite) -> Table {
+    let geom2 = CacheGeometry::new(8 * 1024, 32, 2);
+    let mem = MemoryModel::default();
+    amat_table(
+        "Figure 9b — software control for 2-way set-associative caches (AMAT, cycles)",
+        suite,
+        &[
+            ("2-way", Config::Standard { geom: geom2, mem }),
+            (
+                "2-way+victim",
+                Config::Victim {
+                    geom: geom2,
+                    mem,
+                    lines: 8,
+                },
+            ),
+            (
+                "Soft.2-way",
+                Config::Soft(SoftCacheConfig::soft().with_geometry(geom2)),
+            ),
+            (
+                "Simpl.soft",
+                Config::Soft(SoftCacheConfig::simplified_assoc(2)),
+            ),
+        ],
+    )
+}
+
+/// Figure 10a: software control on the most time-consuming Perfect Club
+/// subroutines, fully instrumented and traced alone.
+pub fn fig10a() -> Table {
+    let suite = Suite::kernels();
+    amat_table(
+        "Figure 10a — most time-consuming Perfect Club subroutines (AMAT, cycles)",
+        &suite,
+        &soft_variants(),
+    )
+}
+
+/// Figure 10b: influence of memory latency — the AMAT advantage of the
+/// software-assisted cache (AMAT(Stand.) − AMAT(Soft.)) per latency.
+pub fn fig10b(suite: &Suite) -> Table {
+    let latencies = [5u64, 10, 15, 20, 25, 30];
+    let labels: Vec<String> = latencies.iter().map(|l| format!("lat={l}")).collect();
+    let labels: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 10b — influence of memory latency (AMAT Stand. − AMAT Soft., cycles)",
+        &labels,
+    );
+    for (name, trace) in suite.entries() {
+        let row: Vec<f64> = latencies
+            .iter()
+            .map(|&lat| {
+                let mem = MemoryModel::default().with_latency(lat);
+                let stand = Config::Standard {
+                    geom: CacheGeometry::standard(),
+                    mem,
+                }
+                .run(trace);
+                let soft = Config::Soft(SoftCacheConfig::soft().with_latency(lat)).run(trace);
+                stand.amat() - soft.amat()
+            })
+            .collect();
+        t.push_row(name.clone(), row);
+    }
+    t
+}
+
+/// Figure 11a: optimal block size for blocked matrix-vector multiply.
+/// Rows are block sizes; `small` scales the problem down for tests.
+pub fn fig11a(small: bool) -> Table {
+    let (n, blocks): (i64, Vec<i64>) = if small {
+        (240, vec![10, 20, 30, 40, 60, 120, 240])
+    } else {
+        (
+            sac_workloads::blocked::Params::default().n,
+            sac_workloads::blocked::FIG11A_BLOCKS.to_vec(),
+        )
+    };
+    let mut t = Table::new(
+        "Figure 11a — blocked MV: AMAT vs block size",
+        &["Stand.", "Soft."],
+    );
+    for b in blocks {
+        let p = sac_workloads::blocked::program(sac_workloads::blocked::Params { n, block: b });
+        let trace = p.trace_default();
+        let stand = Config::standard().run(&trace).amat();
+        let soft = Config::soft().run(&trace).amat();
+        t.push_row(format!("B={b}"), vec![stand, soft]);
+    }
+    t
+}
+
+/// Figure 11b: data copying in blocked matrix-matrix multiply across
+/// leading dimensions 116–126.
+pub fn fig11b(small: bool) -> Table {
+    let (n, block) = if small { (32, 16) } else { (64, 32) };
+    let mut t = Table::new(
+        "Figure 11b — blocked MM: AMAT vs leading dimension, copy × soft",
+        &["NoCopy/Stand.", "Copy/Stand.", "NoCopy/Soft.", "Copy/Soft."],
+    );
+    for ld in sac_workloads::copying::FIG11B_LDS {
+        let mut row = Vec::new();
+        for (copying, soft) in [(false, false), (true, false), (false, true), (true, true)] {
+            let p = sac_workloads::copying::program(sac_workloads::copying::Params {
+                n,
+                ld,
+                block,
+                copying,
+            });
+            let trace = p.trace_default();
+            let cfg = if soft {
+                Config::soft()
+            } else {
+                Config::standard()
+            };
+            row.push(cfg.run(&trace).amat());
+        }
+        t.push_row(format!("ld={ld}"), row);
+    }
+    t
+}
+
+/// Figure 12: prefetching (AMAT).
+pub fn fig12(suite: &Suite) -> Table {
+    amat_table(
+        "Figure 12 — prefetching (AMAT, cycles)",
+        suite,
+        &[
+            ("Stand.", Config::standard()),
+            (
+                "Stand.+Pf",
+                Config::HwPrefetch {
+                    geom: CacheGeometry::standard(),
+                    mem: MemoryModel::default(),
+                    lines: 8,
+                },
+            ),
+            ("Soft.", Config::soft()),
+            (
+                "Soft.+Pf",
+                Config::Soft(SoftCacheConfig::soft().with_prefetch(true)),
+            ),
+        ],
+    )
+}
+
+/// Extension (§4.3): "ultimately a virtual line size equal to the block
+/// size could be employed" for the data-copying refill loops. The
+/// variable-virtual-line analysis discovers the refill loop's extent on
+/// its own, so copy+soft with leveled traces approximates exactly that.
+pub fn ext_copy_vline(small: bool) -> Table {
+    let (n, block) = if small { (32, 16) } else { (64, 32) };
+    let mut t = Table::new(
+        "Extension — copy refill with block-sized virtual lines (AMAT)",
+        &["Copy/Soft 64B", "Copy/Soft variable"],
+    );
+    for ld in sac_workloads::copying::FIG11B_LDS {
+        let p = sac_workloads::copying::program(sac_workloads::copying::Params {
+            n,
+            ld,
+            block,
+            copying: true,
+        });
+        let plain = p.trace_default();
+        let leveled = p
+            .trace(&sac_loopir::TraceOptions {
+                seed: 0x5AC,
+                gaps: true,
+                levels: true,
+            })
+            .expect("copy kernel traces");
+        let fixed = Config::soft().run(&plain).amat();
+        let var = Config::Soft(SoftCacheConfig::soft().with_variable_vlines(true))
+            .run(&leveled)
+            .amat();
+        t.push_row(format!("ld={ld}"), vec![fixed, var]);
+    }
+    t
+}
+
+/// Extension: context-switch robustness. The cache is fully invalidated
+/// every `quantum` references (a pessimistic context-switch model); the
+/// software-assisted advantage must survive cold restarts because most
+/// of its gains are stream (compulsory) misses that a flush does not
+/// multiply. Cells are the mean AMAT across the suite.
+pub fn ext_context_switch(suite: &Suite) -> Table {
+    use sac_core::{SoftCache, SoftCacheConfig};
+    use sac_simcache::{CacheSim, StandardCache};
+    let quanta: [Option<usize>; 4] = [None, Some(100_000), Some(20_000), Some(5_000)];
+    let labels: Vec<String> = quanta
+        .iter()
+        .map(|q| match q {
+            None => "no switches".to_string(),
+            Some(q) => format!("q={q}"),
+        })
+        .collect();
+    let labels: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Extension — context-switch robustness (mean AMAT: standard / soft)",
+        &labels,
+    );
+    for (kind, soft) in [("Stand.", false), ("Soft.", true)] {
+        let row: Vec<f64> = quanta
+            .iter()
+            .map(|q| {
+                let sum: f64 = suite
+                    .entries()
+                    .iter()
+                    .map(|(_, trace)| {
+                        if soft {
+                            let mut c = SoftCache::new(SoftCacheConfig::soft());
+                            match q {
+                                None => c.run(trace),
+                                Some(q) => c.run_with_context_switches(trace, *q),
+                            }
+                            c.metrics().amat()
+                        } else {
+                            let mut c = StandardCache::new(
+                                CacheGeometry::standard(),
+                                MemoryModel::default(),
+                            );
+                            match q {
+                                None => c.run(trace),
+                                Some(q) => c.run_with_context_switches(trace, *q),
+                            }
+                            c.metrics().amat()
+                        }
+                    })
+                    .sum();
+                sum / suite.entries().len() as f64
+            })
+            .collect();
+        t.push_row(kind, row);
+    }
+    t
+}
+
+/// Whole-suite summary: geometric-mean AMAT of every organization in the
+/// repository over the nine benchmarks, plus the per-benchmark rows — the
+/// one-table answer to "who wins".
+pub fn summary(suite: &Suite) -> Table {
+    let geom = CacheGeometry::standard();
+    let mem = MemoryModel::default();
+    let mut t = amat_table(
+        "Summary — AMAT of every organization (cycles; geometric mean last)",
+        suite,
+        &[
+            ("Stand.", Config::standard()),
+            ("Victim", Config::standard_victim()),
+            ("ColAssoc", Config::ColumnAssoc { geom, mem }),
+            (
+                "StreamBuf",
+                Config::StreamBuffer {
+                    geom,
+                    mem,
+                    buffers: 4,
+                    depth: 4,
+                },
+            ),
+            (
+                "Assist",
+                Config::Assist {
+                    geom,
+                    mem,
+                    lines: 16,
+                },
+            ),
+            ("Temp.only", Config::Soft(SoftCacheConfig::temporal_only())),
+            ("Spat.only", Config::Soft(SoftCacheConfig::spatial_only())),
+            ("Soft.", Config::soft()),
+            (
+                "Soft.+Pf",
+                Config::Soft(SoftCacheConfig::soft().with_prefetch(true)),
+            ),
+        ],
+    );
+    t.push_geomean_row("geomean");
+    t
+}
+
+/// Ablation: bounce-back cache size (the paper settles on 8 lines,
+/// noting small bounce-back caches perform nearly as well as large ones).
+pub fn ablation_bb_size(suite: &Suite) -> Table {
+    let configs: Vec<(String, Config)> = [2u32, 4, 8, 16, 32]
+        .into_iter()
+        .map(|n| {
+            (
+                format!("bb={n}"),
+                Config::Soft(SoftCacheConfig::soft().with_bounce_lines(n)),
+            )
+        })
+        .collect();
+    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
+    let mut t = Table::new("Ablation — bounce-back cache size (AMAT, cycles)", &labels);
+    for (name, trace) in suite.entries() {
+        let row = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
+        t.push_row(name.clone(), row);
+    }
+    t
+}
+
+/// Ablation: bounce-back cache associativity (§2.2: "a 4-way bounce-back
+/// cache would perform reasonably well").
+pub fn ablation_bb_ways(suite: &Suite) -> Table {
+    let configs: Vec<(String, Config)> = [
+        (None, "full"),
+        (Some(4), "4-way"),
+        (Some(2), "2-way"),
+        (Some(1), "1-way"),
+    ]
+    .into_iter()
+    .map(|(w, label)| {
+        (
+            label.to_string(),
+            Config::Soft(SoftCacheConfig::soft().with_bounce_ways(w)),
+        )
+    })
+    .collect();
+    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
+    let mut t = Table::new(
+        "Ablation — bounce-back associativity (AMAT, cycles)",
+        &labels,
+    );
+    for (name, trace) in suite.entries() {
+        let row = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
+        t.push_row(name.clone(), row);
+    }
+    t
+}
+
+/// Ablation: victim-for-all vs temporal-only admission into the
+/// bounce-back cache (§2.2 reports victim-for-all wins), and the
+/// 2-vs-3-cycle access-time choice (§2.2, note 6).
+pub fn ablation_bb_policy(suite: &Suite) -> Table {
+    amat_table(
+        "Ablation — bounce-back admission & access time (AMAT, cycles)",
+        suite,
+        &[
+            ("admit-all/3cy", Config::soft()),
+            (
+                "temp-only/3cy",
+                Config::Soft(SoftCacheConfig::soft().with_admit_nontemporal(false)),
+            ),
+            (
+                "admit-all/2cy",
+                Config::Soft(SoftCacheConfig::soft().with_bounce_hit_cycles(2)),
+            ),
+        ],
+    )
+}
+
+/// Extension (§3.2 "Cache Line Size"): variable-length virtual lines.
+/// The trace must carry spatial levels (`Suite::paper_leveled` /
+/// `Suite::small_leveled`); the fixed-size columns ignore them, so the
+/// same traces compare fairly.
+pub fn ext_variable_vlines(leveled_suite: &Suite) -> Table {
+    amat_table(
+        "Extension — variable-length virtual lines (AMAT, cycles; leveled traces)",
+        leveled_suite,
+        &[
+            ("fixed 64B", Config::soft()),
+            (
+                "fixed 256B",
+                Config::Soft(SoftCacheConfig::soft().with_virtual_line(256)),
+            ),
+            (
+                "variable",
+                Config::Soft(SoftCacheConfig::soft().with_variable_vlines(true)),
+            ),
+        ],
+    )
+}
+
+/// Extension (§4.4): prefetch distance vs memory latency. "Beyond
+/// [25 cycles] it becomes worthwhile to increase the prefetch distance by
+/// prefetching several physical lines at the same time." Cells are the
+/// mean AMAT across the suite.
+pub fn ext_prefetch_distance(suite: &Suite) -> Table {
+    let degrees = [1u32, 2, 4];
+    let labels: Vec<String> = std::iter::once("no pf".to_string())
+        .chain(degrees.iter().map(|d| format!("degree {d}")))
+        .collect();
+    let labels: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Extension — prefetch distance vs latency (mean AMAT, cycles)",
+        &labels,
+    );
+    for lat in [20u64, 25, 30, 40] {
+        let mut row = Vec::new();
+        let mean = |cfg: Config| {
+            let sum: f64 = suite
+                .entries()
+                .iter()
+                .map(|(_, trace)| cfg.run(trace).amat())
+                .sum();
+            sum / suite.entries().len() as f64
+        };
+        row.push(mean(Config::Soft(
+            SoftCacheConfig::soft().with_latency(lat),
+        )));
+        for d in degrees {
+            row.push(mean(Config::Soft(
+                SoftCacheConfig::soft()
+                    .with_latency(lat)
+                    .with_prefetch(true)
+                    .with_prefetch_degree(d),
+            )));
+        }
+        t.push_row(format!("lat={lat}"), row);
+    }
+    t
+}
+
+/// Extension (§5 related work): the designs the paper discusses —
+/// Jouppi stream buffers, the column-associative cache, and an HP-7200
+/// style assist cache — against the software-assisted cache.
+pub fn ext_related_designs(suite: &Suite) -> Table {
+    let geom = CacheGeometry::standard();
+    let mem = MemoryModel::default();
+    amat_table(
+        "Extension — related designs of §5 (AMAT, cycles)",
+        suite,
+        &[
+            ("Stand.", Config::standard()),
+            (
+                "StreamBuf",
+                Config::StreamBuffer {
+                    geom,
+                    mem,
+                    buffers: 4,
+                    depth: 4,
+                },
+            ),
+            ("ColAssoc", Config::ColumnAssoc { geom, mem }),
+            (
+                "Assist",
+                Config::Assist {
+                    geom,
+                    mem,
+                    lines: 16,
+                },
+            ),
+            ("Soft.", Config::soft()),
+        ],
+    )
+}
+
+/// Extension: 3C decomposition of the Standard cache's misses next to
+/// the miss ratios of the Standard and software-assisted caches. The
+/// paper's reading (§3.2): spatial assistance removes compulsory and
+/// capacity misses of vector accesses; the bounce-back cache attacks the
+/// pollution (capacity/conflict) component.
+pub fn ext_miss_classes(suite: &Suite) -> Table {
+    use sac_simcache::classify_misses;
+    let geom = CacheGeometry::standard();
+    let mut t = Table::new(
+        "Extension — 3C miss decomposition (misses per reference)",
+        &[
+            "compulsory",
+            "capacity",
+            "conflict",
+            "stand. total",
+            "soft total",
+        ],
+    );
+    for (name, trace) in suite.entries() {
+        let c = classify_misses(trace, geom);
+        let soft = Config::soft().run(trace);
+        t.push_row(
+            name.clone(),
+            vec![
+                c.per_ref(c.compulsory),
+                c.per_ref(c.capacity),
+                c.per_ref(c.conflict),
+                c.per_ref(c.total()),
+                soft.miss_ratio(),
+            ],
+        );
+    }
+    t
+}
+
+/// Companion to [`ext_related_designs`]: the memory-traffic side.
+/// Stream buffers buy their AMAT with wrong-path prefetch traffic (the
+/// paper's stated flaw of tag-blind hardware prefetching), while the
+/// software-assisted cache *reduces* traffic.
+pub fn ext_related_traffic(suite: &Suite) -> Table {
+    let geom = CacheGeometry::standard();
+    let mem = MemoryModel::default();
+    metric_table(
+        "Extension — related designs of §5 (words fetched / references)",
+        suite,
+        &[
+            ("Stand.", Config::standard()),
+            (
+                "StreamBuf",
+                Config::StreamBuffer {
+                    geom,
+                    mem,
+                    buffers: 4,
+                    depth: 4,
+                },
+            ),
+            ("ColAssoc", Config::ColumnAssoc { geom, mem }),
+            (
+                "Assist",
+                Config::Assist {
+                    geom,
+                    mem,
+                    lines: 16,
+                },
+            ),
+            ("Soft.", Config::soft()),
+        ],
+        |m| m.traffic_ratio(),
+    )
+}
+
+/// Ablation: software control across main-cache associativities (the
+/// paper evaluates 1-way throughout and 2-way in Figure 9b; this sweep
+/// completes the picture).
+pub fn ablation_associativity(suite: &Suite) -> Table {
+    let configs: Vec<(String, Config)> = [1u32, 2, 4, 8]
+        .into_iter()
+        .map(|w| {
+            let geom = CacheGeometry::new(8 * 1024, 32, w);
+            (
+                format!("{w}-way"),
+                Config::Soft(SoftCacheConfig::soft().with_geometry(geom)),
+            )
+        })
+        .collect();
+    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
+    let mut t = Table::new(
+        "Ablation — software control vs main-cache associativity (AMAT, cycles)",
+        &labels,
+    );
+    for (name, trace) in suite.entries() {
+        let row = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
+        t.push_row(name.clone(), row);
+    }
+    t
+}
+
+/// Ablation: bus bandwidth. The virtual-line penalty is `n·LS/w_b`
+/// (§2.1: a 256-byte virtual line costs 14 extra cycles on the 16-byte
+/// bus), so narrower buses shrink the profitable virtual-line size.
+pub fn ablation_bus_width(suite: &Suite) -> Table {
+    let widths = [8u64, 16, 32];
+    let mut labels = Vec::new();
+    for w in widths {
+        labels.push(format!("stand w={w}"));
+        labels.push(format!("soft w={w}"));
+    }
+    let labels: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Ablation — bus bandwidth (AMAT, cycles; bytes/cycle)",
+        &labels,
+    );
+    for (name, trace) in suite.entries() {
+        let mut row = Vec::new();
+        for w in widths {
+            let mem = MemoryModel::new(20, w);
+            row.push(
+                Config::Standard {
+                    geom: CacheGeometry::standard(),
+                    mem,
+                }
+                .run(trace)
+                .amat(),
+            );
+            row.push(
+                Config::Soft(SoftCacheConfig::soft().with_memory(mem))
+                    .run(trace)
+                    .amat(),
+            );
+        }
+        t.push_row(name.clone(), row);
+    }
+    t
+}
+
+/// Ablation: 16-byte physical lines under software control (§3.2 "Cache
+/// Line Size": performance proved similar, enabling a smaller mux).
+pub fn ablation_physical_16(suite: &Suite) -> Table {
+    amat_table(
+        "Ablation — 16 B vs 32 B physical lines under software control (AMAT, cycles)",
+        suite,
+        &[
+            ("32B phys", Config::soft()),
+            (
+                "16B phys",
+                Config::Soft(
+                    SoftCacheConfig::soft()
+                        .with_geometry(CacheGeometry::new(8 * 1024, 16, 1))
+                        .with_virtual_line(64),
+                ),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite() -> Suite {
+        Suite::small()
+    }
+
+    #[test]
+    fn fig01a_fractions_sum_to_one() {
+        let t = fig01a(&suite());
+        for (name, row) in t.rows() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{name}: {sum}");
+        }
+    }
+
+    #[test]
+    fn fig04b_matches_gap_model() {
+        let t = fig04b();
+        let sum: f64 = t.rows().iter().map(|(_, v)| v[0]).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig06a_soft_never_loses() {
+        // "software-assisted data caches perform better than standard
+        // caches in any case, so software-assistance appears to be safe."
+        let t = fig06a(&suite());
+        for (name, _) in t.rows() {
+            let stand = t.get(name, "Stand.").unwrap();
+            let soft = t.get(name, "Soft.").unwrap();
+            assert!(
+                soft <= stand * 1.02,
+                "{name}: soft {soft:.3} vs standard {stand:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig11a_rows_are_block_sizes() {
+        let t = fig11a(true);
+        assert_eq!(t.rows().len(), 7);
+        assert_eq!(t.columns().len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment runners regenerating every evaluation figure of the paper.
+//!
+//! Each `figXX` function reproduces one figure of Temam & Drach's
+//! evaluation: it builds the workloads, sweeps the paper's parameters,
+//! runs the relevant cache configurations and returns a [`Table`] whose
+//! rows/series are the ones the paper plots. Absolute values differ (our
+//! workloads are structural stand-ins, see `sac-workloads`), but the
+//! orderings, rough factors and crossovers are expected to match; see
+//! EXPERIMENTS.md for the recorded comparison.
+//!
+//! The `figures` binary prints any subset (`cargo run --release -p
+//! sac-experiments --bin figures -- fig06a`), and the `report` binary
+//! regenerates the full EXPERIMENTS.md results section.
+//!
+//! ```
+//! use sac_experiments::{figures, Suite};
+//!
+//! let suite = Suite::small();
+//! let table = figures::fig06a(&suite);
+//! assert_eq!(table.columns().len(), 4); // Stand. / Temp. / Spat. / Soft.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod suite;
+mod table;
+
+pub mod figures;
+
+pub use config::Config;
+pub use suite::Suite;
+pub use table::Table;

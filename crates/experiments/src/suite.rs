@@ -1,0 +1,120 @@
+//! The benchmark suite: named, pre-generated traces.
+
+use sac_loopir::TraceOptions;
+use sac_trace::Trace;
+
+/// A set of named benchmark traces, generated once and reused across
+/// figures (trace generation is deterministic, so every figure sees the
+/// identical reference streams — as in the paper, where the time
+/// information is recorded in the trace itself).
+#[derive(Debug, Clone)]
+pub struct Suite {
+    entries: Vec<(String, Trace)>,
+}
+
+impl Suite {
+    /// The nine paper benchmarks at paper scale. Generation takes a few
+    /// seconds; intended for `--release` harness runs.
+    pub fn paper() -> Self {
+        Suite::from_programs(sac_workloads::benchset())
+    }
+
+    /// Scaled-down versions of the nine benchmarks, for tests, examples
+    /// and debug builds.
+    pub fn small() -> Self {
+        Suite::from_programs(sac_workloads::benchset_small())
+    }
+
+    /// The Figure 10a kernel set (ADM, MDG, BDN, DYF, ARC, FLO, TRF).
+    pub fn kernels() -> Self {
+        Suite::from_programs(sac_workloads::perfect_kernels())
+    }
+
+    /// The paper-scale suite with the variable-virtual-line level
+    /// analysis enabled (§3.2 extension experiments).
+    pub fn paper_leveled() -> Self {
+        Suite::from_programs_with(sac_workloads::benchset(), true)
+    }
+
+    /// The scaled-down suite with spatial levels enabled.
+    pub fn small_leveled() -> Self {
+        Suite::from_programs_with(sac_workloads::benchset_small(), true)
+    }
+
+    fn from_programs(programs: Vec<sac_loopir::Program>) -> Self {
+        Suite::from_programs_with(programs, false)
+    }
+
+    fn from_programs_with(programs: Vec<sac_loopir::Program>, levels: bool) -> Self {
+        let entries = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let opts = TraceOptions {
+                    seed: 0x5AC0 + i as u64,
+                    gaps: true,
+                    levels,
+                };
+                let trace = p
+                    .trace(&opts)
+                    .unwrap_or_else(|e| panic!("workload {} failed to trace: {e}", p.name()));
+                (p.name().to_string(), trace)
+            })
+            .collect();
+        Suite { entries }
+    }
+
+    /// The `(name, trace)` pairs in figure order.
+    pub fn entries(&self) -> &[(String, Trace)] {
+        &self.entries
+    }
+
+    /// Benchmark names in figure order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Looks up one trace by benchmark name.
+    pub fn trace(&self, name: &str) -> Option<&Trace> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Total references across the suite.
+    pub fn total_refs(&self) -> usize {
+        self.entries.iter().map(|(_, t)| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_has_the_nine_benchmarks() {
+        let s = Suite::small();
+        assert_eq!(s.entries().len(), 9);
+        assert!(s.trace("MV").is_some());
+        assert!(s.trace("nope").is_none());
+        assert!(s.total_refs() > 50_000);
+    }
+
+    #[test]
+    fn leveled_suite_attaches_levels() {
+        let s = Suite::small_leveled();
+        let mv = s.trace("MV").unwrap();
+        assert!(mv.iter().any(|a| a.spatial_level() > 0));
+        let plain = Suite::small();
+        assert!(plain
+            .trace("MV")
+            .unwrap()
+            .iter()
+            .all(|a| a.spatial_level() == 0));
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = Suite::small();
+        let b = Suite::small();
+        assert_eq!(a.trace("MV"), b.trace("MV"));
+    }
+}

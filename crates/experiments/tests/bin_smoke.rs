@@ -1,0 +1,47 @@
+//! Smoke tests for the `figures` and `report` binaries.
+
+use std::process::Command;
+
+#[test]
+fn figures_prints_a_requested_table() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["fig04b"])
+        .output()
+        .expect("run figures");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Figure 4b"));
+    assert!(text.contains("> 20 cycles"));
+}
+
+#[test]
+fn figures_rejects_unknown_ids() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["--small", "fig99"])
+        .output()
+        .expect("run figures");
+    // Unknown ids are reported on stderr; the process still succeeds so a
+    // batch of ids is not aborted by one typo.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown figure id"));
+}
+
+#[test]
+fn report_emits_markdown_and_csv() {
+    let dir = std::env::temp_dir().join(format!("sac-report-{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_report"))
+        .args(["--small", "--csv"])
+        .arg(&dir)
+        .output()
+        .expect("run report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("**Figure 6a"));
+    assert!(text.contains("|---|"));
+    let csvs = std::fs::read_dir(&dir).expect("csv dir").count();
+    assert!(csvs >= 20, "expected one CSV per table, got {csvs}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,89 @@
+//! Shape checks for every figure function: right benchmarks in the rows,
+//! right configurations in the columns, finite values. The expensive
+//! full-matrix test is `#[ignore]`d so `cargo test` stays fast; CI and
+//! `cargo test -- --ignored` run it.
+
+use sac_experiments::{figures, Suite, Table};
+
+const BENCHES: [&str; 9] = [
+    "MDG", "BDN", "DYF", "TRF", "NAS", "Slalom", "LIV", "MV", "SpMV",
+];
+
+fn assert_suite_rows(t: &Table) {
+    let rows: Vec<&str> = t.rows().iter().map(|(l, _)| l.as_str()).collect();
+    assert_eq!(rows, BENCHES, "{}", t.title());
+    for (label, values) in t.rows() {
+        for v in values {
+            assert!(v.is_finite(), "{}: {label} has non-finite value", t.title());
+        }
+    }
+}
+
+#[test]
+fn fig04b_has_the_nine_gap_buckets() {
+    let t = figures::fig04b();
+    assert_eq!(t.rows().len(), 9);
+    assert_eq!(t.columns(), ["fraction"]);
+}
+
+#[test]
+fn fig11_tables_have_sweep_rows() {
+    let a = figures::fig11a(true);
+    assert!(a.rows().len() >= 6);
+    assert_eq!(a.columns(), ["Stand.", "Soft."]);
+    let b = figures::fig11b(true);
+    assert_eq!(b.rows().len(), 11, "leading dimensions 116..=126");
+    assert_eq!(b.columns().len(), 4);
+}
+
+#[test]
+#[ignore = "runs every figure on the small suite (~a minute in debug)"]
+fn every_figure_has_the_expected_shape() {
+    let suite = Suite::small();
+    let leveled = Suite::small_leveled();
+
+    for (t, cols) in [
+        (figures::fig01a(&suite), 5),
+        (figures::fig01b(&suite), 6),
+        (figures::fig03a(&suite), 4),
+        (figures::fig03b(&suite), 3),
+        (figures::fig04a(&suite), 4),
+        (figures::fig06a(&suite), 4),
+        (figures::fig06b(&suite), 2),
+        (figures::fig07a(&suite), 4),
+        (figures::fig07b(&suite), 4),
+        (figures::fig08a(&suite), 4),
+        (figures::fig08b(&suite), 5),
+        (figures::fig09a(&suite), 4),
+        (figures::fig09b(&suite), 4),
+        (figures::fig10b(&suite), 6),
+        (figures::fig12(&suite), 4),
+        (figures::ext_variable_vlines(&leveled), 3),
+        (figures::ext_related_designs(&suite), 5),
+        (figures::ext_related_traffic(&suite), 5),
+        (figures::ext_miss_classes(&suite), 5),
+        (figures::ablation_bb_size(&suite), 5),
+        (figures::ablation_bb_ways(&suite), 4),
+        (figures::ablation_bb_policy(&suite), 3),
+        (figures::ablation_physical_16(&suite), 2),
+        (figures::ablation_associativity(&suite), 4),
+        (figures::ablation_bus_width(&suite), 6),
+    ] {
+        assert_eq!(t.columns().len(), cols, "{}", t.title());
+        assert_suite_rows(&t);
+    }
+
+    // Kernel figure has its own row set.
+    let k = figures::fig10a();
+    let rows: Vec<&str> = k.rows().iter().map(|(l, _)| l.as_str()).collect();
+    assert_eq!(rows, ["ADM", "MDG", "BDN", "DYF", "ARC", "FLO", "TRF"]);
+
+    // Summary: nine benchmarks + the geomean row.
+    let s = figures::summary(&suite);
+    assert_eq!(s.rows().len(), 10);
+    assert_eq!(s.rows().last().unwrap().0, "geomean");
+
+    // Mean-based tables.
+    assert_eq!(figures::ext_prefetch_distance(&suite).rows().len(), 4);
+    assert_eq!(figures::ext_context_switch(&suite).rows().len(), 2);
+}

@@ -1,0 +1,833 @@
+//! The paper's locality analysis (§2.3).
+//!
+//! Tagging rules, as published:
+//!
+//! * **Spatial** — the coefficient of the innermost enclosing loop variable
+//!   in the reference's flattened (element) subscript is a *known* constant
+//!   whose per-iteration magnitude is below 4 elements (4 doubles = one
+//!   32-byte line). Parameter coefficients are never spatial.
+//! * **Temporal** — the reference has a temporal self-dependence (its
+//!   flattened subscript is invariant in at least one enclosing loop whose
+//!   iteration does not shift the inner loops' ranges) or belongs to a
+//!   uniformly generated group (two references to the same array, under
+//!   the same innermost loop, whose flattened subscripts share
+//!   coefficients and differ by constants).
+//! * **Group leader** — within a uniformly generated group, only the
+//!   *leading* reference (largest constant, i.e. the first to touch a new
+//!   line under ascending loops) keeps its spatial tag; the followers hit
+//!   on data the leader already brought in. This is the reading of the
+//!   paper's Figure 5, where `B(J,I+1)` is tagged spatial but `B(J,I)` is
+//!   not, although both have innermost coefficient 1.
+//! * **CALL kill** — a loop whose body directly contains a `CALL` loses
+//!   the tags of every reference in that body: no interprocedural
+//!   analysis is performed.
+//! * **User directives** — forced tags on a reference override everything
+//!   (the paper's escape hatch for sparse codes, §4.1).
+
+use crate::expr::{AffineExpr, Coef, VarId};
+use crate::program::{Bound, Program, RefStmt, Stmt, Subscript};
+use std::collections::BTreeMap;
+
+/// Elements per 32-byte line of doubles: the spatial-coefficient threshold.
+const SPATIAL_COEF_LIMIT: i64 = 4;
+
+/// The two software hint bits computed for one static reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Tags {
+    /// The temporal tag (drives the bounce-back mechanism).
+    pub temporal: bool,
+    /// The spatial tag (drives virtual-line fills).
+    pub spatial: bool,
+}
+
+impl Tags {
+    /// Both tags cleared.
+    pub const NONE: Tags = Tags {
+        temporal: false,
+        spatial: false,
+    };
+}
+
+/// One enclosing loop as seen from a reference.
+#[derive(Debug, Clone)]
+struct LoopCtx {
+    var: usize,
+    step: i64,
+    /// Unique id of the loop statement (distinguishes two textual loops
+    /// that reuse the same variable).
+    uid: usize,
+    /// Variables appearing in this loop's bounds.
+    bound_vars: Vec<usize>,
+    /// Trip count, when both bounds are compile-time constants.
+    trip: Option<i64>,
+}
+
+/// Per-reference record gathered by the tree walk.
+#[derive(Debug)]
+struct RefInfo {
+    /// Flattened element-index expression (`None` if any subscript is
+    /// indirect).
+    flat: Option<AffineExpr>,
+    /// Enclosing loops, outermost first.
+    loops: Vec<LoopCtx>,
+    /// Whether an enclosing loop body directly contains a CALL.
+    killed: bool,
+    array: usize,
+    forced: Option<(bool, bool)>,
+}
+
+impl RefInfo {
+    /// Uid of the innermost enclosing loop.
+    fn innermost_uid(&self) -> Option<usize> {
+        self.loops.last().map(|l| l.uid)
+    }
+
+    /// True when the flattened subscript is invariant in at least one
+    /// enclosing loop *and* that loop's iteration does not shift the
+    /// ranges of the loops nested below it (e.g. a block loop `jj` whose
+    /// inner loop runs `jj..jj+B` reuses nothing across its iterations).
+    fn self_temporal(&self, flat: &AffineExpr) -> bool {
+        (0..self.loops.len()).any(|d| {
+            let v = self.loops[d].var;
+            flat.coef_of(VarId(v)) == Coef::Known(0)
+                && self.loops[d + 1..]
+                    .iter()
+                    .all(|inner| !inner.bound_vars.contains(&v))
+        })
+    }
+}
+
+/// Runs the analysis and returns the tags for each reference, indexed by
+/// [`crate::RefId`] order.
+pub fn analyze(p: &Program) -> Vec<Tags> {
+    let infos = gather(p);
+
+    // Uniformly generated groups: same array, same known coefficient
+    // vector, same innermost loop, not killed.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct GroupKey {
+        array: usize,
+        nest: usize,
+        coeffs: Vec<(usize, i64)>,
+    }
+    let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+    for (i, info) in infos.iter().enumerate() {
+        if info.killed {
+            continue;
+        }
+        let Some(nest) = info.innermost_uid() else {
+            continue;
+        };
+        let Some(flat) = &info.flat else { continue };
+        let Some(coeffs) = known_coeffs(flat) else {
+            continue;
+        };
+        groups
+            .entry(GroupKey {
+                array: info.array,
+                nest,
+                coeffs,
+            })
+            .or_default()
+            .push(i);
+    }
+
+    let mut group_temporal = vec![false; infos.len()];
+    let mut spatial_demoted = vec![false; infos.len()];
+    for members in groups.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let constants: Vec<i64> = members
+            .iter()
+            .map(|&i| {
+                infos[i]
+                    .flat
+                    .as_ref()
+                    .expect("grouped refs are affine")
+                    .constant_term()
+            })
+            .collect();
+        let max_const = *constants.iter().max().expect("non-empty group");
+        for (&i, &c) in members.iter().zip(&constants) {
+            group_temporal[i] = true;
+            if c < max_const {
+                spatial_demoted[i] = true;
+            }
+        }
+    }
+
+    infos
+        .iter()
+        .enumerate()
+        .map(|(i, info)| {
+            let mut tags = Tags::NONE;
+            if !info.killed && !info.loops.is_empty() {
+                if let Some(flat) = &info.flat {
+                    tags.temporal = info.self_temporal(flat) || group_temporal[i];
+                    let inner = info.loops.last().expect("non-empty loop stack");
+                    if let Coef::Known(k) = flat.coef_of(VarId(inner.var)) {
+                        let stride = k.saturating_mul(inner.step);
+                        tags.spatial = stride.abs() < SPATIAL_COEF_LIMIT && !spatial_demoted[i];
+                    }
+                }
+            }
+            if let Some((t, s)) = info.forced {
+                tags = Tags {
+                    temporal: t,
+                    spatial: s,
+                };
+            }
+            tags
+        })
+        .collect()
+}
+
+/// Extracts the non-zero known coefficients, or `None` if any coefficient
+/// is a parameter.
+/// Walks the program and collects per-reference records.
+fn gather(p: &Program) -> Vec<RefInfo> {
+    let mut infos: Vec<Option<RefInfo>> = Vec::new();
+    infos.resize_with(p.ref_count() as usize, || None);
+    let mut walker = Walker {
+        p,
+        infos: &mut infos,
+        next_uid: 0,
+    };
+    walker.walk(p.stmts(), &mut Vec::new(), false);
+    infos
+        .into_iter()
+        .map(|i| i.expect("every reference visited"))
+        .collect()
+}
+
+/// Estimates the spatial *level* of each reference for the paper's
+/// variable-length virtual-line extension (§3.2): find the nearest
+/// enclosing loop along which the reference streams with a sub-line
+/// stride, estimate the stream's extent from the (constant) trip count,
+/// and encode it as `level L ⇒ 2^L physical lines` (0 = leave the
+/// default; the two extra instruction bits the paper budgets for).
+pub fn analyze_levels(p: &Program) -> Vec<u8> {
+    let infos = gather(p);
+    let tags = analyze(p);
+    infos
+        .iter()
+        .zip(&tags)
+        .map(|(info, t)| {
+            if !t.spatial {
+                return 0;
+            }
+            let Some(flat) = &info.flat else { return 0 };
+            // Nearest enclosing loop with a small non-zero stride.
+            for ctx in info.loops.iter().rev() {
+                if let Coef::Known(k) = flat.coef_of(VarId(ctx.var)) {
+                    let stride = (k * ctx.step).abs();
+                    if stride == 0 {
+                        continue;
+                    }
+                    if stride >= 4 {
+                        return 0;
+                    }
+                    let Some(trip) = ctx.trip else { return 0 };
+                    let run_bytes = trip * stride * 8;
+                    return if run_bytes >= 256 {
+                        3
+                    } else if run_bytes >= 128 {
+                        2
+                    } else if run_bytes >= 64 {
+                        1
+                    } else {
+                        0
+                    };
+                }
+            }
+            0
+        })
+        .collect()
+}
+
+fn known_coeffs(e: &AffineExpr) -> Option<Vec<(usize, i64)>> {
+    let mut out = Vec::new();
+    for &(v, c) in e.terms() {
+        match c {
+            Coef::Known(0) => {}
+            Coef::Known(k) => out.push((v.index(), k)),
+            Coef::Param(_) => return None,
+        }
+    }
+    out.sort_unstable();
+    Some(out)
+}
+
+struct Walker<'a> {
+    p: &'a Program,
+    infos: &'a mut Vec<Option<RefInfo>>,
+    next_uid: usize,
+}
+
+impl Walker<'_> {
+    fn walk(&mut self, stmts: &[Stmt], loops: &mut Vec<LoopCtx>, killed: bool) {
+        for s in stmts {
+            match s {
+                Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    opaque,
+                    body,
+                } => {
+                    // A CALL directly in this loop's body clears the tags
+                    // of everything in the body (no interprocedural
+                    // analysis), without touching sibling or outer loops.
+                    let kill_here = killed || body.iter().any(|s| matches!(s, Stmt::Call));
+                    if *opaque {
+                        // Driver loop: not part of the analysis scope.
+                        self.walk(body, loops, kill_here);
+                        continue;
+                    }
+                    let uid = self.next_uid;
+                    self.next_uid += 1;
+                    let mut bound_vars = bound_var_ids(lo);
+                    bound_vars.extend(bound_var_ids(hi));
+                    bound_vars.sort_unstable();
+                    bound_vars.dedup();
+                    loops.push(LoopCtx {
+                        var: var.index(),
+                        step: *step,
+                        uid,
+                        bound_vars,
+                        trip: const_trip(lo, hi, *step),
+                    });
+                    self.walk(body, loops, kill_here);
+                    loops.pop();
+                }
+                Stmt::Ref(r) => {
+                    self.infos[r.id.index()] = Some(RefInfo {
+                        flat: flatten(self.p, r),
+                        loops: loops.clone(),
+                        killed,
+                        array: r.array.0,
+                        forced: r.force_tags,
+                    });
+                }
+                Stmt::Call => {}
+            }
+        }
+    }
+}
+
+/// Trip count of `lo..hi` by `step` when the *span* is a compile-time
+/// constant — either both bounds are constants, or they are affine with
+/// identical coefficient vectors (the blocked-loop shape `kk .. kk+B`,
+/// whose trip is exactly `B/step`).
+fn const_trip(lo: &Bound, hi: &Bound, step: i64) -> Option<i64> {
+    fn affine(b: &Bound) -> Option<&AffineExpr> {
+        match b {
+            Bound::Affine(e) => Some(e),
+            Bound::Table { .. } => None,
+        }
+    }
+    let (lo, hi) = (affine(lo)?, affine(hi)?);
+    let (lo_coeffs, hi_coeffs) = (known_coeffs(lo)?, known_coeffs(hi)?);
+    if lo_coeffs != hi_coeffs {
+        return None;
+    }
+    let span = if step > 0 {
+        hi.constant_term() - lo.constant_term()
+    } else {
+        lo.constant_term() - hi.constant_term()
+    };
+    if span <= 0 {
+        Some(0)
+    } else {
+        Some((span + step.abs() - 1) / step.abs())
+    }
+}
+
+fn bound_var_ids(b: &Bound) -> Vec<usize> {
+    let expr = match b {
+        Bound::Affine(e) => e,
+        Bound::Table { index, .. } => index,
+    };
+    expr.terms().iter().map(|&(v, _)| v.index()).collect()
+}
+
+/// Flattens a reference's subscripts into a single element-index affine
+/// expression using the array's column-major strides; `None` if any
+/// subscript is indirect.
+pub(crate) fn flatten(p: &Program, r: &RefStmt) -> Option<AffineExpr> {
+    let dims = p.array_decl(r.array).dims();
+    let mut acc = AffineExpr::constant(0);
+    let mut stride = 1i64;
+    for (k, sub) in r.subs.iter().enumerate() {
+        match sub {
+            Subscript::Affine(e) => {
+                acc = acc.plus_expr(&e.scaled(stride));
+            }
+            Subscript::Indirect { .. } => return None,
+        }
+        if k < dims.len() {
+            stride *= dims[k];
+        }
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{aff, idx, lit, shift, AffineExpr};
+    use crate::program::indirect;
+    use crate::Program;
+
+    /// Builds the matrix-vector multiply of the paper (§2.2):
+    /// `Y(j1) ; DO j2 { A(j2,j1), X(j2) } ; Y(j1)=`.
+    fn mv_program(n: i64) -> (Program, Vec<Tags>) {
+        let mut p = Program::new("mv");
+        let j1 = p.var("j1");
+        let j2 = p.var("j2");
+        let a = p.array("A", &[n, n]);
+        let x = p.array("X", &[n]);
+        let y = p.array("Y", &[n]);
+        p.body(|s| {
+            s.for_(j1, 0, n, |s| {
+                s.read(y, &[idx(j1)]);
+                s.for_(j2, 0, n, |s| {
+                    s.read(a, &[idx(j2), idx(j1)]);
+                    s.read(x, &[idx(j2)]);
+                });
+                s.write(y, &[idx(j1)]);
+            });
+        });
+        let tags = analyze(&p);
+        (p, tags)
+    }
+
+    #[test]
+    fn mv_tags_match_the_paper() {
+        let (_, tags) = mv_program(100);
+        // Y(j1) read: coefficient 1 on its innermost loop j1 → spatial;
+        // group with the Y write → temporal.
+        assert_eq!(
+            tags[0],
+            Tags {
+                temporal: true,
+                spatial: true
+            }
+        );
+        // A(j2,j1): coefficient 1 on innermost j2 → spatial; coefficients
+        // (1, n) non-zero on both loops, no group → not temporal.
+        assert_eq!(
+            tags[1],
+            Tags {
+                temporal: false,
+                spatial: true
+            }
+        );
+        // X(j2): invariant in j1 → temporal; innermost coefficient 1 →
+        // spatial.
+        assert_eq!(
+            tags[2],
+            Tags {
+                temporal: true,
+                spatial: true
+            }
+        );
+        // Y(j1) write: same as read.
+        assert_eq!(
+            tags[3],
+            Tags {
+                temporal: true,
+                spatial: true
+            }
+        );
+    }
+
+    #[test]
+    fn large_innermost_coefficient_is_not_spatial() {
+        // A(I,J) with J innermost: flattened = I + N*J → coefficient N.
+        let mut p = Program::new("t");
+        let i = p.var("I");
+        let j = p.var("J");
+        let a = p.array("A", &[64, 64]);
+        p.body(|s| {
+            s.for_(i, 0, 64, |s| {
+                s.for_(j, 0, 64, |s| {
+                    s.read(a, &[idx(i), idx(j)]);
+                });
+            });
+        });
+        assert_eq!(analyze(&p)[0], Tags::NONE);
+    }
+
+    #[test]
+    fn strided_innermost_loop_defeats_spatial() {
+        // A(i) with step 8: per-iteration stride is 8 elements.
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[640]);
+        p.body(|s| {
+            s.for_step(i, 0, 640, 8, |s| {
+                s.read(a, &[idx(i)]);
+            });
+        });
+        assert!(!analyze(&p)[0].spatial);
+    }
+
+    #[test]
+    fn param_coefficient_is_not_spatial() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[4096]);
+        p.body(|s| {
+            s.for_(i, 0, 1024, |s| {
+                s.read_subs(a, vec![AffineExpr::new(&[(i, Coef::Param(1))], 0).into()]);
+            });
+        });
+        let tags = analyze(&p);
+        assert!(!tags[0].spatial);
+        assert!(!tags[0].temporal);
+    }
+
+    #[test]
+    fn call_kills_only_the_body_that_contains_it() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[64]);
+        p.body(|s| {
+            s.for_(i, 0, 8, |s| {
+                s.read(a, &[lit(0)]); // A(0): invariant in i
+                s.for_(j, 0, 8, |s| {
+                    s.read(a, &[idx(j)]);
+                    s.call();
+                });
+            });
+        });
+        let tags = analyze(&p);
+        // The outer-body reference keeps its tags; the j-body is killed.
+        assert_eq!(
+            tags[0],
+            Tags {
+                temporal: true,
+                spatial: true
+            }
+        );
+        assert_eq!(tags[1], Tags::NONE);
+    }
+
+    #[test]
+    fn call_kill_propagates_into_nested_loops() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[64]);
+        p.body(|s| {
+            s.for_(i, 0, 8, |s| {
+                s.call();
+                s.for_(j, 0, 8, |s| {
+                    s.read(a, &[idx(j)]);
+                });
+            });
+        });
+        // The CALL is in the i body: everything below i is untagged.
+        assert_eq!(analyze(&p)[0], Tags::NONE);
+    }
+
+    #[test]
+    fn call_in_sibling_loop_does_not_kill() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[64]);
+        p.body(|s| {
+            s.for_(i, 0, 8, |s| {
+                s.read(a, &[idx(i)]);
+            });
+            s.for_(j, 0, 8, |s| {
+                s.call();
+                s.read(a, &[idx(j)]);
+            });
+        });
+        let tags = analyze(&p);
+        assert!(tags[0].spatial);
+        assert_eq!(tags[1], Tags::NONE);
+    }
+
+    #[test]
+    fn indirect_subscript_gets_no_tags_without_directive() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let x = p.array("X", &[100]);
+        let t = p.table((0..100).collect());
+        p.body(|s| {
+            s.for_(i, 0, 100, |s| {
+                s.read_subs(x, vec![indirect(t, idx(i))]);
+            });
+        });
+        assert_eq!(analyze(&p)[0], Tags::NONE);
+    }
+
+    #[test]
+    fn directive_overrides_analysis() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let x = p.array("X", &[100]);
+        let t = p.table((0..100).collect());
+        p.body(|s| {
+            s.for_(i, 0, 100, |s| {
+                s.read_tagged(x, vec![indirect(t, idx(i))], true, false);
+            });
+        });
+        assert_eq!(
+            analyze(&p)[0],
+            Tags {
+                temporal: true,
+                spatial: false
+            }
+        );
+    }
+
+    #[test]
+    fn reference_outside_any_loop_is_untagged() {
+        let mut p = Program::new("t");
+        let a = p.array("A", &[4]);
+        p.body(|s| {
+            s.read(a, &[lit(0)]);
+        });
+        assert_eq!(analyze(&p)[0], Tags::NONE);
+    }
+
+    #[test]
+    fn group_followers_lose_spatial_but_gain_temporal() {
+        // The B(J,I) / B(J,I+1) pair of Figure 5.
+        let mut p = Program::new("t");
+        let i = p.var("I");
+        let j = p.var("J");
+        let b = p.array("B", &[16, 17]);
+        p.body(|s| {
+            s.for_(i, 0, 16, |s| {
+                s.for_(j, 0, 16, |s| {
+                    s.read(b, &[idx(j), idx(i)]);
+                    s.read(b, &[idx(j), shift(i, 1)]);
+                });
+            });
+        });
+        let tags = analyze(&p);
+        assert_eq!(
+            tags[0],
+            Tags {
+                temporal: true,
+                spatial: false
+            }
+        );
+        assert_eq!(
+            tags[1],
+            Tags {
+                temporal: true,
+                spatial: true
+            }
+        );
+    }
+
+    #[test]
+    fn same_constant_group_keeps_spatial() {
+        // Read and write of Y(I): a group with equal constants — no
+        // demotion (both keep spatial), both temporal.
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let y = p.array("Y", &[32]);
+        p.body(|s| {
+            s.for_(i, 0, 32, |s| {
+                s.read(y, &[idx(i)]);
+                s.write(y, &[idx(i)]);
+            });
+        });
+        let tags = analyze(&p);
+        assert_eq!(
+            tags[0],
+            Tags {
+                temporal: true,
+                spatial: true
+            }
+        );
+        assert_eq!(
+            tags[1],
+            Tags {
+                temporal: true,
+                spatial: true
+            }
+        );
+    }
+
+    #[test]
+    fn groups_do_not_cross_loop_nests() {
+        // Z(k) in one loop and Z(k+11) in another are NOT a uniformly
+        // generated group: neither loses its spatial tag.
+        let mut p = Program::new("t");
+        let k = p.var("k");
+        let z = p.array("Z", &[64]);
+        p.body(|s| {
+            s.for_(k, 0, 32, |s| {
+                s.read(z, &[idx(k)]);
+            });
+            s.for_(k, 0, 32, |s| {
+                s.read(z, &[shift(k, 11)]);
+            });
+        });
+        let tags = analyze(&p);
+        assert!(tags[0].spatial, "no cross-nest demotion");
+        assert!(tags[1].spatial);
+        assert!(!tags[0].temporal, "no cross-nest group dependence");
+    }
+
+    #[test]
+    fn block_loop_invariance_is_not_temporal() {
+        // Blocked scan: DO jj step B { DO j2 = jj..jj+B { A(j2) } }.
+        // A has coefficient 0 on jj, but jj shifts j2's range: there is
+        // no reuse across jj iterations.
+        let mut p = Program::new("t");
+        let jj = p.var("jj");
+        let j2 = p.var("j2");
+        let a = p.array("A", &[64]);
+        p.body(|s| {
+            s.for_step(jj, 0, 64, 8, |s| {
+                s.for_(j2, idx(jj), aff(&[(jj, 1)], 8), |s| {
+                    s.read(a, &[idx(j2)]);
+                });
+            });
+        });
+        let tags = analyze(&p);
+        assert!(!tags[0].temporal, "block loops do not create reuse");
+        assert!(tags[0].spatial);
+    }
+
+    #[test]
+    fn true_outer_invariance_is_temporal_despite_blocking() {
+        // X(j2) in blocked MV: invariant in j1 (whose bounds are fixed),
+        // even though the jj block loop shifts j2.
+        let mut p = Program::new("t");
+        let jj = p.var("jj");
+        let j1 = p.var("j1");
+        let j2 = p.var("j2");
+        let x = p.array("X", &[64]);
+        p.body(|s| {
+            s.for_step(jj, 0, 64, 8, |s| {
+                s.for_(j1, 0, 16, |s| {
+                    s.for_(j2, idx(jj), aff(&[(jj, 1)], 8), |s| {
+                        s.read(x, &[idx(j2)]);
+                    });
+                });
+            });
+        });
+        assert!(analyze(&p)[0].temporal);
+    }
+
+    #[test]
+    fn flattening_respects_column_major_strides() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[10, 20]);
+        let mut flat = None;
+        p.body(|s| {
+            s.for_(i, 0, 10, |s| {
+                s.for_(j, 0, 20, |s| {
+                    s.read(a, &[idx(i), idx(j)]);
+                });
+            });
+        });
+        p.for_each_ref(|r| flat = flatten(&p, r));
+        let flat = flat.expect("affine");
+        assert_eq!(flat.coef_of(i), Coef::Known(1));
+        assert_eq!(flat.coef_of(j), Coef::Known(10));
+    }
+
+    #[test]
+    fn levels_track_stream_extent() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[1024]);
+        let b = p.array("B", &[6]);
+        p.body(|s| {
+            s.for_(j, 0, 4, |s| {
+                s.for_(i, 0, 1024, |s| {
+                    s.read(a, &[idx(i)]); // 8 KB stream → level 3
+                });
+                s.for_(i, 0, 6, |s| {
+                    s.read(b, &[idx(i)]); // 48 B stream → level 0
+                });
+            });
+        });
+        let levels = analyze_levels(&p);
+        assert_eq!(levels, vec![3, 0]);
+    }
+
+    #[test]
+    fn invariant_refs_take_the_outer_stream_level() {
+        // A(k,j): invariant in the innermost i, streaming in j with
+        // stride 1 over 16 iterations → 128 B → level 2.
+        let mut p = Program::new("t");
+        let j = p.var("j");
+        let i = p.var("i");
+        let a = p.array("A", &[64, 64]);
+        p.body(|s| {
+            s.for_(j, 0, 16, |s| {
+                s.for_(i, 0, 64, |s| {
+                    s.read(a, &[idx(j), lit(0)]);
+                });
+            });
+        });
+        assert_eq!(analyze_levels(&p), vec![2]);
+    }
+
+    #[test]
+    fn unknown_trips_yield_default_level() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[64]);
+        p.body(|s| {
+            s.for_(i, 0, 8, |s| {
+                s.for_(j, idx(i), 64, |s| {
+                    s.read(a, &[idx(j)]);
+                });
+            });
+        });
+        assert_eq!(analyze_levels(&p), vec![0]);
+    }
+
+    #[test]
+    fn blocked_loop_spans_give_levels() {
+        // j in jj..jj+32: trip 32 → a 256 B stream → level 3, even though
+        // the bounds are not constants.
+        let mut p = Program::new("t");
+        let jj = p.var("jj");
+        let j = p.var("j");
+        let a = p.array("A", &[256]);
+        p.body(|s| {
+            s.for_step(jj, 0, 256, 32, |s| {
+                s.for_(j, idx(jj), aff(&[(jj, 1)], 32), |s| {
+                    s.read(a, &[idx(j)]);
+                });
+            });
+        });
+        assert_eq!(analyze_levels(&p), vec![3]);
+    }
+
+    #[test]
+    fn negative_direction_stride_counts_by_magnitude() {
+        // A(N-1-i): coefficient −1 → |−1| < 4 → spatial.
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[64]);
+        p.body(|s| {
+            s.for_(i, 0, 64, |s| {
+                s.read(a, &[aff(&[(i, -1)], 63)]);
+            });
+        });
+        assert!(analyze(&p)[0].spatial);
+    }
+}

@@ -1,0 +1,319 @@
+//! Affine expressions over loop variables.
+
+use std::fmt;
+
+/// Identifier of a loop variable, issued by [`crate::Program::var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The variable's index in its program's registry.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A subscript coefficient as seen by the compiler.
+///
+/// The paper's spatial rule only fires when the innermost coefficient is a
+/// *known* constant: "if the coefficient is a parameter, the reference is
+/// not tagged spatial". [`Coef::Param`] carries the runtime value (needed to
+/// interpret the program) while telling the analysis that the value is
+/// unknown at compile time — this models dusty-deck codes whose subscripts
+/// alias loop variables through parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Coef {
+    /// A compile-time-known coefficient.
+    Known(i64),
+    /// A coefficient whose value is only known at run time.
+    Param(i64),
+}
+
+impl Coef {
+    /// The runtime value (used by the interpreter).
+    pub fn value(self) -> i64 {
+        match self {
+            Coef::Known(v) | Coef::Param(v) => v,
+        }
+    }
+
+    /// The compile-time value, if the compiler can see it.
+    pub fn known(self) -> Option<i64> {
+        match self {
+            Coef::Known(v) => Some(v),
+            Coef::Param(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Coef {
+    fn from(v: i64) -> Self {
+        Coef::Known(v)
+    }
+}
+
+/// An affine expression `Σ cᵢ·varᵢ + k` used for subscripts and loop bounds.
+///
+/// ```
+/// use sac_loopir::{aff, AffineExpr, Program};
+///
+/// let mut p = Program::new("t");
+/// let i = p.var("i");
+/// let e = aff(&[(i, 3)], 5); // 3*i + 5
+/// assert_eq!(e.eval(&[2]), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AffineExpr {
+    terms: Vec<(VarId, Coef)>,
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `k`.
+    pub fn constant(k: i64) -> Self {
+        AffineExpr {
+            terms: Vec::new(),
+            constant: k,
+        }
+    }
+
+    /// The expression `1·v`.
+    pub fn var(v: VarId) -> Self {
+        AffineExpr {
+            terms: vec![(v, Coef::Known(1))],
+            constant: 0,
+        }
+    }
+
+    /// Builds `Σ cᵢ·varᵢ + k` from `(var, coef)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same variable appears twice.
+    pub fn new(terms: &[(VarId, Coef)], constant: i64) -> Self {
+        let mut seen: Vec<VarId> = Vec::new();
+        for &(v, _) in terms {
+            assert!(
+                !seen.contains(&v),
+                "duplicate variable in affine expression"
+            );
+            seen.push(v);
+        }
+        AffineExpr {
+            terms: terms.to_vec(),
+            constant,
+        }
+    }
+
+    /// Adds a term (builder style).
+    pub fn plus_term(mut self, v: VarId, c: impl Into<Coef>) -> Self {
+        assert!(
+            !self.terms.iter().any(|&(tv, _)| tv == v),
+            "duplicate variable in affine expression"
+        );
+        self.terms.push((v, c.into()));
+        self
+    }
+
+    /// Adds a constant (builder style).
+    pub fn plus(mut self, k: i64) -> Self {
+        self.constant += k;
+        self
+    }
+
+    /// The constant term `k`.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// The terms `(var, coef)` in insertion order.
+    pub fn terms(&self) -> &[(VarId, Coef)] {
+        &self.terms
+    }
+
+    /// The coefficient of `v` (a known 0 when absent).
+    pub fn coef_of(&self, v: VarId) -> Coef {
+        self.terms
+            .iter()
+            .find(|&&(tv, _)| tv == v)
+            .map(|&(_, c)| c)
+            .unwrap_or(Coef::Known(0))
+    }
+
+    /// Evaluates the expression in an environment indexed by [`VarId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable's id is out of range for `env`.
+    pub fn eval(&self, env: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for &(v, c) in &self.terms {
+            acc += c.value() * env[v.0];
+        }
+        acc
+    }
+
+    /// Scales every coefficient and the constant by `s`.
+    pub fn scaled(&self, s: i64) -> Self {
+        AffineExpr {
+            terms: self
+                .terms
+                .iter()
+                .map(|&(v, c)| {
+                    let scaled = match c {
+                        Coef::Known(k) => Coef::Known(k * s),
+                        Coef::Param(k) => Coef::Param(k * s),
+                    };
+                    (v, scaled)
+                })
+                .collect(),
+            constant: self.constant * s,
+        }
+    }
+
+    /// Sums two expressions (used to flatten multi-dimensional subscripts).
+    pub fn plus_expr(&self, other: &AffineExpr) -> Self {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for &(v, c) in &other.terms {
+            if let Some(slot) = out.terms.iter_mut().find(|(tv, _)| *tv == v) {
+                slot.1 = match (slot.1, c) {
+                    (Coef::Known(a), Coef::Known(b)) => Coef::Known(a + b),
+                    // Any Param contamination keeps the sum a Param.
+                    (a, b) => Coef::Param(a.value() + b.value()),
+                };
+            } else {
+                out.terms.push((v, c));
+            }
+        }
+        out
+    }
+}
+
+impl From<i64> for AffineExpr {
+    fn from(k: i64) -> Self {
+        AffineExpr::constant(k)
+    }
+}
+
+impl From<VarId> for AffineExpr {
+    fn from(v: VarId) -> Self {
+        AffineExpr::var(v)
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(v, c) in &self.terms {
+            if !first {
+                f.write_str(" + ")?;
+            }
+            match c {
+                Coef::Known(1) => write!(f, "v{}", v.0)?,
+                Coef::Known(k) => write!(f, "{k}*v{}", v.0)?,
+                Coef::Param(k) => write!(f, "p({k})*v{}", v.0)?,
+            }
+            first = false;
+        }
+        if self.constant != 0 || first {
+            if !first {
+                f.write_str(" + ")?;
+            }
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Shorthand for the subscript `v` (coefficient 1, constant 0).
+pub fn idx(v: VarId) -> AffineExpr {
+    AffineExpr::var(v)
+}
+
+/// Shorthand for the subscript `v + k` (e.g. `B(J, I+1)`).
+pub fn shift(v: VarId, k: i64) -> AffineExpr {
+    AffineExpr::var(v).plus(k)
+}
+
+/// Shorthand for the constant subscript `k`.
+pub fn lit(k: i64) -> AffineExpr {
+    AffineExpr::constant(k)
+}
+
+/// Shorthand for `Σ cᵢ·varᵢ + k` with known coefficients.
+pub fn aff(terms: &[(VarId, i64)], k: i64) -> AffineExpr {
+    let terms: Vec<(VarId, Coef)> = terms.iter().map(|&(v, c)| (v, Coef::Known(c))).collect();
+    AffineExpr::new(&terms, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn eval_affine() {
+        let e = aff(&[(v(0), 2), (v(1), -3)], 7);
+        assert_eq!(e.eval(&[5, 4]), 2 * 5 - 3 * 4 + 7);
+    }
+
+    #[test]
+    fn coef_of_absent_var_is_zero() {
+        let e = aff(&[(v(0), 2)], 0);
+        assert_eq!(e.coef_of(v(1)), Coef::Known(0));
+        assert_eq!(e.coef_of(v(0)), Coef::Known(2));
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let e = aff(&[(v(0), 2)], 3).scaled(4);
+        assert_eq!(e.coef_of(v(0)), Coef::Known(8));
+        assert_eq!(e.constant_term(), 12);
+    }
+
+    #[test]
+    fn plus_expr_merges_terms() {
+        let a = aff(&[(v(0), 1), (v(1), 2)], 3);
+        let b = aff(&[(v(1), 5), (v(2), 1)], -1);
+        let s = a.plus_expr(&b);
+        assert_eq!(s.coef_of(v(0)), Coef::Known(1));
+        assert_eq!(s.coef_of(v(1)), Coef::Known(7));
+        assert_eq!(s.coef_of(v(2)), Coef::Known(1));
+        assert_eq!(s.constant_term(), 2);
+    }
+
+    #[test]
+    fn param_contaminates_sum() {
+        let a = AffineExpr::new(&[(v(0), Coef::Param(2))], 0);
+        let b = aff(&[(v(0), 3)], 0);
+        let s = a.plus_expr(&b);
+        assert_eq!(s.coef_of(v(0)), Coef::Param(5));
+        assert_eq!(s.coef_of(v(0)).known(), None);
+        assert_eq!(s.coef_of(v(0)).value(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn duplicate_variable_panics() {
+        let _ = aff(&[(v(0), 1), (v(0), 2)], 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = aff(&[(v(0), 3)], 5);
+        assert_eq!(e.to_string(), "3*v0 + 5");
+        assert_eq!(lit(0).to_string(), "0");
+    }
+
+    #[test]
+    fn shorthands() {
+        let i = v(1);
+        assert_eq!(idx(i).eval(&[0, 9]), 9);
+        assert_eq!(shift(i, 4).eval(&[0, 9]), 13);
+        assert_eq!(lit(6).eval(&[]), 6);
+    }
+}

@@ -1,0 +1,492 @@
+//! The trace-emitting interpreter (the paper's source-level tracer).
+
+use crate::analysis_impl::{analyze, Tags};
+use crate::expr::AffineExpr;
+use crate::program::{Bound, Program, RefStmt, Stmt, Subscript};
+use sac_trace::{Access, AccessKind, GapModel, Trace};
+use std::fmt;
+
+/// Options for trace generation.
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Seed for the issue-gap RNG; a given seed always reproduces the same
+    /// trace, as in the paper ("repetitive simulations performed with the
+    /// same trace are completely identical").
+    pub seed: u64,
+    /// When `false`, every gap is 1 cycle (useful in unit tests).
+    pub gaps: bool,
+    /// When `true`, the tracer also runs the variable-virtual-line level
+    /// analysis (§3.2 extension) and attaches a 2-bit spatial level to
+    /// each reference.
+    pub levels: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            seed: 0x5AC,
+            gaps: true,
+            levels: false,
+        }
+    }
+}
+
+/// Errors raised while interpreting a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A subscript evaluated outside its array extent.
+    OutOfBounds {
+        /// Name of the offending array.
+        array: String,
+        /// The subscript position (0-based).
+        dim: usize,
+        /// The evaluated subscript value.
+        value: i64,
+        /// The extent it violated.
+        extent: i64,
+    },
+    /// A table lookup (indirect subscript or data-dependent bound) was out
+    /// of range.
+    TableOutOfBounds {
+        /// Table index within the program.
+        table: usize,
+        /// The evaluated position.
+        index: i64,
+        /// The table length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::OutOfBounds {
+                array,
+                dim,
+                value,
+                extent,
+            } => write!(
+                f,
+                "subscript {dim} of array '{array}' evaluated to {value}, outside extent {extent}"
+            ),
+            TraceError::TableOutOfBounds { table, index, len } => write!(
+                f,
+                "table {table} lookup at position {index}, outside length {len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Program {
+    /// Runs the locality analysis, returning tags indexed by [`crate::RefId`].
+    pub fn analyze(&self) -> Vec<Tags> {
+        analyze(self)
+    }
+
+    /// Interprets the program, emitting one tagged trace entry per
+    /// executed reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if a subscript or table lookup evaluates out
+    /// of range — this always indicates a bug in the workload definition.
+    pub fn trace(&self, opts: &TraceOptions) -> Result<Trace, TraceError> {
+        let tags = self.analyze();
+        let levels = if opts.levels {
+            Some(crate::analysis_impl::analyze_levels(self))
+        } else {
+            None
+        };
+        let mut gaps = GapModel::seeded(opts.seed);
+        let mut env = vec![0i64; self.var_count()];
+        let mut trace = Trace::with_capacity(self.name(), 1024);
+        let mut interp = Interp {
+            p: self,
+            tags: &tags,
+            levels: levels.as_deref(),
+            trace: &mut trace,
+            gaps: &mut gaps,
+            use_gaps: opts.gaps,
+        };
+        interp.run(self.stmts(), &mut env)?;
+        Ok(trace)
+    }
+
+    /// Interprets the program with default options.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`TraceError`]; use [`Program::trace`] to handle errors.
+    pub fn trace_default(&self) -> Trace {
+        self.trace(&TraceOptions::default())
+            .expect("workload program traces without subscript errors")
+    }
+}
+
+struct Interp<'a> {
+    p: &'a Program,
+    tags: &'a [Tags],
+    levels: Option<&'a [u8]>,
+    trace: &'a mut Trace,
+    gaps: &'a mut GapModel,
+    use_gaps: bool,
+}
+
+impl Interp<'_> {
+    fn run(&mut self, stmts: &[Stmt], env: &mut Vec<i64>) -> Result<(), TraceError> {
+        for s in stmts {
+            match s {
+                Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                    ..
+                } => {
+                    let lo = self.eval_bound(lo, env)?;
+                    let hi = self.eval_bound(hi, env)?;
+                    let mut v = lo;
+                    while (*step > 0 && v < hi) || (*step < 0 && v > hi) {
+                        env[var.index()] = v;
+                        self.run(body, env)?;
+                        v += step;
+                    }
+                }
+                Stmt::Ref(r) => self.emit(r, env)?,
+                Stmt::Call => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_bound(&self, b: &Bound, env: &[i64]) -> Result<i64, TraceError> {
+        match b {
+            Bound::Affine(e) => Ok(e.eval(env)),
+            Bound::Table { table, index } => self.lookup(*table, index, env),
+        }
+    }
+
+    fn lookup(
+        &self,
+        table: crate::program::TableId,
+        index: &AffineExpr,
+        env: &[i64],
+    ) -> Result<i64, TraceError> {
+        let values = self.p.table_values(table);
+        let pos = index.eval(env);
+        if pos < 0 || pos as usize >= values.len() {
+            return Err(TraceError::TableOutOfBounds {
+                table: table_index(table),
+                index: pos,
+                len: values.len(),
+            });
+        }
+        Ok(values[pos as usize])
+    }
+
+    fn emit(&mut self, r: &RefStmt, env: &[i64]) -> Result<(), TraceError> {
+        let decl = self.p.array_decl(r.array());
+        let dims = decl.dims();
+        let mut linear: i64 = 0;
+        let mut stride: i64 = 1;
+        for (k, sub) in r.subscripts().iter().enumerate() {
+            let v = match sub {
+                Subscript::Affine(e) => e.eval(env),
+                Subscript::Indirect { table, index } => self.lookup(*table, index, env)?,
+            };
+            let extent = dims.get(k).copied().unwrap_or(1);
+            if v < 0 || v >= extent {
+                return Err(TraceError::OutOfBounds {
+                    array: decl.name().to_string(),
+                    dim: k,
+                    value: v,
+                    extent,
+                });
+            }
+            linear += v * stride;
+            stride *= extent;
+        }
+        let addr = decl.base() + linear as u64 * sac_trace::WORD_BYTES;
+        let tags = self.tags[r.id().index()];
+        let gap = if self.use_gaps { self.gaps.sample() } else { 1 };
+        let level = self.levels.map(|l| l[r.id().index()]).unwrap_or(0);
+        let access = match r.kind() {
+            AccessKind::Read => Access::read(addr),
+            AccessKind::Write => Access::write(addr),
+        }
+        .with_temporal(tags.temporal)
+        .with_spatial(tags.spatial)
+        .with_spatial_level(level)
+        .with_gap(gap)
+        .with_instr(r.id().0);
+        self.trace.push(access);
+        Ok(())
+    }
+}
+
+fn table_index(t: crate::program::TableId) -> usize {
+    t.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{idx, lit, shift};
+    use crate::program::indirect;
+
+    #[test]
+    fn simple_loop_emits_in_order() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[4]);
+        p.body(|s| {
+            s.for_(i, 0, 4, |s| {
+                s.read(a, &[idx(i)]);
+            });
+        });
+        let t = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        let addrs: Vec<u64> = t.iter().map(|a| a.addr()).collect();
+        assert_eq!(addrs, vec![0, 8, 16, 24]);
+        assert!(t.iter().all(|a| a.gap() == 1));
+    }
+
+    #[test]
+    fn column_major_addressing() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[3, 2]);
+        p.body(|s| {
+            s.for_(j, 0, 2, |s| {
+                s.for_(i, 0, 3, |s| {
+                    s.read(a, &[idx(i), idx(j)]);
+                });
+            });
+        });
+        let t = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        let addrs: Vec<u64> = t.iter().map(|a| a.addr()).collect();
+        // Column-major: (0,0),(1,0),(2,0),(0,1),(1,1),(2,1)
+        assert_eq!(addrs, vec![0, 8, 16, 24, 32, 40]);
+    }
+
+    #[test]
+    fn descending_loop() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[4]);
+        p.body(|s| {
+            s.for_step(i, 3, -1, -1, |s| {
+                s.read(a, &[idx(i)]);
+            });
+        });
+        let t = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        let addrs: Vec<u64> = t.iter().map(|a| a.addr()).collect();
+        assert_eq!(addrs, vec![24, 16, 8, 0]);
+    }
+
+    #[test]
+    fn triangular_bounds() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[4, 4]);
+        p.body(|s| {
+            s.for_(i, 0, 4, |s| {
+                s.for_(j, idx(i), 4, |s| {
+                    s.read(a, &[idx(j), idx(i)]);
+                });
+            });
+        });
+        let t = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        // 4 + 3 + 2 + 1 iterations.
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn indirect_subscript_reads_table() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let x = p.array("X", &[10]);
+        let tab = p.table(vec![9, 0, 5]);
+        p.body(|s| {
+            s.for_(i, 0, 3, |s| {
+                s.read_subs(x, vec![indirect(tab, idx(i))]);
+            });
+        });
+        let t = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        let addrs: Vec<u64> = t.iter().map(|a| a.addr()).collect();
+        assert_eq!(addrs, vec![72, 0, 40]);
+    }
+
+    #[test]
+    fn table_bounds_drive_loops() {
+        // CSR-style: row pointers [0, 2, 5].
+        let mut p = Program::new("t");
+        let r = p.var("r");
+        let k = p.var("k");
+        let a = p.array("A", &[5]);
+        let ptr = p.table(vec![0, 2, 5]);
+        p.body(|s| {
+            s.for_(r, 0, 2, |s| {
+                s.for_(
+                    k,
+                    Bound::Table {
+                        table: ptr,
+                        index: idx(r),
+                    },
+                    Bound::Table {
+                        table: ptr,
+                        index: shift(r, 1),
+                    },
+                    |s| {
+                        s.read(a, &[idx(k)]);
+                    },
+                );
+            });
+        });
+        let t = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn out_of_bounds_subscript_is_an_error() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[4]);
+        p.body(|s| {
+            s.for_(i, 0, 5, |s| {
+                s.read(a, &[idx(i)]);
+            });
+        });
+        let err = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap_err();
+        assert!(matches!(err, TraceError::OutOfBounds { value: 4, .. }));
+        assert!(err.to_string().contains('A'));
+    }
+
+    #[test]
+    fn table_out_of_range_is_an_error() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let x = p.array("X", &[10]);
+        let tab = p.table(vec![0]);
+        p.body(|s| {
+            s.for_(i, 0, 3, |s| {
+                s.read_subs(x, vec![indirect(tab, idx(i))]);
+            });
+        });
+        let err = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap_err();
+        assert!(matches!(err, TraceError::TableOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn tags_are_attached_to_entries() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let x = p.array("X", &[8]);
+        p.body(|s| {
+            s.for_(i, 0, 2, |s| {
+                s.for_(j, 0, 8, |s| {
+                    s.read(x, &[idx(j)]); // temporal (invariant in i), spatial
+                });
+            });
+        });
+        let t = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        assert!(t.iter().all(|a| a.temporal() && a.spatial()));
+    }
+
+    #[test]
+    fn same_seed_reproduces_gaps() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[64]);
+        p.body(|s| {
+            s.for_(i, 0, 64, |s| {
+                s.read(a, &[idx(i)]);
+            });
+        });
+        let t1 = p
+            .trace(&TraceOptions {
+                seed: 9,
+                gaps: true,
+                levels: false,
+            })
+            .unwrap();
+        let t2 = p
+            .trace(&TraceOptions {
+                seed: 9,
+                gaps: true,
+                levels: false,
+            })
+            .unwrap();
+        assert_eq!(t1, t2);
+        assert!(t1.iter().any(|a| a.gap() > 1));
+    }
+
+    #[test]
+    fn literal_subscript_is_in_bounds() {
+        let mut p = Program::new("t");
+        let a = p.array("A", &[1]);
+        p.body(|s| {
+            s.read(a, &[lit(0)]);
+        });
+        assert_eq!(p.trace_default().len(), 1);
+    }
+}

@@ -1,0 +1,592 @@
+//! Source-level loop transformations.
+//!
+//! The paper sits on top of a decade of data-locality work (Wolf & Lam,
+//! McKinley, Lam/Rothberg/Wolf): compilers reorder loops to create the
+//! locality that the tags then describe. This module provides the two
+//! transformations the paper's discussion leans on:
+//!
+//! * **interchange** — fixes the "badly ordered loops, inducing non
+//!   stride-one references" the paper blames for part of the Perfect
+//!   Club's poor tag coverage (§3.2);
+//! * **strip-mining** — the building block of blocking (§4.2): a loop is
+//!   split into a block loop and an element loop so a data slice is
+//!   reused while resident.
+//!
+//! Transformations rebuild the statement tree; reference ids are
+//! renumbered in the new program order, and the analysis is simply rerun
+//! on the result — tags always describe the transformed code.
+//!
+//! Legality is the caller's responsibility (as in the paper, where the
+//! optimizer decides what is safe); these functions only check
+//! *structural* applicability and return [`TransformError`] otherwise.
+
+use crate::expr::{aff, AffineExpr, VarId};
+use crate::program::{Bound, Program, Stmt};
+use std::fmt;
+
+/// Why a transformation could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The requested loop variable was not found.
+    LoopNotFound(String),
+    /// The two loops are not perfectly nested (statements sit between
+    /// them), so interchange would change the computation.
+    NotPerfectlyNested(String),
+    /// A loop's bounds depend on the other loop's variable; interchange
+    /// of triangular nests is not supported.
+    DependentBounds(String),
+    /// Strip-mining needs a constant-bound loop whose trip count the
+    /// block size divides.
+    BadStrip(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::LoopNotFound(v) => write!(f, "no loop over '{v}'"),
+            TransformError::NotPerfectlyNested(v) => {
+                write!(f, "loop over '{v}' is not perfectly nested in its parent")
+            }
+            TransformError::DependentBounds(v) => {
+                write!(f, "bounds of the nest around '{v}' are interdependent")
+            }
+            TransformError::BadStrip(m) => write!(f, "cannot strip-mine: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl Program {
+    /// Interchanges the loop over `outer` with the loop over `inner`,
+    /// which must be its immediate and only child (a perfect nest with
+    /// independent bounds). Returns a new program; `self` is unchanged.
+    ///
+    /// ```
+    /// use sac_loopir::{idx, Program};
+    ///
+    /// // A(i,j) with j innermost strides by the leading dimension...
+    /// let mut p = Program::new("t");
+    /// let i = p.var("i");
+    /// let j = p.var("j");
+    /// let a = p.array("A", &[64, 64]);
+    /// p.body(|s| {
+    ///     s.for_(i, 0, 64, |s| {
+    ///         s.for_(j, 0, 64, |s| {
+    ///             s.read(a, &[idx(i), idx(j)]);
+    ///         });
+    ///     });
+    /// });
+    /// assert!(!p.analyze()[0].spatial);
+    /// // ...interchange makes it stride-1 and the spatial tag appears.
+    /// let q = p.interchanged(i, j).unwrap();
+    /// assert!(q.analyze()[0].spatial);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Structural failures only — see [`TransformError`].
+    pub fn interchanged(&self, outer: VarId, inner: VarId) -> Result<Program, TransformError> {
+        let mut clone = self.clone_shell();
+        let mut body = self.stmts().to_vec();
+        interchange_in(&mut body, outer, inner, self)?;
+        clone.replace_body(body);
+        Ok(clone)
+    }
+
+    /// Strip-mines the loop over `var` by `block`: `DO v = lo,hi` becomes
+    /// `DO vv = lo,hi,B { DO v = vv,vv+B }`. The block loop runs over the
+    /// fresh variable returned alongside the program.
+    ///
+    /// # Errors
+    ///
+    /// The loop must have constant bounds whose span `block` divides.
+    pub fn strip_mined(
+        &self,
+        var: VarId,
+        block: i64,
+        block_var_name: &str,
+    ) -> Result<(Program, VarId), TransformError> {
+        if block <= 0 {
+            return Err(TransformError::BadStrip("block must be positive".into()));
+        }
+        let mut clone = self.clone_shell();
+        let block_var = clone.var(block_var_name);
+        let mut body = self.stmts().to_vec();
+        strip_in(&mut body, var, block, block_var, self)?;
+        clone.replace_body(body);
+        Ok((clone, block_var))
+    }
+}
+
+impl Program {
+    /// Distributes (fissions) the loop over `var`: each top-level
+    /// statement of its body gets its own copy of the loop, in order.
+    /// The classic enabling transformation for interchange and fusion
+    /// decisions in locality optimizers.
+    ///
+    /// ```
+    /// use sac_loopir::{idx, Program};
+    ///
+    /// let mut p = Program::new("t");
+    /// let i = p.var("i");
+    /// let a = p.array("A", &[8]);
+    /// let b = p.array("B", &[8]);
+    /// p.body(|s| {
+    ///     s.for_(i, 0, 8, |s| {
+    ///         s.read(a, &[idx(i)]);
+    ///         s.write(b, &[idx(i)]);
+    ///     });
+    /// });
+    /// let q = p.distributed(i).unwrap();
+    /// // Two separate loops now: A's sweep completes before B's starts.
+    /// let addrs: Vec<u64> = q.trace_default().iter().map(|x| x.addr()).collect();
+    /// assert!(addrs[..8].iter().all(|&a| a < 64), "A first");
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Fails structurally when the loop is missing or its body has fewer
+    /// than two statements to distribute over.
+    pub fn distributed(&self, var: VarId) -> Result<Program, TransformError> {
+        let mut clone = self.clone_shell();
+        let mut body = self.stmts().to_vec();
+        distribute_in(&mut body, var, self)?;
+        clone.replace_body(body);
+        Ok(clone)
+    }
+}
+
+fn distribute_in(stmts: &mut Vec<Stmt>, var: VarId, p: &Program) -> Result<(), TransformError> {
+    for (pos, s) in stmts.iter_mut().enumerate() {
+        if let Stmt::For {
+            var: v,
+            lo,
+            hi,
+            step,
+            opaque,
+            body,
+        } = s
+        {
+            if *v == var {
+                if body.len() < 2 {
+                    return Err(TransformError::NotPerfectlyNested(var_name(p, var)));
+                }
+                let (lo, hi, step, opaque) = (lo.clone(), hi.clone(), *step, *opaque);
+                let pieces: Vec<Stmt> = std::mem::take(body)
+                    .into_iter()
+                    .map(|inner| Stmt::For {
+                        var,
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        step,
+                        opaque,
+                        body: vec![inner],
+                    })
+                    .collect();
+                stmts.splice(pos..=pos, pieces);
+                return Ok(());
+            }
+            match distribute_in(body, var, p) {
+                Ok(()) => return Ok(()),
+                Err(TransformError::LoopNotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Err(TransformError::LoopNotFound(var_name(p, var)))
+}
+
+fn var_name(p: &Program, v: VarId) -> String {
+    p.var_names()
+        .get(v.index())
+        .cloned()
+        .unwrap_or_else(|| format!("v{}", v.index()))
+}
+
+fn interchange_in(
+    stmts: &mut [Stmt],
+    outer: VarId,
+    inner: VarId,
+    p: &Program,
+) -> Result<(), TransformError> {
+    for s in stmts.iter_mut() {
+        if let Stmt::For {
+            var,
+            body,
+            lo,
+            hi,
+            step,
+            ..
+        } = s
+        {
+            if *var == outer {
+                // The inner loop must be the body's only statement.
+                if body.len() != 1 {
+                    return Err(TransformError::NotPerfectlyNested(var_name(p, inner)));
+                }
+                let Stmt::For {
+                    var: ivar,
+                    lo: ilo,
+                    hi: ihi,
+                    ..
+                } = &body[0]
+                else {
+                    return Err(TransformError::NotPerfectlyNested(var_name(p, inner)));
+                };
+                if *ivar != inner {
+                    return Err(TransformError::LoopNotFound(var_name(p, inner)));
+                }
+                if bound_mentions(ilo, outer)
+                    || bound_mentions(ihi, outer)
+                    || bound_mentions(lo, inner)
+                    || bound_mentions(hi, inner)
+                {
+                    return Err(TransformError::DependentBounds(var_name(p, inner)));
+                }
+                // Swap the (var, lo, hi, step) headers; keep the tree.
+                let Stmt::For {
+                    var: ivar,
+                    lo: ilo,
+                    hi: ihi,
+                    step: istep,
+                    ..
+                } = &mut body[0]
+                else {
+                    unreachable!("checked above");
+                };
+                std::mem::swap(var, ivar);
+                std::mem::swap(lo, ilo);
+                std::mem::swap(hi, ihi);
+                std::mem::swap(step, istep);
+                return Ok(());
+            }
+            match interchange_in(body, outer, inner, p) {
+                Ok(()) => return Ok(()),
+                Err(TransformError::LoopNotFound(_)) => {} // keep scanning siblings
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Err(TransformError::LoopNotFound(var_name(p, outer)))
+}
+
+fn strip_in(
+    stmts: &mut [Stmt],
+    var: VarId,
+    block: i64,
+    block_var: VarId,
+    p: &Program,
+) -> Result<(), TransformError> {
+    for s in stmts.iter_mut() {
+        if let Stmt::For {
+            var: v,
+            lo,
+            hi,
+            step,
+            opaque,
+            body,
+        } = s
+        {
+            if *v == var {
+                if *step != 1 {
+                    return Err(TransformError::BadStrip("loop must have step 1".into()));
+                }
+                let (Some(lo_c), Some(hi_c)) = (const_bound(lo), const_bound(hi)) else {
+                    return Err(TransformError::BadStrip(
+                        "loop bounds must be constants".into(),
+                    ));
+                };
+                let span = hi_c - lo_c;
+                if span <= 0 || span % block != 0 {
+                    return Err(TransformError::BadStrip(format!(
+                        "block {block} must divide the span {span}"
+                    )));
+                }
+                let element = Stmt::For {
+                    var,
+                    lo: Bound::Affine(AffineExpr::var(block_var)),
+                    hi: Bound::Affine(aff(&[(block_var, 1)], block)),
+                    step: 1,
+                    opaque: *opaque,
+                    body: std::mem::take(body),
+                };
+                *s = Stmt::For {
+                    var: block_var,
+                    lo: Bound::Affine(AffineExpr::constant(lo_c)),
+                    hi: Bound::Affine(AffineExpr::constant(hi_c)),
+                    step: block,
+                    opaque: false,
+                    body: vec![element],
+                };
+                return Ok(());
+            }
+            if let Stmt::For { body, .. } = s {
+                match strip_in(body, var, block, block_var, p) {
+                    Ok(()) => return Ok(()),
+                    Err(TransformError::LoopNotFound(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    Err(TransformError::LoopNotFound(var_name(p, var)))
+}
+
+fn const_bound(b: &Bound) -> Option<i64> {
+    match b {
+        Bound::Affine(e) if e.terms().is_empty() => Some(e.constant_term()),
+        _ => None,
+    }
+}
+
+fn bound_mentions(b: &Bound, v: VarId) -> bool {
+    let e = match b {
+        Bound::Affine(e) => e,
+        Bound::Table { index, .. } => index,
+    };
+    e.terms().iter().any(|&(tv, _)| tv == v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::idx;
+    use crate::TraceOptions;
+
+    fn ij_program() -> (Program, VarId, VarId) {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[16, 16]);
+        p.body(|s| {
+            s.for_(i, 0, 16, |s| {
+                s.for_(j, 0, 16, |s| {
+                    s.read(a, &[idx(i), idx(j)]);
+                });
+            });
+        });
+        (p, i, j)
+    }
+
+    #[test]
+    fn interchange_flips_the_stride() {
+        let (p, i, j) = ij_program();
+        // Column-major A(i,j): i inner would be stride-1; j inner is not.
+        assert!(!p.analyze()[0].spatial);
+        let q = p.interchanged(i, j).unwrap();
+        assert!(q.analyze()[0].spatial);
+        // The transformed program touches exactly the same addresses.
+        let opts = TraceOptions {
+            seed: 0,
+            gaps: false,
+            levels: false,
+        };
+        let mut a: Vec<u64> = p.trace(&opts).unwrap().iter().map(|x| x.addr()).collect();
+        let mut b: Vec<u64> = q.trace(&opts).unwrap().iter().map(|x| x.addr()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interchange_requires_a_perfect_nest() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[16, 16]);
+        let y = p.array("Y", &[16]);
+        p.body(|s| {
+            s.for_(i, 0, 16, |s| {
+                s.read(y, &[idx(i)]); // statement between the loops
+                s.for_(j, 0, 16, |s| {
+                    s.read(a, &[idx(i), idx(j)]);
+                });
+            });
+        });
+        assert!(matches!(
+            p.interchanged(i, j),
+            Err(TransformError::NotPerfectlyNested(_))
+        ));
+    }
+
+    #[test]
+    fn interchange_rejects_triangular_nests() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let j = p.var("j");
+        let a = p.array("A", &[16, 16]);
+        p.body(|s| {
+            s.for_(i, 0, 16, |s| {
+                s.for_(j, idx(i), 16, |s| {
+                    s.read(a, &[idx(j), idx(i)]);
+                });
+            });
+        });
+        assert!(matches!(
+            p.interchanged(i, j),
+            Err(TransformError::DependentBounds(_))
+        ));
+    }
+
+    #[test]
+    fn strip_mining_preserves_the_iteration_space() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[64]);
+        p.body(|s| {
+            s.for_(i, 0, 64, |s| {
+                s.read(a, &[idx(i)]);
+            });
+        });
+        let (q, _bv) = p.strip_mined(i, 16, "ii").unwrap();
+        let opts = TraceOptions {
+            seed: 0,
+            gaps: false,
+            levels: false,
+        };
+        let a0: Vec<u64> = p.trace(&opts).unwrap().iter().map(|x| x.addr()).collect();
+        let a1: Vec<u64> = q.trace(&opts).unwrap().iter().map(|x| x.addr()).collect();
+        assert_eq!(a0, a1, "strip-mining is order-preserving");
+        assert_eq!(q.validate(), crate::Verdict::Ok);
+    }
+
+    #[test]
+    fn strip_mining_enables_blocked_reuse_tags() {
+        // MV: strip-mining j2 then (conceptually) hoisting creates the
+        // blocked form; here we check the strip itself keeps X temporal.
+        let mut p = Program::new("mv");
+        let j1 = p.var("j1");
+        let j2 = p.var("j2");
+        let a = p.array("A", &[32, 32]);
+        let x = p.array("X", &[32]);
+        p.body(|s| {
+            s.for_(j1, 0, 32, |s| {
+                s.for_(j2, 0, 32, |s| {
+                    s.read(a, &[idx(j2), idx(j1)]);
+                    s.read(x, &[idx(j2)]);
+                });
+            });
+        });
+        let (q, _) = p.strip_mined(j2, 8, "jj").unwrap();
+        let tags = q.analyze();
+        assert!(tags[1].temporal, "X stays invariant in j1");
+        assert!(!tags[0].temporal, "A gains no reuse from the strip");
+    }
+
+    #[test]
+    fn strip_mining_rejects_non_dividing_blocks() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[10]);
+        p.body(|s| {
+            s.for_(i, 0, 10, |s| {
+                s.read(a, &[idx(i)]);
+            });
+        });
+        assert!(matches!(
+            p.strip_mined(i, 3, "ii"),
+            Err(TransformError::BadStrip(_))
+        ));
+        assert!(matches!(
+            p.strip_mined(i, 0, "ii"),
+            Err(TransformError::BadStrip(_))
+        ));
+    }
+
+    #[test]
+    fn distribution_preserves_per_statement_address_sets() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[16]);
+        let b = p.array("B", &[16]);
+        p.body(|s| {
+            s.for_(i, 0, 16, |s| {
+                s.read(a, &[idx(i)]);
+                s.write(b, &[idx(i)]);
+            });
+        });
+        let q = p.distributed(i).unwrap();
+        assert_eq!(q.ref_count(), 2);
+        let opts = TraceOptions {
+            seed: 0,
+            gaps: false,
+            levels: false,
+        };
+        let mut orig: Vec<u64> = p.trace(&opts).unwrap().iter().map(|x| x.addr()).collect();
+        let mut dist: Vec<u64> = q.trace(&opts).unwrap().iter().map(|x| x.addr()).collect();
+        orig.sort_unstable();
+        dist.sort_unstable();
+        assert_eq!(orig, dist);
+    }
+
+    #[test]
+    fn distribution_needs_two_statements() {
+        let mut p = Program::new("t");
+        let i = p.var("i");
+        let a = p.array("A", &[8]);
+        p.body(|s| {
+            s.for_(i, 0, 8, |s| {
+                s.read(a, &[idx(i)]);
+            });
+        });
+        assert!(matches!(
+            p.distributed(i),
+            Err(TransformError::NotPerfectlyNested(_))
+        ));
+    }
+
+    #[test]
+    fn transforms_compose_into_the_blocked_form() {
+        // Plain inner-product MV core → strip-mine j2 → interchange j1/jj
+        // yields exactly the §4.2 blocked loop shape, and the analysis
+        // rediscovers the blocked tags (X temporal, A not).
+        let n = 32;
+        let mut p = Program::new("mv-core");
+        let j1 = p.var("j1");
+        let j2 = p.var("j2");
+        let a = p.array("A", &[n, n]);
+        let x = p.array("X", &[n]);
+        p.body(|s| {
+            s.for_(j1, 0, n, |s| {
+                s.for_(j2, 0, n, |s| {
+                    s.read(a, &[idx(j2), idx(j1)]);
+                    s.read(x, &[idx(j2)]);
+                });
+            });
+        });
+        let (stripped, jj) = p.strip_mined(j2, 8, "jj").unwrap();
+        let blocked = stripped.interchanged(j1, jj).unwrap();
+        let tags = blocked.analyze();
+        assert!(!tags[0].temporal && tags[0].spatial, "A: stream");
+        assert!(tags[1].temporal && tags[1].spatial, "X: blocked reuse");
+        // Same address multiset as the original.
+        let opts = TraceOptions {
+            seed: 0,
+            gaps: false,
+            levels: false,
+        };
+        let mut orig: Vec<u64> = p.trace(&opts).unwrap().iter().map(|x| x.addr()).collect();
+        let mut blk: Vec<u64> = blocked
+            .trace(&opts)
+            .unwrap()
+            .iter()
+            .map(|x| x.addr())
+            .collect();
+        orig.sort_unstable();
+        blk.sort_unstable();
+        assert_eq!(orig, blk);
+        assert_eq!(blocked.validate(), crate::Verdict::Ok);
+    }
+
+    #[test]
+    fn missing_loops_are_reported() {
+        let (p, i, _) = ij_program();
+        let mut other = Program::new("o");
+        let k = other.var("k");
+        assert!(matches!(
+            p.interchanged(k, i),
+            Err(TransformError::LoopNotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,217 @@
+//! Property tests over randomly generated loop-nest programs: the
+//! interpreter must stay in bounds, trace sizes must match trip-count
+//! arithmetic, the analysis must be deterministic and total, and CALL
+//! kills must clear exactly the bodies that contain them.
+
+use proptest::prelude::*;
+use sac_loopir::{aff, AffineExpr, Program, Tags, TraceOptions};
+
+/// Description of one generated loop level.
+#[derive(Debug, Clone)]
+struct LoopSpec {
+    trip: i64,
+    /// References directly in this loop's body: per ref, the coefficient
+    /// on each enclosing loop level (including this one) and a write flag.
+    refs: Vec<(Vec<i64>, bool)>,
+    has_call: bool,
+    child: Option<Box<LoopSpec>>,
+}
+
+fn ref_strategy(depth: usize) -> impl Strategy<Value = (Vec<i64>, bool)> {
+    (prop::collection::vec(-2i64..=2, depth), any::<bool>())
+}
+
+fn loop_spec(depth: usize) -> BoxedStrategy<LoopSpec> {
+    let leaf = (
+        1i64..6,
+        prop::collection::vec(ref_strategy(depth + 1), 0..4),
+        prop::bool::weighted(0.2),
+    )
+        .prop_map(|(trip, refs, has_call)| LoopSpec {
+            trip,
+            refs,
+            has_call,
+            child: None,
+        });
+    if depth >= 2 {
+        return leaf.boxed();
+    }
+    (
+        1i64..6,
+        prop::collection::vec(ref_strategy(depth + 1), 0..3),
+        prop::bool::weighted(0.2),
+        prop::option::of(loop_spec(depth + 1)),
+    )
+        .prop_map(|(trip, refs, has_call, child)| LoopSpec {
+            trip,
+            refs,
+            has_call,
+            child: child.map(Box::new),
+        })
+        .boxed()
+}
+
+/// Builds a program from a spec; returns (program, expected trace length,
+/// killed-flag per RefId order).
+fn build(spec: &LoopSpec) -> (Program, usize, Vec<bool>) {
+    let mut p = Program::new("random");
+    // Declare enough loop variables up front.
+    let vars: Vec<_> = (0..3).map(|i| p.var(format!("v{i}"))).collect();
+
+    // Each reference gets its own array, sized to cover the subscript
+    // range: coefficients lie in [-2,2], at most 3 enclosing loops with
+    // values < 5, so subscripts span [-24, 24] around the offset 24 and
+    // an extent of 64 always suffices.
+    let mut arrays = Vec::new();
+    let mut count_refs = 0;
+    let mut walk = Some(spec);
+    while let Some(s) = walk {
+        count_refs += s.refs.len();
+        walk = s.child.as_deref();
+    }
+    for i in 0..count_refs {
+        arrays.push(p.array(format!("A{i}"), &[64]));
+    }
+
+    let mut expected = 0usize;
+    let mut killed = Vec::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        s: &LoopSpec,
+        depth: usize,
+        vars: &[sac_loopir::VarId],
+        arrays: &[sac_loopir::ArrayId],
+        next_array: &mut usize,
+        iter_mult: i64,
+        expected: &mut usize,
+        killed: &mut Vec<bool>,
+        killed_here: bool,
+        b: &mut sac_loopir::BodyBuilder,
+    ) {
+        let mult = iter_mult * s.trip;
+        let killed_now = killed_here || s.has_call;
+        b.for_(vars[depth], 0, s.trip, |b| {
+            for (coefs, write) in &s.refs {
+                let terms: Vec<(sac_loopir::VarId, i64)> = coefs
+                    .iter()
+                    .enumerate()
+                    .take(depth + 1)
+                    .map(|(d, &c)| (vars[d], c))
+                    .collect();
+                let e: AffineExpr = aff(&terms, 24);
+                let arr = arrays[*next_array];
+                *next_array += 1;
+                if *write {
+                    b.write(arr, &[e]);
+                } else {
+                    b.read(arr, &[e]);
+                }
+                killed.push(killed_now);
+            }
+            if s.has_call {
+                b.call();
+            }
+            if let Some(child) = &s.child {
+                emit(
+                    child,
+                    depth + 1,
+                    vars,
+                    arrays,
+                    next_array,
+                    mult,
+                    expected,
+                    killed,
+                    killed_now,
+                    b,
+                );
+            }
+        });
+        *expected += (s.refs.len() as i64 * mult) as usize;
+    }
+
+    let mut next_array = 0;
+    p.body(|b| {
+        emit(
+            spec,
+            0,
+            &vars,
+            &arrays,
+            &mut next_array,
+            1,
+            &mut expected,
+            &mut killed,
+            false,
+            b,
+        );
+    });
+    (p, expected, killed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_programs_trace_in_bounds(spec in loop_spec(0)) {
+        let (p, expected, _) = build(&spec);
+        let t = p
+            .trace(&TraceOptions { seed: 1, gaps: false, levels: false })
+            .expect("subscripts stay in bounds by construction");
+        prop_assert_eq!(t.len(), expected);
+    }
+
+    #[test]
+    fn analysis_is_total_and_deterministic(spec in loop_spec(0)) {
+        let (p, _, _) = build(&spec);
+        let a = p.analyze();
+        let b = p.analyze();
+        prop_assert_eq!(a.len() as u32, p.ref_count());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn call_kills_exactly_the_enclosing_bodies(spec in loop_spec(0)) {
+        let (p, _, killed) = build(&spec);
+        let tags = p.analyze();
+        for (t, k) in tags.iter().zip(&killed) {
+            if *k {
+                prop_assert_eq!(*t, Tags::NONE);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_are_within_the_two_bit_budget(spec in loop_spec(0)) {
+        let (p, _, _) = build(&spec);
+        let t = p
+            .trace(&TraceOptions { seed: 1, gaps: false, levels: true })
+            .expect("traces");
+        for a in &t {
+            prop_assert!(a.spatial_level() <= 3);
+            if !a.spatial() {
+                prop_assert_eq!(a.spatial_level(), 0, "levels only on spatial refs");
+            }
+        }
+    }
+
+    #[test]
+    fn pseudocode_mentions_every_array(spec in loop_spec(0)) {
+        let (p, _, _) = build(&spec);
+        let text = p.to_pseudocode();
+        for a in p.arrays() {
+            prop_assert!(text.contains(a.name()));
+        }
+    }
+
+    #[test]
+    fn traces_round_trip_through_binary_io(spec in loop_spec(0)) {
+        let (p, _, _) = build(&spec);
+        let t = p
+            .trace(&TraceOptions { seed: 5, gaps: true, levels: true })
+            .expect("traces");
+        let mut buf = Vec::new();
+        sac_trace::io::write_binary(&t, &mut buf).expect("write");
+        let back = sac_trace::io::read_binary(&buf[..]).expect("read");
+        prop_assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,228 @@
+//! Simulation metrics: the quantities the paper's figures plot.
+
+use std::fmt;
+
+/// Counters and derived metrics collected by every cache engine.
+///
+/// The figures of the paper are all derived from these fields:
+/// AMAT (Figures 3, 6a, 8–12), miss ratio (Figure 7b), memory traffic in
+/// words fetched per reference (Figure 7a), and the main/bounce-back hit
+/// repartition (Figure 6b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Total references processed.
+    pub refs: u64,
+    /// Loads.
+    pub reads: u64,
+    /// Stores.
+    pub writes: u64,
+    /// Hits served by the main cache (1 cycle).
+    pub main_hits: u64,
+    /// Hits served by the auxiliary cache — victim, bounce-back or
+    /// prefetch buffer (3 cycles).
+    pub aux_hits: u64,
+    /// References that went to memory.
+    pub misses: u64,
+    /// Non-allocating references serviced straight from memory (bypass
+    /// organizations only).
+    pub bypasses: u64,
+    /// Total access cost in cycles (the AMAT numerator).
+    pub mem_cycles: u64,
+    /// Physical lines fetched from memory (demand + prefetch).
+    pub lines_fetched: u64,
+    /// Words fetched from memory (the Figure 7a numerator).
+    pub words_fetched: u64,
+    /// Dirty lines sent to the write buffer.
+    pub writebacks: u64,
+    /// Lines bounced back from the bounce-back cache to the main cache.
+    pub bounces: u64,
+    /// Swaps between main and auxiliary cache.
+    pub swaps: u64,
+    /// Prefetch requests issued.
+    pub prefetches: u64,
+    /// Prefetched lines that were referenced before eviction.
+    pub useful_prefetches: u64,
+    /// Cycles lost waiting on a locked cache (post-swap lock, write-buffer
+    /// pressure).
+    pub stall_cycles: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records bookkeeping common to every reference.
+    pub fn record_ref(&mut self, is_write: bool) {
+        self.refs += 1;
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+    }
+
+    /// Records the fetch of `lines` physical lines of `line_bytes` bytes.
+    pub fn record_fetch(&mut self, lines: u64, line_bytes: u64) {
+        self.lines_fetched += lines;
+        self.words_fetched += lines * line_bytes / sac_trace::WORD_BYTES;
+    }
+
+    /// Average memory access time in cycles (Figures 3, 6a, 8–12).
+    pub fn amat(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.mem_cycles as f64 / self.refs as f64
+        }
+    }
+
+    /// Miss ratio: references serviced by memory over total references
+    /// (Figure 7b). Bypassed references count as misses — they pay a
+    /// memory access.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            (self.misses + self.bypasses) as f64 / self.refs as f64
+        }
+    }
+
+    /// Hit ratio (main + auxiliary).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            (self.main_hits + self.aux_hits) as f64 / self.refs as f64
+        }
+    }
+
+    /// Words fetched from memory per reference (Figure 7a).
+    pub fn traffic_ratio(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.words_fetched as f64 / self.refs as f64
+        }
+    }
+
+    /// Fraction of all hits served by the main cache (Figure 6b).
+    pub fn main_hit_share(&self) -> f64 {
+        let hits = self.main_hits + self.aux_hits;
+        if hits == 0 {
+            0.0
+        } else {
+            self.main_hits as f64 / hits as f64
+        }
+    }
+
+    /// Main-cache hits over total references (Figure 6b stacks hit ratios).
+    pub fn main_hit_ratio(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.main_hits as f64 / self.refs as f64
+        }
+    }
+
+    /// Auxiliary-cache hits over total references.
+    pub fn aux_hit_ratio(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.aux_hits as f64 / self.refs as f64
+        }
+    }
+
+    /// Percentage of this configuration's misses removed relative to a
+    /// baseline (Figure 9a), e.g.
+    /// `soft.metrics().misses_removed_vs(&standard.metrics())`.
+    pub fn misses_removed_vs(&self, baseline: &Metrics) -> f64 {
+        let base = baseline.misses + baseline.bypasses;
+        if base == 0 {
+            0.0
+        } else {
+            100.0 * (base as f64 - (self.misses + self.bypasses) as f64) / base as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "refs={} amat={:.3} miss={:.4} traffic={:.3} (main {} / aux {} / miss {})",
+            self.refs,
+            self.amat(),
+            self.miss_ratio(),
+            self.traffic_ratio(),
+            self.main_hits,
+            self.aux_hits,
+            self.misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let m = Metrics {
+            refs: 100,
+            main_hits: 80,
+            aux_hits: 10,
+            misses: 10,
+            mem_cycles: 300,
+            words_fetched: 40,
+            ..Metrics::default()
+        };
+        assert!((m.amat() - 3.0).abs() < 1e-12);
+        assert!((m.miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((m.hit_ratio() - 0.9).abs() < 1e-12);
+        assert!((m.traffic_ratio() - 0.4).abs() < 1e-12);
+        assert!((m.main_hit_share() - 80.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_do_not_divide_by_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.amat(), 0.0);
+        assert_eq!(m.miss_ratio(), 0.0);
+        assert_eq!(m.main_hit_share(), 0.0);
+    }
+
+    #[test]
+    fn misses_removed_percentage() {
+        let base = Metrics {
+            misses: 200,
+            ..Metrics::default()
+        };
+        let improved = Metrics {
+            misses: 150,
+            ..Metrics::default()
+        };
+        assert!((improved.misses_removed_vs(&base) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bypasses_count_as_misses() {
+        let m = Metrics {
+            refs: 10,
+            bypasses: 5,
+            misses: 1,
+            ..Metrics::default()
+        };
+        assert!((m.miss_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_fetch_counts_words() {
+        let mut m = Metrics::new();
+        m.record_fetch(2, 32);
+        assert_eq!(m.lines_fetched, 2);
+        assert_eq!(m.words_fetched, 8);
+    }
+}

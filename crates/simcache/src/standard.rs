@@ -1,0 +1,198 @@
+//! The Standard baseline: a plain write-back, write-allocate LRU cache.
+
+use crate::clock::Clock;
+use crate::{
+    CacheGeometry, CacheSim, MemoryModel, Metrics, TagArray, WriteBuffer, MAIN_HIT_CYCLES,
+};
+use sac_trace::Access;
+
+/// The paper's *Standard* cache (and, with other geometries, every plain
+/// set-associative configuration of Figures 8b, 9a and 9b).
+///
+/// Write-back, write-allocate, LRU replacement, a write buffer for dirty
+/// victims. Ignores the software tags entirely.
+///
+/// ```
+/// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel, StandardCache};
+/// use sac_trace::Access;
+///
+/// let mut c = StandardCache::new(CacheGeometry::standard(), MemoryModel::default());
+/// c.access(&Access::read(0));        // miss: 20 + 2 cycles
+/// c.access(&Access::read(8));        // hit in the same line: 1 cycle
+/// assert_eq!(c.metrics().mem_cycles, 23);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StandardCache {
+    geom: CacheGeometry,
+    mem: MemoryModel,
+    tags: TagArray,
+    wb: WriteBuffer,
+    clock: Clock,
+    metrics: Metrics,
+}
+
+impl StandardCache {
+    /// Creates the cache with the standard 8-entry write buffer.
+    pub fn new(geom: CacheGeometry, mem: MemoryModel) -> Self {
+        let wb = WriteBuffer::new(8, mem.transfer_cycles(geom.line_bytes()));
+        StandardCache {
+            geom,
+            mem,
+            tags: TagArray::new(geom),
+            wb,
+            clock: Clock::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The memory model.
+    pub fn memory(&self) -> MemoryModel {
+        self.mem
+    }
+}
+
+impl CacheSim for StandardCache {
+    fn access(&mut self, a: &Access) {
+        self.metrics.record_ref(a.kind().is_write());
+        let mut cost = self.clock.arrive(a.gap());
+        self.metrics.stall_cycles += cost;
+
+        let line = self.geom.line_of(a.addr());
+        if let Some(idx) = self.tags.probe(line) {
+            if a.kind().is_write() {
+                self.tags.entry_at_mut(idx).dirty = true;
+            }
+            self.metrics.main_hits += 1;
+            cost += MAIN_HIT_CYCLES;
+        } else {
+            self.metrics.misses += 1;
+            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
+            self.metrics.record_fetch(1, self.geom.line_bytes());
+            let way = self.tags.victim_way(line);
+            let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
+            if old.valid && old.dirty {
+                self.metrics.writebacks += 1;
+                // The 2-cycle transfer hides under the miss penalty; only
+                // write-buffer pressure shows up as stall.
+                let stall = self.wb.push(self.clock.now());
+                self.metrics.stall_cycles += stall;
+                cost += stall;
+            }
+        }
+        self.metrics.mem_cycles += cost;
+        self.clock.complete(cost);
+    }
+
+    fn invalidate_all(&mut self) {
+        self.metrics.writebacks += self.tags.invalidate_all();
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_trace::Trace;
+
+    fn small() -> StandardCache {
+        // 4 lines of 32 B, direct-mapped; 20-cycle latency, 16 B bus.
+        StandardCache::new(CacheGeometry::new(128, 32, 1), MemoryModel::default())
+    }
+
+    #[test]
+    fn cold_miss_then_hits_within_line() {
+        let mut c = small();
+        c.access(&Access::read(0));
+        c.access(&Access::read(8));
+        c.access(&Access::read(24));
+        let m = c.metrics();
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.main_hits, 2);
+        assert_eq!(m.mem_cycles, 22 + 1 + 1);
+    }
+
+    #[test]
+    fn conflict_misses_in_direct_mapped() {
+        let mut c = small();
+        // Lines 0 and 4 conflict (4 sets).
+        for _ in 0..3 {
+            c.access(&Access::read(0));
+            c.access(&Access::read(4 * 32));
+        }
+        assert_eq!(c.metrics().misses, 6);
+    }
+
+    #[test]
+    fn associativity_removes_conflicts() {
+        let geom = CacheGeometry::new(128, 32, 2);
+        let mut c = StandardCache::new(geom, MemoryModel::default());
+        for _ in 0..3 {
+            c.access(&Access::read(0));
+            c.access(&Access::read(2 * 32)); // same set in 2-set cache
+        }
+        assert_eq!(c.metrics().misses, 2);
+        assert_eq!(c.metrics().main_hits, 4);
+    }
+
+    #[test]
+    fn write_allocate_marks_dirty_and_writes_back() {
+        let mut c = small();
+        c.access(&Access::write(0)); // allocate dirty
+        c.access(&Access::read(4 * 32)); // evicts dirty line 0
+        assert_eq!(c.metrics().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(&Access::read(0));
+        c.access(&Access::write(8));
+        c.access(&Access::read(4 * 32));
+        assert_eq!(c.metrics().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_does_not_write_back() {
+        let mut c = small();
+        c.access(&Access::read(0));
+        c.access(&Access::read(4 * 32));
+        assert_eq!(c.metrics().writebacks, 0);
+    }
+
+    #[test]
+    fn amat_of_pure_miss_stream() {
+        let mut c = small();
+        // Strided so every access misses: 4-set cache, stride = one set's
+        // worth so each access maps to a new line.
+        let trace: Trace = (0..100u64).map(|i| Access::read(i * 128 * 8)).collect();
+        c.run(&trace);
+        assert_eq!(c.metrics().misses, 100);
+        assert!(
+            (c.metrics().amat() - 22.0).abs() < 0.5,
+            "write-buffer noise only"
+        );
+    }
+
+    #[test]
+    fn traffic_counts_words_per_line() {
+        let mut c = small();
+        c.access(&Access::read(0));
+        assert_eq!(c.metrics().words_fetched, 4);
+    }
+
+    #[test]
+    fn tags_are_ignored_by_standard_cache() {
+        let mut c = small();
+        c.access(&Access::read(0).with_temporal(true).with_spatial(true));
+        // Spatial tag does not trigger a multi-line fill here.
+        assert_eq!(c.metrics().lines_fetched, 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Jouppi's stream buffers (§5 related work).
+//!
+//! N FIFO buffers of K entries each sit beside the cache. A miss that
+//! hits the *head* of a buffer pops it into the main cache and the buffer
+//! fetches one more line at its tail; a miss that hits no head allocates
+//! the least-recently-used buffer to a fresh stream. The paper's critique
+//! is structural: the mechanism stops working when a loop body touches
+//! more streams than there are buffers — visible in this model by
+//! comparing `useful_prefetches` across buffer counts.
+
+use crate::clock::Clock;
+use crate::{
+    CacheGeometry, CacheSim, MemoryModel, Metrics, TagArray, WriteBuffer, MAIN_HIT_CYCLES,
+};
+use sac_trace::Access;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+struct StreamBuf {
+    /// Pending lines, oldest (head) first, with their arrival times.
+    entries: VecDeque<(u64, u64)>,
+    /// Next line the buffer will fetch when it advances.
+    next_line: u64,
+    lru: u64,
+}
+
+/// A standard cache backed by `N` stream buffers of `K` entries.
+///
+/// ```
+/// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel, StreamBufferCache};
+/// use sac_trace::Access;
+///
+/// let mut c = StreamBufferCache::new(
+///     CacheGeometry::standard(),
+///     MemoryModel::default(),
+///     4,
+///     4,
+/// );
+/// c.access(&Access::read(0));                  // miss: allocates a stream
+/// c.access(&Access::read(32).with_gap(200));   // head hit
+/// assert_eq!(c.metrics().aux_hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamBufferCache {
+    geom: CacheGeometry,
+    mem: MemoryModel,
+    tags: TagArray,
+    buffers: Vec<StreamBuf>,
+    depth: usize,
+    wb: WriteBuffer,
+    clock: Clock,
+    lru_clock: u64,
+    metrics: Metrics,
+}
+
+impl StreamBufferCache {
+    /// Creates the cache with `buffers` stream buffers of `depth` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffers` or `depth` is zero.
+    pub fn new(geom: CacheGeometry, mem: MemoryModel, buffers: u32, depth: u32) -> Self {
+        assert!(buffers > 0 && depth > 0, "need at least one buffer entry");
+        let wb = WriteBuffer::new(8, mem.transfer_cycles(geom.line_bytes()));
+        StreamBufferCache {
+            geom,
+            mem,
+            tags: TagArray::new(geom),
+            buffers: (0..buffers)
+                .map(|_| StreamBuf {
+                    entries: VecDeque::new(),
+                    next_line: 0,
+                    lru: 0,
+                })
+                .collect(),
+            depth: depth as usize,
+            wb,
+            clock: Clock::new(),
+            lru_clock: 0,
+            metrics: Metrics::new(),
+        }
+    }
+
+    fn fill_main(&mut self, line: u64, a: &Access) -> u64 {
+        let way = self.tags.victim_way(line);
+        let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
+        if old.valid && old.dirty {
+            self.metrics.writebacks += 1;
+            self.wb.push(self.clock.now())
+        } else {
+            0
+        }
+    }
+
+    /// Starts a fresh stream at `line + 1` in the LRU buffer.
+    fn allocate_stream(&mut self, line: u64) {
+        self.lru_clock += 1;
+        let lru_clock = self.lru_clock;
+        let fetch = self.mem.fetch_cycles(1, self.geom.line_bytes());
+        let transfer = self.mem.transfer_cycles(self.geom.line_bytes());
+        let now = self.clock.now();
+        let depth = self.depth;
+        let buf = self
+            .buffers
+            .iter_mut()
+            .min_by_key(|b| b.lru)
+            .expect("at least one buffer");
+        buf.lru = lru_clock;
+        buf.entries.clear();
+        for k in 0..depth as u64 {
+            buf.entries
+                .push_back((line + 1 + k, now + fetch + k * transfer));
+        }
+        buf.next_line = line + 1 + depth as u64;
+        self.metrics.prefetches += depth as u64;
+        self.metrics
+            .record_fetch(depth as u64, self.geom.line_bytes());
+    }
+}
+
+impl CacheSim for StreamBufferCache {
+    fn access(&mut self, a: &Access) {
+        self.metrics.record_ref(a.kind().is_write());
+        let mut cost = self.clock.arrive(a.gap());
+        self.metrics.stall_cycles += cost;
+
+        let line = self.geom.line_of(a.addr());
+        if let Some(idx) = self.tags.probe(line) {
+            if a.kind().is_write() {
+                self.tags.entry_at_mut(idx).dirty = true;
+            }
+            self.metrics.main_hits += 1;
+            cost += MAIN_HIT_CYCLES;
+        } else if let Some(bi) = self
+            .buffers
+            .iter()
+            .position(|b| b.entries.front().is_some_and(|&(l, _)| l == line))
+        {
+            // Head hit: pop into the main cache, advance the stream.
+            self.metrics.aux_hits += 1;
+            self.metrics.useful_prefetches += 1;
+            self.lru_clock += 1;
+            self.buffers[bi].lru = self.lru_clock;
+            let (_, ready) = self.buffers[bi].entries.pop_front().expect("head checked");
+            cost += MAIN_HIT_CYCLES.max(ready.saturating_sub(self.clock.now()));
+            let next = self.buffers[bi].next_line;
+            self.buffers[bi].next_line += 1;
+            let arrive = self.clock.now() + cost + self.mem.fetch_cycles(1, self.geom.line_bytes());
+            self.buffers[bi].entries.push_back((next, arrive));
+            self.metrics.prefetches += 1;
+            self.metrics.record_fetch(1, self.geom.line_bytes());
+            cost += self.fill_main(line, a);
+        } else {
+            self.metrics.misses += 1;
+            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
+            self.metrics.record_fetch(1, self.geom.line_bytes());
+            cost += self.fill_main(line, a);
+            self.allocate_stream(line);
+        }
+        self.metrics.mem_cycles += cost;
+        self.clock.complete(cost);
+    }
+
+    fn invalidate_all(&mut self) {
+        self.metrics.writebacks += self.tags.invalidate_all();
+        for b in &mut self.buffers {
+            b.entries.clear();
+        }
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_trace::Trace;
+
+    fn cache(buffers: u32) -> StreamBufferCache {
+        StreamBufferCache::new(
+            CacheGeometry::new(1024, 32, 1),
+            MemoryModel::default(),
+            buffers,
+            4,
+        )
+    }
+
+    #[test]
+    fn single_stream_is_absorbed() {
+        let mut c = cache(2);
+        let trace: Trace = (0..64u64)
+            .map(|i| Access::read(i * 32).with_gap(100))
+            .collect();
+        c.run(&trace);
+        assert_eq!(c.metrics().misses, 1, "only the stream start misses");
+        assert_eq!(c.metrics().aux_hits, 63);
+    }
+
+    #[test]
+    fn too_many_streams_defeat_the_buffers() {
+        // The paper's critique: more concurrent streams than buffers.
+        let streams: Vec<u64> = vec![0, 1 << 20, 2 << 20, 3 << 20];
+        let interleaved: Trace = (0..64u64)
+            .flat_map(|i| {
+                streams
+                    .iter()
+                    .map(move |&b| Access::read(b + i * 32).with_gap(50))
+            })
+            .collect();
+        let few = {
+            let mut c = cache(2);
+            c.run(&interleaved);
+            c.metrics().aux_hits
+        };
+        let enough = {
+            let mut c = cache(4);
+            c.run(&interleaved);
+            c.metrics().aux_hits
+        };
+        assert!(enough > few * 5, "4 buffers {enough} vs 2 buffers {few}");
+    }
+
+    #[test]
+    fn non_head_lines_do_not_hit() {
+        let mut c = cache(1);
+        c.access(&Access::read(0).with_gap(100)); // stream {1,2,3,4}
+                                                  // Line 2 is in the buffer but not at the head: classic stream
+                                                  // buffers miss and re-allocate.
+        c.access(&Access::read(2 * 32).with_gap(100));
+        assert_eq!(c.metrics().misses, 2);
+        assert_eq!(c.metrics().aux_hits, 0);
+    }
+
+    #[test]
+    fn traffic_includes_prefetched_lines() {
+        let mut c = cache(2);
+        c.access(&Access::read(0));
+        // 1 demand + 4 prefetched lines.
+        assert_eq!(c.metrics().lines_fetched, 5);
+    }
+}

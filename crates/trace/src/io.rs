@@ -1,0 +1,361 @@
+//! Trace serialization: a compact binary format and a human-readable
+//! text format.
+//!
+//! The 1995 study had to build its own trace tooling (Spa + Sage++
+//! instrumentation); this module is our equivalent, so traces can be
+//! generated once and replayed across simulator configurations or shared
+//! between machines.
+//!
+//! # Binary format (`SACT` v1)
+//!
+//! ```text
+//! magic   4 bytes  b"SACT"
+//! version u32 LE   1
+//! namelen u32 LE   n
+//! name    n bytes  UTF-8
+//! count   u64 LE   number of entries
+//! entries count × 16 bytes: addr u64 LE, instr u32 LE, gap u16 LE,
+//!                           flags u8 (bit0 write, bit1 temporal,
+//!                           bit2 spatial), pad u8 = 0
+//! ```
+//!
+//! # Text format
+//!
+//! One entry per line: `R|W <hex addr> <t> <s> <gap> <instr>`, with `#`
+//! comments and a `# trace: <name>` header. Round-trips losslessly.
+
+use crate::{Access, AccessKind, Trace};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+const MAGIC: &[u8; 4] = b"SACT";
+const VERSION: u32 = 1;
+
+/// Errors raised while reading a serialized trace.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong magic bytes / version.
+    BadHeader(String),
+    /// A malformed entry (with its index or line number).
+    BadEntry(String),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::BadHeader(m) => write!(f, "bad trace header: {m}"),
+            ReadError::BadEntry(m) => write!(f, "bad trace entry: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Writes a trace in the binary `SACT` format.
+///
+/// A `&mut` reference may be passed for `w` (any `Write` works).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name().as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for a in trace {
+        w.write_all(&a.addr().to_le_bytes())?;
+        w.write_all(&a.instr().to_le_bytes())?;
+        w.write_all(&(a.gap() as u16).to_le_bytes())?;
+        let flags: u8 = u8::from(a.kind().is_write())
+            | (u8::from(a.temporal()) << 1)
+            | (u8::from(a.spatial()) << 2)
+            | (a.spatial_level() << 3);
+        w.write_all(&[flags, 0])?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the binary `SACT` format.
+///
+/// A `&mut` reference may be passed for `r` (any `Read` works).
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on I/O failure, bad magic/version, or a
+/// truncated entry section.
+pub fn read_binary<R: Read>(r: R) -> Result<Trace, ReadError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadError::BadHeader(format!("magic {magic:?}")));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(ReadError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let namelen = read_u32(&mut r)? as usize;
+    if namelen > 1 << 20 {
+        return Err(ReadError::BadHeader(format!("name length {namelen}")));
+    }
+    let mut name = vec![0u8; namelen];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|e| ReadError::BadHeader(format!("name not UTF-8: {e}")))?;
+    let count = read_u64(&mut r)? as usize;
+    let mut trace = Trace::with_capacity(name, count.min(1 << 24));
+    let mut buf = [0u8; 16];
+    for i in 0..count {
+        r.read_exact(&mut buf)
+            .map_err(|e| ReadError::BadEntry(format!("entry {i}: {e}")))?;
+        let addr = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let instr = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let gap = u16::from_le_bytes(buf[12..14].try_into().expect("2 bytes"));
+        let flags = buf[14];
+        let kind = if flags & 1 != 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        trace.push(
+            Access::new(addr, kind)
+                .with_temporal(flags & 2 != 0)
+                .with_spatial(flags & 4 != 0)
+                .with_spatial_level((flags >> 3) & 0b11)
+                .with_gap(gap as u32)
+                .with_instr(instr),
+        );
+    }
+    Ok(trace)
+}
+
+/// Writes a trace in the human-readable text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_text<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    writeln!(w, "# trace: {}", trace.name())?;
+    writeln!(w, "# kind addr temporal spatial gap instr level")?;
+    for a in trace {
+        writeln!(
+            w,
+            "{} {:#x} {} {} {} {} {}",
+            a.kind(),
+            a.addr(),
+            u8::from(a.temporal()),
+            u8::from(a.spatial()),
+            a.gap(),
+            a.instr(),
+            a.spatial_level()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format.
+///
+/// # Errors
+///
+/// Returns [`ReadError::BadEntry`] with the line number on malformed
+/// lines.
+pub fn read_text<R: Read>(r: R) -> Result<Trace, ReadError> {
+    let r = BufReader::new(r);
+    let mut trace = Trace::new("anonymous");
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("# trace:") {
+            trace = trace.with_name(rest.trim());
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |m: &str| ReadError::BadEntry(format!("line {}: {m}", lineno + 1));
+        let kind = match parts.next() {
+            Some("R") => AccessKind::Read,
+            Some("W") => AccessKind::Write,
+            other => return Err(err(&format!("bad kind {other:?}"))),
+        };
+        let addr_s = parts.next().ok_or_else(|| err("missing address"))?;
+        let addr = parse_u64(addr_s).ok_or_else(|| err("bad address"))?;
+        let temporal = parts.next() == Some("1");
+        let spatial = {
+            let s = parts.next().ok_or_else(|| err("missing spatial bit"))?;
+            s == "1"
+        };
+        let gap: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad gap"))?;
+        let instr: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad instr"))?;
+        // Optional trailing spatial level (older traces omit it).
+        let level: u8 = match parts.next() {
+            None => 0,
+            Some(s) => s.parse().map_err(|_| err("bad level"))?,
+        };
+        if level > 3 {
+            return Err(err("level out of range"));
+        }
+        trace.push(
+            Access::new(addr, kind)
+                .with_temporal(temporal)
+                .with_spatial(spatial)
+                .with_spatial_level(level)
+                .with_gap(gap)
+                .with_instr(instr),
+        );
+    }
+    Ok(trace)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, ReadError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, ReadError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GapModel;
+
+    fn sample_trace() -> Trace {
+        let mut gaps = GapModel::seeded(3);
+        let mut t = Trace::new("sample");
+        for i in 0..500u64 {
+            let a = if i % 3 == 0 {
+                Access::write(i * 24 + 5)
+            } else {
+                Access::read(i * 8)
+            };
+            t.push(
+                a.with_temporal(i % 2 == 0)
+                    .with_spatial(i % 5 == 0)
+                    .with_spatial_level((i % 4) as u8)
+                    .with_gap(gaps.sample())
+                    .with_instr((i % 7) as u32),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_text(&t, &mut buf).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_size_is_compact() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        // 16 bytes per entry plus a small header.
+        assert!(buf.len() < 16 * t.len() + 64);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_binary(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader(_)));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        write_binary(&Trace::new("x"), &mut buf).unwrap();
+        buf[4] = 99;
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader(_)));
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_entries_rejected() {
+        let mut buf = Vec::new();
+        write_binary(&sample_trace(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadEntry(_)));
+    }
+
+    #[test]
+    fn text_tolerates_comments_and_blank_lines() {
+        let text = "# trace: demo\n\n# a comment\nR 0x40 1 0 3 9\nW 16 0 1 1 2\n";
+        let t = read_text(text.as_bytes()).unwrap();
+        assert_eq!(t.name(), "demo");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.as_slice()[0].addr(), 0x40);
+        assert!(t.as_slice()[0].temporal());
+        assert_eq!(t.as_slice()[1].kind(), AccessKind::Write);
+        assert_eq!(t.as_slice()[1].addr(), 16);
+    }
+
+    #[test]
+    fn malformed_text_lines_report_line_numbers() {
+        let err = read_text(&b"R zzz 1 0 3 9"[..]).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = read_text(&b"R 0x40 1 0 3\n"[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadEntry(_)));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new("empty");
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), t);
+    }
+}

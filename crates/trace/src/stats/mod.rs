@@ -1,0 +1,16 @@
+//! Trace-analysis passes behind the paper's characterization figures.
+//!
+//! * [`ReuseHistogram`] — Figure 1a, the distribution of references over
+//!   temporal reuse distances,
+//! * [`VectorLengths`] — Figure 1b, the distribution of references over the
+//!   byte length of the vector stream their load/store instruction issues,
+//! * [`TagFractions`] — Figure 4a, the fraction of references in each
+//!   temporal × spatial tag class.
+
+mod reuse;
+mod tags;
+mod vectors;
+
+pub use reuse::{ReuseBand, ReuseHistogram};
+pub use tags::{TagClass, TagFractions};
+pub use vectors::{VectorBand, VectorLengths};

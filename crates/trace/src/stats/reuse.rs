@@ -1,0 +1,211 @@
+//! Reuse-distance distribution (paper Figure 1a).
+
+use crate::Trace;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The reuse-distance bands plotted in Figure 1a.
+///
+/// A reference's *reuse distance* is the number of references issued between
+/// it and the next reference to the same data word; a word referenced for
+/// the last time falls into [`ReuseBand::NoReuse`] ("0 corresponds to data
+/// referenced only once" in the paper's caption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReuseBand {
+    /// The word is never referenced again.
+    NoReuse,
+    /// Next reuse within 1 to 10² references.
+    UpTo100,
+    /// Next reuse within 10² to 10³ references.
+    UpTo1k,
+    /// Next reuse within 10³ to 10⁴ references.
+    UpTo10k,
+    /// Next reuse beyond 10⁴ references.
+    Beyond10k,
+}
+
+impl ReuseBand {
+    /// All bands in plot order.
+    pub const ALL: [ReuseBand; 5] = [
+        ReuseBand::NoReuse,
+        ReuseBand::UpTo100,
+        ReuseBand::UpTo1k,
+        ReuseBand::UpTo10k,
+        ReuseBand::Beyond10k,
+    ];
+
+    /// Classifies a forward reuse distance (`None` = never reused).
+    pub fn classify(distance: Option<u64>) -> Self {
+        match distance {
+            None => ReuseBand::NoReuse,
+            Some(d) if d <= 100 => ReuseBand::UpTo100,
+            Some(d) if d <= 1_000 => ReuseBand::UpTo1k,
+            Some(d) if d <= 10_000 => ReuseBand::UpTo10k,
+            Some(_) => ReuseBand::Beyond10k,
+        }
+    }
+
+    /// The label used in the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReuseBand::NoReuse => "no reuse",
+            ReuseBand::UpTo100 => "1 - 10^2",
+            ReuseBand::UpTo1k => "10^2 - 10^3",
+            ReuseBand::UpTo10k => "10^3 - 10^4",
+            ReuseBand::Beyond10k => "> 10^4",
+        }
+    }
+}
+
+impl fmt::Display for ReuseBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Distribution of a trace's references over reuse-distance bands.
+///
+/// ```
+/// use sac_trace::{Access, Trace};
+/// use sac_trace::stats::{ReuseBand, ReuseHistogram};
+///
+/// // Word 0 is reused at distance 1; word 8 never again.
+/// let trace: Trace = [Access::read(0), Access::read(0), Access::read(8)]
+///     .into_iter()
+///     .collect();
+/// let h = ReuseHistogram::of(&trace);
+/// assert!(h.fraction(ReuseBand::UpTo100) > 0.3);
+/// assert!(h.fraction(ReuseBand::NoReuse) > 0.6);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReuseHistogram {
+    counts: [u64; 5],
+    total: u64,
+}
+
+impl ReuseHistogram {
+    /// Computes the histogram for a trace (word granularity, forward
+    /// distances).
+    pub fn of(trace: &Trace) -> Self {
+        // Backward pass records, for each reference, the index of the next
+        // reference to the same word.
+        let n = trace.len();
+        let mut next_use: HashMap<u64, u64> = HashMap::new();
+        let mut counts = [0u64; 5];
+        // Iterate backward so `next_use` holds the *next* use when visited.
+        for (i, a) in trace.iter().enumerate().rev() {
+            let i = i as u64;
+            let dist = next_use.insert(a.word(), i).map(|next| next - i);
+            counts[band_index(ReuseBand::classify(dist))] += 1;
+        }
+        ReuseHistogram {
+            counts,
+            total: n as u64,
+        }
+    }
+
+    /// Fraction of references in the given band (0 if the trace is empty).
+    pub fn fraction(&self, band: ReuseBand) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[band_index(band)] as f64 / self.total as f64
+        }
+    }
+
+    /// Raw count in the given band.
+    pub fn count(&self, band: ReuseBand) -> u64 {
+        self.counts[band_index(band)]
+    }
+
+    /// Total number of references analysed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The fractions in plot order (Figure 1a bar segments).
+    pub fn fractions(&self) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        for (i, band) in ReuseBand::ALL.into_iter().enumerate() {
+            out[i] = self.fraction(band);
+        }
+        out
+    }
+}
+
+fn band_index(band: ReuseBand) -> usize {
+    ReuseBand::ALL
+        .iter()
+        .position(|&b| b == band)
+        .expect("band")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Access;
+
+    fn trace_of(addrs: &[u64]) -> Trace {
+        addrs.iter().map(|&a| Access::read(a)).collect()
+    }
+
+    #[test]
+    fn classify_boundaries() {
+        assert_eq!(ReuseBand::classify(None), ReuseBand::NoReuse);
+        assert_eq!(ReuseBand::classify(Some(1)), ReuseBand::UpTo100);
+        assert_eq!(ReuseBand::classify(Some(100)), ReuseBand::UpTo100);
+        assert_eq!(ReuseBand::classify(Some(101)), ReuseBand::UpTo1k);
+        assert_eq!(ReuseBand::classify(Some(1_000)), ReuseBand::UpTo1k);
+        assert_eq!(ReuseBand::classify(Some(10_000)), ReuseBand::UpTo10k);
+        assert_eq!(ReuseBand::classify(Some(10_001)), ReuseBand::Beyond10k);
+    }
+
+    #[test]
+    fn single_use_words_have_no_reuse() {
+        let h = ReuseHistogram::of(&trace_of(&[0, 8, 16, 24]));
+        assert_eq!(h.count(ReuseBand::NoReuse), 4);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn immediate_reuse_lands_in_first_band() {
+        // Word 0 referenced three times: two entries with forward reuse,
+        // the final one with none.
+        let h = ReuseHistogram::of(&trace_of(&[0, 0, 0]));
+        assert_eq!(h.count(ReuseBand::UpTo100), 2);
+        assert_eq!(h.count(ReuseBand::NoReuse), 1);
+    }
+
+    #[test]
+    fn long_distance_reuse() {
+        // Word 0, then 1500 distinct fillers, then word 0 again.
+        let mut addrs: Vec<u64> = vec![0];
+        addrs.extend((1..=1500u64).map(|i| i * 8));
+        addrs.push(0);
+        let h = ReuseHistogram::of(&trace_of(&addrs));
+        assert_eq!(h.count(ReuseBand::UpTo10k), 1);
+    }
+
+    #[test]
+    fn sub_word_addresses_share_a_word() {
+        let h = ReuseHistogram::of(&trace_of(&[0, 4]));
+        // 0 and 4 are in the same 8-byte word: the first entry is a reuse.
+        assert_eq!(h.count(ReuseBand::UpTo100), 1);
+        assert_eq!(h.count(ReuseBand::NoReuse), 1);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let addrs: Vec<u64> = (0..1000u64).map(|i| (i % 37) * 8).collect();
+        let h = ReuseHistogram::of(&trace_of(&addrs));
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let h = ReuseHistogram::of(&Trace::new("e"));
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction(ReuseBand::NoReuse), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Software-tag fractions (paper Figure 4a).
+
+use crate::Trace;
+use std::fmt;
+
+/// The four temporal × spatial tag classes of Figure 4a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TagClass {
+    /// Neither tag set.
+    None,
+    /// Spatial tag only.
+    SpatialOnly,
+    /// Temporal tag only.
+    TemporalOnly,
+    /// Both tags set.
+    Both,
+}
+
+impl TagClass {
+    /// All classes in the plot order of Figure 4a.
+    pub const ALL: [TagClass; 4] = [
+        TagClass::None,
+        TagClass::SpatialOnly,
+        TagClass::TemporalOnly,
+        TagClass::Both,
+    ];
+
+    /// Classifies a pair of tag bits.
+    pub fn classify(temporal: bool, spatial: bool) -> Self {
+        match (temporal, spatial) {
+            (false, false) => TagClass::None,
+            (false, true) => TagClass::SpatialOnly,
+            (true, false) => TagClass::TemporalOnly,
+            (true, true) => TagClass::Both,
+        }
+    }
+
+    /// The label used in the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            TagClass::None => "no temporal, no spatial",
+            TagClass::SpatialOnly => "no temporal, spatial",
+            TagClass::TemporalOnly => "temporal, no spatial",
+            TagClass::Both => "temporal, spatial",
+        }
+    }
+}
+
+impl fmt::Display for TagClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fractions of a trace's references in each tag class.
+///
+/// ```
+/// use sac_trace::{Access, Trace};
+/// use sac_trace::stats::{TagClass, TagFractions};
+///
+/// let trace: Trace = [
+///     Access::read(0).with_spatial(true),
+///     Access::read(8).with_temporal(true).with_spatial(true),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let f = TagFractions::of(&trace);
+/// assert_eq!(f.fraction(TagClass::SpatialOnly), 0.5);
+/// assert_eq!(f.fraction(TagClass::Both), 0.5);
+/// assert_eq!(f.temporal_fraction(), 0.5);
+/// assert_eq!(f.spatial_fraction(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TagFractions {
+    counts: [u64; 4],
+    total: u64,
+}
+
+impl TagFractions {
+    /// Counts the tag classes over a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut counts = [0u64; 4];
+        for a in trace {
+            counts[class_index(TagClass::classify(a.temporal(), a.spatial()))] += 1;
+        }
+        TagFractions {
+            counts,
+            total: trace.len() as u64,
+        }
+    }
+
+    /// Fraction of references in the given class.
+    pub fn fraction(&self, class: TagClass) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[class_index(class)] as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of references with the temporal tag set (either class).
+    pub fn temporal_fraction(&self) -> f64 {
+        self.fraction(TagClass::TemporalOnly) + self.fraction(TagClass::Both)
+    }
+
+    /// Fraction of references with the spatial tag set (either class).
+    pub fn spatial_fraction(&self) -> f64 {
+        self.fraction(TagClass::SpatialOnly) + self.fraction(TagClass::Both)
+    }
+
+    /// Total references analysed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The fractions in plot order (Figure 4a bar segments).
+    pub fn fractions(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for (i, class) in TagClass::ALL.into_iter().enumerate() {
+            out[i] = self.fraction(class);
+        }
+        out
+    }
+}
+
+fn class_index(class: TagClass) -> usize {
+    TagClass::ALL
+        .iter()
+        .position(|&c| c == class)
+        .expect("class")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Access;
+
+    #[test]
+    fn classify_covers_all_combinations() {
+        assert_eq!(TagClass::classify(false, false), TagClass::None);
+        assert_eq!(TagClass::classify(false, true), TagClass::SpatialOnly);
+        assert_eq!(TagClass::classify(true, false), TagClass::TemporalOnly);
+        assert_eq!(TagClass::classify(true, true), TagClass::Both);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_on_mixed_trace() {
+        let mut t = Trace::new("m");
+        for i in 0..100u64 {
+            t.push(
+                Access::read(i * 8)
+                    .with_temporal(i % 2 == 0)
+                    .with_spatial(i % 3 == 0),
+            );
+        }
+        let f = TagFractions::of(&t);
+        let sum: f64 = f.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((f.temporal_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_fractions() {
+        let f = TagFractions::of(&Trace::new("e"));
+        assert_eq!(f.total(), 0);
+        assert_eq!(f.fraction(TagClass::Both), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! The trace container.
+
+use crate::Access;
+use std::fmt;
+
+/// A named sequence of tagged memory references.
+///
+/// Traces in the paper are produced by source-level instrumentation of the
+/// benchmark loop nests; here they are produced by the `sac-loopir`
+/// interpreter. A `Trace` owns its entries and exposes iteration plus a few
+/// cheap aggregates.
+///
+/// ```
+/// use sac_trace::{Access, Trace};
+///
+/// let trace: Trace = std::iter::repeat(Access::read(0x40)).take(3).collect();
+/// assert_eq!(trace.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    entries: Vec<Access>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given benchmark name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty trace with room for `cap` entries.
+    pub fn with_capacity(name: impl Into<String>, cap: usize) -> Self {
+        Trace {
+            name: name.into(),
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The benchmark name this trace was generated from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the trace (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Appends one reference.
+    pub fn push(&mut self, access: Access) {
+        self.entries.push(access);
+    }
+
+    /// Number of references.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace holds no references.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the references in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Access> {
+        self.entries.iter()
+    }
+
+    /// Borrows the underlying entries.
+    pub fn as_slice(&self) -> &[Access] {
+        &self.entries
+    }
+
+    /// Sum of all issue gaps, i.e. the issue time of the last reference.
+    pub fn issue_cycles(&self) -> u64 {
+        self.entries.iter().map(|a| a.gap() as u64).sum()
+    }
+
+    /// Number of distinct static instructions appearing in the trace.
+    pub fn instr_count(&self) -> usize {
+        let mut ids: Vec<u32> = self.entries.iter().map(|a| a.instr()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of distinct data words touched (the data footprint, in
+    /// words; multiply by [`crate::WORD_BYTES`] for bytes).
+    pub fn footprint_words(&self) -> usize {
+        let mut words: Vec<u64> = self.entries.iter().map(|a| a.word()).collect();
+        words.sort_unstable();
+        words.dedup();
+        words.len()
+    }
+
+    /// Fraction of references that are loads.
+    pub fn read_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let reads = self.entries.iter().filter(|a| a.kind().is_read()).count();
+        reads as f64 / self.entries.len() as f64
+    }
+}
+
+impl FromIterator<Access> for Trace {
+    fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
+        Trace {
+            name: String::from("anonymous"),
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Access> for Trace {
+    fn extend<I: IntoIterator<Item = Access>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Access;
+    type IntoIter = std::slice::Iter<'a, Access>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Access;
+    type IntoIter = std::vec::IntoIter<Access>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace '{}' ({} refs)", self.name, self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut t = Trace::new("t");
+        t.push(Access::read(0));
+        t.push(Access::write(8));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let kinds: Vec<AccessKind> = t.iter().map(|a| a.kind()).collect();
+        assert_eq!(kinds, vec![AccessKind::Read, AccessKind::Write]);
+    }
+
+    #[test]
+    fn issue_cycles_sums_gaps() {
+        let mut t = Trace::new("t");
+        t.push(Access::read(0).with_gap(2));
+        t.push(Access::read(8).with_gap(10));
+        assert_eq!(t.issue_cycles(), 12);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace = (0..4).map(|i| Access::read(i * 8)).collect();
+        assert_eq!(t.len(), 4);
+        t.extend([Access::write(0)]);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn instr_count_dedups() {
+        let mut t = Trace::new("t");
+        for i in 0..10u32 {
+            t.push(Access::read(8 * i as u64).with_instr(i % 3));
+        }
+        assert_eq!(t.instr_count(), 3);
+    }
+
+    #[test]
+    fn empty_trace_aggregates() {
+        let t = Trace::new("e");
+        assert!(t.is_empty());
+        assert_eq!(t.issue_cycles(), 0);
+        assert_eq!(t.instr_count(), 0);
+        assert_eq!(t.footprint_words(), 0);
+        assert_eq!(t.read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn footprint_and_read_fraction() {
+        let mut t = Trace::new("f");
+        t.push(Access::read(0));
+        t.push(Access::read(4)); // same word
+        t.push(Access::write(8));
+        t.push(Access::read(16));
+        assert_eq!(t.footprint_words(), 3);
+        assert!((t.read_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! The NAS stand-in: a multigrid-style smoothing kernel.
+//!
+//! Jacobi sweeps of a 5-point stencil over a grid an order of magnitude
+//! larger than the cache, followed by a copy-back pass — the structure of
+//! the NAS MG smoother. The five stencil reads of `U` form one uniformly
+//! generated group (their flattened subscripts differ by ±1 and ±ld), so
+//! all are temporal and the leading one carries the spatial tag.
+
+use sac_loopir::{aff, idx, Program};
+
+/// NAS stand-in parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Grid extent (default 200 → 320 KB per grid).
+    pub n: i64,
+    /// Number of smoothing sweeps.
+    pub sweeps: i64,
+}
+
+impl Params {
+    /// Scaled-down instance for tests.
+    pub fn small() -> Self {
+        Params { n: 48, sweeps: 2 }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { n: 200, sweeps: 3 }
+    }
+}
+
+/// Builds the smoothing kernel.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn program(params: Params) -> Program {
+    assert!(params.n >= 4, "grid too small for a 5-point stencil");
+    assert!(params.sweeps >= 1, "at least one sweep");
+    let n = params.n;
+    let mut p = Program::new("NAS");
+    let t = p.var("t");
+    let i = p.var("i");
+    let j = p.var("j");
+    let u = p.array("U", &[n, n]);
+    let v = p.array("V", &[n, n]);
+
+    p.body(|s| {
+        s.for_driver(t, 0, params.sweeps, |s| {
+            // Smooth: V = stencil(U).
+            s.for_(j, 1, n - 1, |s| {
+                s.for_(i, 1, n - 1, |s| {
+                    s.read(u, &[aff(&[(i, 1)], -1), idx(j)]);
+                    s.read(u, &[aff(&[(i, 1)], 1), idx(j)]);
+                    s.read(u, &[idx(i), aff(&[(j, 1)], -1)]);
+                    s.read(u, &[idx(i), aff(&[(j, 1)], 1)]);
+                    s.read(u, &[idx(i), idx(j)]);
+                    s.write(v, &[idx(i), idx(j)]);
+                });
+            });
+            // Copy back: U = V.
+            s.for_(j, 0, n, |s| {
+                s.for_(i, 0, n, |s| {
+                    s.read(v, &[idx(i), idx(j)]);
+                    s.write(u, &[idx(i), idx(j)]);
+                });
+            });
+        });
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_loopir::TraceOptions;
+    use sac_trace::stats::TagFractions;
+
+    #[test]
+    fn reference_count() {
+        let params = Params { n: 10, sweeps: 2 };
+        let t = program(params)
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        assert_eq!(t.len(), 2 * (8 * 8 * 6 + 10 * 10 * 2));
+    }
+
+    #[test]
+    fn stencil_reads_are_temporal() {
+        // The smoother's five U reads form a uniformly generated group;
+        // the copy pass and V write are spatial-only. The sweep loop is a
+        // driver (each sweep is a subroutine invocation), so it creates
+        // no temporal invariance.
+        let t = program(Params::small())
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        let f = TagFractions::of(&t);
+        assert!(
+            (0.4..0.8).contains(&f.temporal_fraction()),
+            "{}",
+            f.temporal_fraction()
+        );
+        assert!(f.spatial_fraction() > 0.3);
+    }
+
+    #[test]
+    fn only_group_leaders_are_spatial_in_the_stencil() {
+        let p = program(Params { n: 16, sweeps: 1 });
+        let tags = p.analyze();
+        // Refs 0..=4 are the U reads, ref 5 the V write; the leader among
+        // the U group is U(i, j+1) — index 3.
+        let spatial: Vec<bool> = tags.iter().take(6).map(|t| t.spatial).collect();
+        assert_eq!(spatial, vec![false, false, false, true, false, true]);
+        assert!(tags[..5].iter().all(|t| t.temporal));
+    }
+}

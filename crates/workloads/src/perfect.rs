@@ -1,0 +1,460 @@
+//! Perfect Club stand-ins: MDG, BDN, DYF, TRF (full benchmarks) and the
+//! Figure 10a kernel set ADM, MDG, BDN, DYF, ARC, FLO, TRF.
+//!
+//! The paper notes that the Perfect Club codes gain less from software
+//! assistance because (1) their test inputs have small working sets,
+//! (2) many loop bodies contain subroutine CALLs that kill the tags,
+//! (3) references outside loops are a large share of the total, and
+//! (4) some loops are badly ordered (non-stride-1). The *full* variants
+//! below reproduce those handicaps; the *kernel* variants model the
+//! manually instrumented, most time-consuming subroutines of Figure 10a
+//! (no CALLs, loop references dominate), where software assistance
+//! recovers its headroom.
+
+use sac_loopir::{aff, idx, lit, shift, Program};
+
+/// Whether to build the paper-scale or a scaled-down instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerfectScale {
+    /// Paper-scale (hundreds of thousands of references).
+    Full,
+    /// Test-scale (tens of thousands of references).
+    Small,
+}
+
+impl PerfectScale {
+    fn pick(self, full: i64, small: i64) -> i64 {
+        match self {
+            PerfectScale::Full => full,
+            PerfectScale::Small => small,
+        }
+    }
+}
+
+/// MDG: molecular-dynamics-like. Pair-interaction loops whose bodies
+/// contain a CALL (killing every tag, as the paper's analysis does), plus
+/// small tagged position-update sweeps. Small working set, mostly
+/// untagged references — the Figure 4a signature of MDG.
+pub fn mdg(scale: PerfectScale) -> Program {
+    build_mdg(scale, false)
+}
+
+fn build_mdg(scale: PerfectScale, kernel: bool) -> Program {
+    let nmol = scale.pick(400, 120);
+    let neigh = scale.pick(50, 16);
+    let steps = scale.pick(3, 2);
+    let mut p = Program::new("MDG");
+    let s_ = p.var("step");
+    let i = p.var("i");
+    let j = p.var("j");
+    let x = p.array("X", &[nmol]);
+    let y = p.array("Y", &[nmol]);
+    let z = p.array("Z", &[nmol]);
+    let f = p.array("F", &[nmol]);
+    let v = p.array("V", &[nmol]);
+
+    p.body(|b| {
+        b.for_driver(s_, 0, steps, |b| {
+            // Pair interactions; the CALL models the per-pair potential
+            // subroutine and clears the tags of the whole nest.
+            b.for_(i, 0, nmol, |b| {
+                b.for_(j, 0, neigh, |b| {
+                    b.read(x, &[idx(i)]);
+                    b.read(y, &[idx(i)]);
+                    b.read(z, &[idx(i)]);
+                    b.read(x, &[idx(j)]);
+                    b.read(y, &[idx(j)]);
+                    b.read(z, &[idx(j)]);
+                    b.read(f, &[idx(i)]);
+                    b.write(f, &[idx(i)]);
+                    if !kernel {
+                        b.call();
+                    }
+                });
+            });
+            // Position update: clean, taggable sweep.
+            b.for_(i, 0, nmol, |b| {
+                b.read(v, &[idx(i)]);
+                b.read(f, &[idx(i)]);
+                b.read(x, &[idx(i)]);
+                b.write(x, &[idx(i)]);
+            });
+        });
+    });
+    p
+}
+
+/// BDN: a filter-bank convolution over long signals, with an untagged
+/// (CALL-containing) setup pass in the full variant.
+pub fn bdn(scale: PerfectScale) -> Program {
+    build_bdn(scale, false)
+}
+
+fn build_bdn(scale: PerfectScale, kernel: bool) -> Program {
+    let n = scale.pick(6000, 1200);
+    let taps = 16;
+    let nfilters = 2;
+    let feats = 16;
+    let mut p = Program::new("BDN");
+    let f_ = p.var("f");
+    let i = p.var("i");
+    let k = p.var("k");
+    let input = p.array("IN", &[n + taps]);
+    let w = p.array("W", &[taps, nfilters]);
+    let out = p.array("OUT", &[n, nfilters]);
+    let feat = p.array("FEAT", &[n, 2]);
+
+    p.body(|b| {
+        if !kernel {
+            // Feature-extraction pass whose body CALLs a library routine:
+            // all of its references stay untagged, giving BDN the high
+            // no-tag fraction the paper reports (Figure 4a: MDG, BDN).
+            b.for_(i, 0, n, |b| {
+                b.for_(k, 0, feats, |b| {
+                    b.read(input, &[aff(&[(i, 1)], 0)]);
+                    b.read(feat, &[idx(i), lit(0)]);
+                    b.write(feat, &[idx(i), lit(1)]);
+                    b.call();
+                });
+            });
+        }
+        b.for_(f_, 0, nfilters, |b| {
+            b.for_(i, 0, n, |b| {
+                b.read(out, &[idx(i), idx(f_)]);
+                b.for_(k, 0, taps, |b| {
+                    b.read(input, &[aff(&[(i, 1), (k, 1)], 0)]);
+                    b.read(w, &[idx(k), idx(f_)]);
+                });
+                b.write(out, &[idx(i), idx(f_)]);
+            });
+        });
+    });
+    p
+}
+
+/// DYF: a structural-dynamics-like update — a strided row accumulator
+/// `R` reused across every column (temporal, but *not* spatial: its
+/// stride defeats the spatial rule), against coefficient/state streams
+/// that pollute the cache between reuses. This is the Figure 4a
+/// signature of DYF (temporal-no-spatial dominant) and the code where
+/// the bounce-back mechanism buys the most: `R` keeps getting flushed by
+/// the streams and bounced back.
+pub fn dyf(scale: PerfectScale) -> Program {
+    build_dyf(scale)
+}
+
+fn build_dyf(scale: PerfectScale) -> Program {
+    let nrows = scale.pick(200, 100);
+    let ncols = scale.pick(300, 100);
+    let sweeps = scale.pick(3, 2);
+    let mut p = Program::new("DYF");
+    let t = p.var("t");
+    let i = p.var("i");
+    let j = p.var("j");
+    // R is accessed with stride 4 (an interleaved record layout): the
+    // spatial rule (coefficient < 4) does not fire.
+    let r = p.array("R", &[4 * nrows]);
+    let c = p.array("C", &[nrows, ncols]);
+    let u = p.array("U", &[nrows, ncols]);
+    let w = p.array("W", &[nrows, ncols]);
+
+    p.body(|b| {
+        // The time-step loop calls the update routine: a driver loop.
+        b.for_driver(t, 0, sweeps, |b| {
+            b.for_(j, 0, ncols, |b| {
+                b.for_(i, 0, nrows, |b| {
+                    b.read(r, &[aff(&[(i, 4)], 0)]);
+                    b.read(c, &[idx(i), idx(j)]);
+                    b.read(u, &[idx(i), idx(j)]);
+                    b.write(w, &[idx(i), idx(j)]);
+                    b.write(r, &[aff(&[(i, 4)], 0)]);
+                });
+            });
+        });
+    });
+    p
+}
+
+/// TRF: transform-like phases — a transpose (one side non-stride-1, the
+/// paper's "badly ordered loops"), stride-1 scaling passes, and a
+/// strided butterfly that defeats the spatial tag. The full variant adds
+/// a CALL-killed pass.
+pub fn trf(scale: PerfectScale) -> Program {
+    build_trf(scale, false)
+}
+
+fn build_trf(scale: PerfectScale, kernel: bool) -> Program {
+    let n = scale.pick(100, 40);
+    let reps = scale.pick(4, 2);
+    let mut p = Program::new("TRF");
+    let r = p.var("r");
+    let i = p.var("i");
+    let j = p.var("j");
+    let a = p.array("A", &[n, n]);
+    let bmat = p.array("B", &[n, n]);
+    let work = p.array("WK", &[n * n]);
+
+    p.body(|b| {
+        b.for_driver(r, 0, reps, |b| {
+            // Transpose: B(j,i) = A(i,j); A is stride-1 in i, B is not.
+            b.for_(j, 0, n, |b| {
+                b.for_(i, 0, n, |b| {
+                    b.read(a, &[idx(i), idx(j)]);
+                    b.write(bmat, &[idx(j), idx(i)]);
+                });
+            });
+            // Stride-1 scaling pass over the flattened work array.
+            b.for_(i, 0, n * n, |b| {
+                b.read(work, &[idx(i)]);
+                b.write(work, &[idx(i)]);
+            });
+            // Strided butterfly-like pass: stride 8 defeats spatial tags.
+            b.for_step(i, 0, n * n - 8, 8, |b| {
+                b.read(work, &[idx(i)]);
+                b.read(work, &[shift(i, 8)]);
+                b.write(work, &[idx(i)]);
+            });
+            if !kernel {
+                // Driver loop with a CALL: untagged references.
+                b.for_(i, 0, n, |b| {
+                    b.read(a, &[lit(0), idx(i)]);
+                    b.call();
+                });
+            }
+        });
+    });
+    p
+}
+
+/// ADM (kernel only): a 2-D advection stencil, sweep-repeated.
+fn adm() -> Program {
+    let g = 128;
+    let sweeps = 3;
+    let mut p = Program::new("ADM");
+    let t = p.var("t");
+    let i = p.var("i");
+    let j = p.var("j");
+    let u = p.array("U", &[g, g]);
+    let v = p.array("V", &[g, g]);
+    p.body(|b| {
+        b.for_driver(t, 0, sweeps, |b| {
+            b.for_(j, 1, g - 1, |b| {
+                b.for_(i, 1, g - 1, |b| {
+                    b.read(u, &[aff(&[(i, 1)], 1), idx(j)]);
+                    b.read(u, &[aff(&[(i, 1)], -1), idx(j)]);
+                    b.read(u, &[idx(i), idx(j)]);
+                    b.write(v, &[idx(i), idx(j)]);
+                });
+            });
+        });
+    });
+    p
+}
+
+/// ARC (kernel only): multi-array 2-D sweeps (body-fitted grid update).
+fn arc() -> Program {
+    let g = 96;
+    let sweeps = 3;
+    let mut p = Program::new("ARC");
+    let t = p.var("t");
+    let i = p.var("i");
+    let j = p.var("j");
+    let u = p.array("U", &[g, g]);
+    let met1 = p.array("XI", &[g, g]);
+    let met2 = p.array("ETA", &[g, g]);
+    let w = p.array("W", &[g, g]);
+    p.body(|b| {
+        b.for_driver(t, 0, sweeps, |b| {
+            b.for_(j, 0, g, |b| {
+                b.for_(i, 0, g, |b| {
+                    b.read(u, &[idx(i), idx(j)]);
+                    b.read(met1, &[idx(i), idx(j)]);
+                    b.read(met2, &[idx(i), idx(j)]);
+                    b.write(w, &[idx(i), idx(j)]);
+                });
+            });
+        });
+    });
+    p
+}
+
+/// FLO (kernel only): 1-D flux computation and update with group
+/// dependences.
+fn flo() -> Program {
+    let n = 3000;
+    let reps = 4;
+    let mut p = Program::new("FLO");
+    let t = p.var("t");
+    let i = p.var("i");
+    let q = p.array("Q", &[n + 2]);
+    let f = p.array("FL", &[n + 2]);
+    p.body(|b| {
+        b.for_driver(t, 0, reps, |b| {
+            // Flux: FL(i) = Q(i+1) - Q(i).
+            b.for_(i, 0, n, |b| {
+                b.read(q, &[shift(i, 1)]);
+                b.read(q, &[idx(i)]);
+                b.write(f, &[idx(i)]);
+            });
+            // Update: Q(i) -= dt * (FL(i) - FL(i-1)).
+            b.for_(i, 1, n, |b| {
+                b.read(f, &[idx(i)]);
+                b.read(f, &[shift(i, -1)]);
+                b.read(q, &[idx(i)]);
+                b.write(q, &[idx(i)]);
+            });
+        });
+    });
+    p
+}
+
+/// The Figure 10a kernel set, in the paper's order: ADM, MDG, BDN, DYF,
+/// ARC, FLO, TRF — each the fully instrumented, most time-consuming
+/// subroutine of its code, traced alone.
+pub fn kernels() -> Vec<Program> {
+    vec![
+        adm(),
+        build_mdg(PerfectScale::Full, true),
+        build_bdn(PerfectScale::Full, true),
+        build_dyf(PerfectScale::Full),
+        arc(),
+        flo(),
+        build_trf(PerfectScale::Full, true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_loopir::TraceOptions;
+    use sac_trace::stats::TagFractions;
+
+    fn tag_fractions(p: &Program) -> TagFractions {
+        let t = p
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        TagFractions::of(&t)
+    }
+
+    #[test]
+    fn mdg_is_mostly_untagged() {
+        let f = tag_fractions(&mdg(PerfectScale::Small));
+        assert!(
+            f.fraction(sac_trace::stats::TagClass::None) > 0.7,
+            "CALL kills should dominate: {:?}",
+            f.fractions()
+        );
+    }
+
+    #[test]
+    fn mdg_kernel_variant_is_tagged() {
+        let f = tag_fractions(&build_mdg(PerfectScale::Small, true));
+        assert!(f.temporal_fraction() > 0.5, "{:?}", f.fractions());
+    }
+
+    #[test]
+    fn dyf_matches_its_figure_4a_signature() {
+        let f = tag_fractions(&dyf(PerfectScale::Small));
+        // Temporal-no-spatial dominates the tagged references (the R
+        // accumulator), as in the paper's Figure 4a for DYF.
+        let t_only = f.fraction(sac_trace::stats::TagClass::TemporalOnly);
+        assert!((0.3..0.5).contains(&t_only), "{:?}", f.fractions());
+        assert!(f.fraction(sac_trace::stats::TagClass::Both) < 0.05);
+    }
+
+    #[test]
+    fn trf_mixes_strides() {
+        let p = trf(PerfectScale::Small);
+        let tags = p.analyze();
+        // Transpose: A(i,j) spatial (stride-1 in i), B(j,i) not.
+        assert!(tags[0].spatial);
+        assert!(!tags[1].spatial);
+    }
+
+    #[test]
+    fn bdn_weights_are_temporal() {
+        let p = bdn(PerfectScale::Small);
+        let tags = p.analyze();
+        // Refs 0..=2: feature pass (killed); 3: OUT read; 4: IN(i+k);
+        // 5: W(k,f); 6: OUT write. The weight table is invariant in i.
+        for killed in &tags[0..3] {
+            assert_eq!(*killed, sac_loopir::Tags::NONE, "CALL-killed");
+        }
+        assert!(tags[5].temporal, "weights reused across i");
+    }
+
+    #[test]
+    fn bdn_is_heavily_untagged() {
+        let f = tag_fractions(&bdn(PerfectScale::Small));
+        assert!(
+            f.fraction(sac_trace::stats::TagClass::None) > 0.35,
+            "{:?}",
+            f.fractions()
+        );
+    }
+
+    #[test]
+    fn adm_stencil_group_is_temporal() {
+        let p = kernels().remove(0);
+        assert_eq!(p.name(), "ADM");
+        let tags = p.analyze();
+        // U(i+1,j), U(i-1,j), U(i,j) form a group; the +1 leader is the
+        // only spatial one of the three.
+        assert!(tags[0].temporal && tags[0].spatial);
+        assert!(tags[1].temporal && !tags[1].spatial);
+        assert!(tags[2].temporal && !tags[2].spatial);
+    }
+
+    #[test]
+    fn arc_sweeps_are_spatial_only() {
+        let p = kernels().remove(4);
+        assert_eq!(p.name(), "ARC");
+        let tags = p.analyze();
+        // Four independent stride-1 sweeps: spatial, no reuse in a single
+        // pass (the driver loop is invisible to the analysis).
+        for t in &tags {
+            assert!(t.spatial && !t.temporal, "{tags:?}");
+        }
+    }
+
+    #[test]
+    fn flo_flux_groups_are_temporal() {
+        let p = kernels().remove(5);
+        assert_eq!(p.name(), "FLO");
+        let tags = p.analyze();
+        // Q(i+1)/Q(i) and FL(i)/FL(i-1) pairs: group-temporal with the
+        // leading member spatial.
+        assert!(tags[0].temporal && tags[0].spatial, "Q(i+1) leads");
+        assert!(tags[1].temporal && !tags[1].spatial, "Q(i) follows");
+        assert!(tags[3].temporal && tags[3].spatial, "FL(i) leads");
+        assert!(tags[4].temporal && !tags[4].spatial, "FL(i-1) follows");
+    }
+
+    #[test]
+    fn all_kernels_trace() {
+        for p in kernels() {
+            let t = p
+                .trace(&TraceOptions {
+                    seed: 0,
+                    gaps: false,
+                    levels: false,
+                })
+                .unwrap();
+            assert!(t.len() > 50_000, "{}: {}", p.name(), t.len());
+        }
+    }
+
+    #[test]
+    fn kernel_variants_have_fewer_untagged_refs_than_full() {
+        let full = tag_fractions(&mdg(PerfectScale::Full));
+        let kern = tag_fractions(&build_mdg(PerfectScale::Full, true));
+        assert!(
+            kern.fraction(sac_trace::stats::TagClass::None)
+                < full.fraction(sac_trace::stats::TagClass::None)
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! The Slalom stand-in: dense Gaussian elimination.
+//!
+//! Slalom's dominant cost is the solution of a dense radiosity system;
+//! the stand-in performs right-looking Gaussian elimination followed by
+//! back-substitution on a matrix an order of magnitude larger than the
+//! cache. The pivot column `A(i,k)` and pivot row `A(k,j)` are reused
+//! across the trailing submatrix update — textbook temporal locality —
+//! while the `A(i,j)` update streams.
+
+use sac_loopir::{idx, shift, Program};
+
+/// Slalom stand-in parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Matrix extent (default 120 → 115 KB).
+    pub n: i64,
+}
+
+impl Params {
+    /// Scaled-down instance for tests.
+    pub fn small() -> Self {
+        Params { n: 48 }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { n: 120 }
+    }
+}
+
+/// Builds the elimination + back-substitution nest.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn program(params: Params) -> Program {
+    assert!(params.n >= 3, "matrix too small to eliminate");
+    let n = params.n;
+    let mut p = Program::new("Slalom");
+    let k = p.var("k");
+    let j = p.var("j");
+    let i = p.var("i");
+    let a = p.array("A", &[n, n]);
+    let b = p.array("B", &[n]);
+
+    p.body(|s| {
+        // Right-looking elimination: for each pivot k, update the
+        // trailing submatrix A(i,j) -= A(i,k) * A(k,j).
+        s.for_(k, 0, n - 1, |s| {
+            s.for_(j, shift(k, 1), n, |s| {
+                s.for_(i, shift(k, 1), n, |s| {
+                    s.read(a, &[idx(i), idx(j)]);
+                    s.read(a, &[idx(i), idx(k)]);
+                    s.read(a, &[idx(k), idx(j)]);
+                    s.write(a, &[idx(i), idx(j)]);
+                });
+            });
+            // Update the right-hand side: B(i) -= A(i,k) * B(k).
+            s.for_(i, shift(k, 1), n, |s| {
+                s.read(b, &[idx(i)]);
+                s.read(a, &[idx(i), idx(k)]);
+                s.read(b, &[idx(k)]);
+                s.write(b, &[idx(i)]);
+            });
+        });
+        // Back-substitution (descending): B(k) -= A(k,j) * B(j), j > k.
+        s.for_step(k, n - 2, -1, -1, |s| {
+            s.for_(j, shift(k, 1), n, |s| {
+                s.read(a, &[idx(k), idx(j)]);
+                s.read(b, &[idx(j)]);
+            });
+            s.read(b, &[idx(k)]);
+            s.write(b, &[idx(k)]);
+        });
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_loopir::TraceOptions;
+    use sac_trace::stats::TagFractions;
+
+    #[test]
+    fn traces_with_expected_magnitude() {
+        let n = 20i64;
+        let t = program(Params { n })
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        // Elimination dominates: ~4/3 n³ references.
+        let update: i64 = (0..n - 1).map(|k| 4 * (n - 1 - k) * (n - 1 - k)).sum();
+        assert!(t.len() as i64 > update);
+        assert!((t.len() as i64) < update + 6 * n * n);
+    }
+
+    #[test]
+    fn pivot_row_and_column_are_temporal() {
+        let p = program(Params::small());
+        let tags = p.analyze();
+        // Refs 0..=3: A(i,j) read, A(i,k), A(k,j), A(i,j) write.
+        assert!(tags[1].temporal, "pivot column reused across j");
+        assert!(tags[1].spatial, "pivot column is stride-1 in i");
+        assert!(tags[2].temporal, "pivot row reused across i");
+        assert!(tags[2].spatial, "invariant in the innermost loop");
+        assert!(tags[0].temporal && tags[3].temporal, "read-write group");
+    }
+
+    #[test]
+    fn overall_tag_mix_is_temporal_heavy() {
+        let t = program(Params::small())
+            .trace(&TraceOptions {
+                seed: 0,
+                gaps: false,
+                levels: false,
+            })
+            .unwrap();
+        let f = TagFractions::of(&t);
+        assert!(f.temporal_fraction() > 0.8);
+    }
+}

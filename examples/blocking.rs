@@ -1,0 +1,47 @@
+//! Blocking under software control (§4.2, Figure 11a).
+//!
+//! Data-locality algorithms pick block sizes assuming the cache behaves
+//! as a local memory; interference and pollution force much smaller
+//! blocks in practice. Software control removes the pollution, so the
+//! usable block sizes grow back toward the theoretical optimum.
+//!
+//! ```text
+//! cargo run --release --example blocking
+//! ```
+
+use software_assisted_caches::experiments::Config;
+use software_assisted_caches::workloads::blocked::{self, Params, FIG11A_BLOCKS};
+
+fn main() {
+    println!(
+        "blocked matrix-vector multiply, N = {}\n",
+        Params::default().n
+    );
+    println!("{:>8} {:>12} {:>12}", "block", "AMAT stand.", "AMAT soft");
+
+    let mut best = [(0i64, f64::MAX); 2];
+    for &b in &FIG11A_BLOCKS {
+        let trace = blocked::program(Params {
+            n: Params::default().n,
+            block: b,
+        })
+        .trace_default();
+        let stand = Config::standard().run(&trace).amat();
+        let soft = Config::soft().run(&trace).amat();
+        println!("{b:>8} {stand:>12.3} {soft:>12.3}");
+        if stand < best[0].1 {
+            best[0] = (b, stand);
+        }
+        if soft < best[1].1 {
+            best[1] = (b, soft);
+        }
+    }
+    println!();
+    println!(
+        "best block: standard = {} (AMAT {:.3}), soft = {} (AMAT {:.3})",
+        best[0].0, best[0].1, best[1].0, best[1].1
+    );
+    println!("Software control tolerates much larger blocks: the X block is");
+    println!("tagged temporal and survives the A stream, so blocking can be");
+    println!("chosen close to the local-memory optimum.");
+}

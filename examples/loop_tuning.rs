@@ -1,0 +1,73 @@
+//! Loop interchange meets software assistance.
+//!
+//! The paper blames part of the Perfect Club's modest gains on "badly
+//! ordered loops, inducing non stride-one references, and preventing the
+//! use of virtual lines" (§3.2). This example builds such a loop, fixes
+//! it with the `loopir` interchange transformation, and shows how the
+//! tags — and the cache — respond: the analysis re-derives the tags for
+//! the transformed code automatically, and the virtual-line mechanism
+//! only switches on once the reference is stride-1.
+//!
+//! ```text
+//! cargo run --release --example loop_tuning
+//! ```
+
+use software_assisted_caches::experiments::Config;
+use software_assisted_caches::loopir::{idx, Program};
+
+fn build(
+    n: i64,
+) -> (
+    Program,
+    software_assisted_caches::loopir::VarId,
+    software_assisted_caches::loopir::VarId,
+) {
+    // A column-major sweep written row-first: A(i,j) with j innermost
+    // strides by the leading dimension — the classic dusty-deck mistake.
+    let mut p = Program::new("badly-ordered");
+    let i = p.var("i");
+    let j = p.var("j");
+    let a = p.array("A", &[n, n]);
+    // A is exactly 2 MB: without padding, A(i,j) and B(i,j) would alias
+    // to the same cache set on every iteration and the interference
+    // would drown the stride story this example is about.
+    let _pad = p.array("PAD", &[4]);
+    let b = p.array("B", &[n, n]);
+    p.body(|s| {
+        s.for_(i, 0, n, |s| {
+            s.for_(j, 0, n, |s| {
+                s.read(a, &[idx(i), idx(j)]);
+                s.write(b, &[idx(i), idx(j)]);
+            });
+        });
+    });
+    (p, i, j)
+}
+
+fn report(label: &str, p: &Program) {
+    let tags = p.analyze();
+    let trace = p.trace_default();
+    let stand = Config::standard().run(&trace);
+    let soft = Config::soft().run(&trace);
+    println!(
+        "{label:<22} spatial tags: A={} B={}   AMAT stand {:.3}  soft {:.3}",
+        u8::from(tags[0].spatial),
+        u8::from(tags[1].spatial),
+        stand.amat(),
+        soft.amat()
+    );
+}
+
+fn main() {
+    let (bad, i, j) = build(512);
+    println!("{}", bad.to_pseudocode());
+    report("as written (j inner)", &bad);
+
+    let good = bad.interchanged(i, j).expect("perfect nest");
+    report("interchanged (i inner)", &good);
+
+    println!();
+    println!("Interchange turns both references stride-1: the analysis tags");
+    println!("them spatial, virtual lines halve the misses, and both caches");
+    println!("speed up — but the software-assisted one compounds the wins.");
+}

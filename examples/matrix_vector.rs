@@ -1,0 +1,74 @@
+//! The paper's §2.2 walkthrough: why matrix-vector multiply defeats a
+//! plain cache, a victim cache, and bypassing — and how the two
+//! software-assisted mechanisms split the work.
+//!
+//! `A` streams (spatial locality, no reuse) and flushes `X` (reused every
+//! outer iteration) before its reuse arrives. Virtual lines halve `A`'s
+//! compulsory misses; the bounce-back cache keeps `X` resident by
+//! bouncing its evicted lines back.
+//!
+//! ```text
+//! cargo run --release --example matrix_vector
+//! ```
+
+use software_assisted_caches::core::SoftCacheConfig;
+use software_assisted_caches::experiments::Config;
+use software_assisted_caches::simcache::{BypassMode, CacheGeometry, MemoryModel};
+use software_assisted_caches::workloads::mv;
+
+fn main() {
+    let trace = mv::program(mv::DEFAULT_N).trace_default();
+    let geom = CacheGeometry::standard();
+    let mem = MemoryModel::default();
+
+    let configs: Vec<(&str, Config)> = vec![
+        ("standard", Config::standard()),
+        (
+            "bypass (plain)",
+            Config::Bypass {
+                geom,
+                mem,
+                mode: BypassMode::Plain,
+            },
+        ),
+        (
+            "bypass (buffered)",
+            Config::Bypass {
+                geom,
+                mem,
+                mode: BypassMode::Buffered { lines: 2 },
+            },
+        ),
+        ("standard + victim cache", Config::standard_victim()),
+        (
+            "soft, temporal only",
+            Config::Soft(SoftCacheConfig::temporal_only()),
+        ),
+        (
+            "soft, spatial only",
+            Config::Soft(SoftCacheConfig::spatial_only()),
+        ),
+        ("soft, full mechanism", Config::soft()),
+    ];
+
+    println!("matrix-vector multiply, N = {}\n", mv::DEFAULT_N);
+    println!(
+        "{:<26} {:>7} {:>11} {:>11} {:>10}",
+        "configuration", "AMAT", "miss ratio", "words/ref", "BB hits"
+    );
+    for (name, cfg) in configs {
+        let m = cfg.run(&trace);
+        println!(
+            "{:<26} {:>7.3} {:>11.4} {:>11.3} {:>10}",
+            name,
+            m.amat(),
+            m.miss_ratio(),
+            m.traffic_ratio(),
+            m.aux_hits
+        );
+    }
+    println!();
+    println!("Bypassing loses A's spatial locality; the victim cache is too");
+    println!("small to hold X until its reuse; the bounce-back cache keeps X");
+    println!("resident and virtual lines halve A's compulsory misses.");
+}

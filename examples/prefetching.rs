@@ -1,0 +1,65 @@
+//! Software-assisted prefetching (§4.4, Figure 12).
+//!
+//! The design's prefetch support falls out of the existing hardware: the
+//! bounce-back cache doubles as the prefetch buffer, and the spatial tags
+//! drive the prefetch decision, avoiding the wrong predictions of
+//! tag-blind hardware prefetchers. Prefetching is *progressive* — a hit
+//! on a prefetched line in the bounce-back cache swaps it in and fetches
+//! the next physical line — so burst requests never happen.
+//!
+//! ```text
+//! cargo run --release --example prefetching
+//! ```
+
+use software_assisted_caches::core::SoftCacheConfig;
+use software_assisted_caches::experiments::Config;
+use software_assisted_caches::simcache::{CacheGeometry, MemoryModel};
+use software_assisted_caches::workloads::mv;
+
+fn main() {
+    let trace = mv::program(mv::DEFAULT_N).trace_default();
+    println!(
+        "matrix-vector multiply, {} references, latency sweep\n",
+        trace.len()
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>12} {:>14}",
+        "latency", "standard", "stand+HWpf", "soft", "soft+pf", "useful pf (%)"
+    );
+    for lat in [10u64, 20, 30, 40] {
+        let mem = MemoryModel::default().with_latency(lat);
+        let geom = CacheGeometry::standard();
+        let stand = Config::Standard { geom, mem }.run(&trace);
+        let hw = Config::HwPrefetch {
+            geom,
+            mem,
+            lines: 8,
+        }
+        .run(&trace);
+        let soft = Config::Soft(SoftCacheConfig::soft().with_latency(lat)).run(&trace);
+        let soft_pf = Config::Soft(
+            SoftCacheConfig::soft()
+                .with_latency(lat)
+                .with_prefetch(true),
+        )
+        .run(&trace);
+        let useful = if soft_pf.prefetches == 0 {
+            0.0
+        } else {
+            100.0 * soft_pf.useful_prefetches as f64 / soft_pf.prefetches as f64
+        };
+        println!(
+            "{:>8} {:>10.3} {:>12.3} {:>10.3} {:>12.3} {:>14.1}",
+            lat,
+            stand.amat(),
+            hw.amat(),
+            soft.amat(),
+            soft_pf.amat(),
+            useful,
+        );
+    }
+    println!();
+    println!("The spatial tags keep the prediction accuracy high (useful");
+    println!("prefetch fraction), and the progressive chain keeps one line in");
+    println!("flight instead of bursting, so the advantage grows with latency.");
+}

@@ -1,0 +1,320 @@
+//! `sac` — command-line front end for the software-assisted cache
+//! toolkit: generate benchmark traces, inspect them, pretty-print the
+//! instrumented kernels, and run any cache configuration over a trace.
+//!
+//! ```text
+//! sac list                                  # benchmarks & configurations
+//! sac pseudo MV                             # annotated kernel listing
+//! sac trace MV -o mv.sact                   # generate a binary trace
+//! sac stats mv.sact                         # reuse/vector/tag statistics
+//! sac simulate mv.sact -c soft -c standard  # run configurations
+//! ```
+
+use software_assisted_caches::core::SoftCacheConfig;
+use software_assisted_caches::experiments::Config;
+use software_assisted_caches::loopir::{Program, TraceOptions};
+use software_assisted_caches::simcache::{BypassMode, CacheGeometry, MemoryModel};
+use software_assisted_caches::trace::stats::{
+    ReuseBand, ReuseHistogram, TagClass, TagFractions, VectorBand, VectorLengths,
+};
+use software_assisted_caches::trace::{io as trace_io, Trace};
+use software_assisted_caches::workloads;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+const BENCHMARKS: [&str; 9] = [
+    "MDG", "BDN", "DYF", "TRF", "NAS", "Slalom", "LIV", "MV", "SpMV",
+];
+
+const CONFIGS: [&str; 10] = [
+    "standard",
+    "victim",
+    "bypass",
+    "bypass-buffered",
+    "hw-prefetch",
+    "stream-buffers",
+    "column-assoc",
+    "assist",
+    "soft",
+    "soft-prefetch",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("pseudo") => cmd_pseudo(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try 'sac help')")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sac: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "sac — software-assisted data-cache toolkit (Temam & Drach, HPCA'95)
+
+USAGE:
+  sac list                         list benchmarks and cache configurations
+  sac pseudo <benchmark> [--small] print the annotated kernel listing
+  sac validate <benchmark>         static subscript-bounds check
+  sac trace <benchmark> [options]  generate a tagged reference trace
+      -o, --out <file>             output path (default: <benchmark>.sact)
+      --format bin|text            trace format (default: bin)
+      --seed <n>                   issue-gap seed (default: 0x5AC)
+      --small                      scaled-down problem size
+      --levels                     attach variable-virtual-line levels
+  sac stats <trace-file>           reuse/vector/tag statistics of a trace
+  sac simulate <trace-file> [-c <config>]...
+                                   run cache configurations over a trace
+                                   (default: standard and soft)"
+    );
+}
+
+fn find_program(name: &str, small: bool) -> Result<Program, String> {
+    let set = if small {
+        workloads::benchset_small()
+    } else {
+        workloads::benchset()
+    };
+    set.into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark '{name}' (valid: {BENCHMARKS:?})"))
+}
+
+fn parse_config(name: &str) -> Result<Config, String> {
+    let geom = CacheGeometry::standard();
+    let mem = MemoryModel::default();
+    Ok(match name {
+        "standard" => Config::standard(),
+        "victim" => Config::standard_victim(),
+        "bypass" => Config::Bypass {
+            geom,
+            mem,
+            mode: BypassMode::Plain,
+        },
+        "bypass-buffered" => Config::Bypass {
+            geom,
+            mem,
+            mode: BypassMode::Buffered { lines: 2 },
+        },
+        "hw-prefetch" => Config::HwPrefetch {
+            geom,
+            mem,
+            lines: 8,
+        },
+        "stream-buffers" => Config::StreamBuffer {
+            geom,
+            mem,
+            buffers: 4,
+            depth: 4,
+        },
+        "column-assoc" => Config::ColumnAssoc { geom, mem },
+        "assist" => Config::Assist {
+            geom,
+            mem,
+            lines: 16,
+        },
+        "soft" => Config::soft(),
+        "soft-prefetch" => Config::Soft(SoftCacheConfig::soft().with_prefetch(true)),
+        other => return Err(format!("unknown config '{other}' (valid: {CONFIGS:?})")),
+    })
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("benchmarks:");
+    for w in workloads::catalog() {
+        println!("  {:<8} {} — {}", w.name, w.original, w.description);
+    }
+    println!("configurations:");
+    for c in CONFIGS {
+        println!("  {c}");
+    }
+    Ok(())
+}
+
+fn cmd_pseudo(args: &[String]) -> Result<(), String> {
+    let small = args.iter().any(|a| a == "--small");
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("usage: sac pseudo <benchmark>")?;
+    let p = find_program(name, small)?;
+    print!("{}", p.to_pseudocode());
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let small = args.iter().any(|a| a == "--small");
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("usage: sac validate <benchmark>")?;
+    let p = find_program(name, small)?;
+    match p.validate() {
+        software_assisted_caches::loopir::Verdict::Ok => {
+            println!("{}: all subscripts provably in bounds", p.name());
+            Ok(())
+        }
+        software_assisted_caches::loopir::Verdict::Unknown(reasons) => {
+            println!(
+                "{}: in bounds where statically decidable; {} data-dependent construct(s):",
+                p.name(),
+                reasons.len()
+            );
+            for r in reasons.iter().take(8) {
+                println!("  - {r}");
+            }
+            Ok(())
+        }
+        software_assisted_caches::loopir::Verdict::OutOfBounds(violations) => {
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            Err(format!(
+                "{}: {} provable violation(s)",
+                p.name(),
+                violations.len()
+            ))
+        }
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let mut name = None;
+    let mut out = None;
+    let mut format = "bin".to_string();
+    let mut seed = 0x5ACu64;
+    let mut small = false;
+    let mut levels = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => out = Some(it.next().ok_or("missing value for --out")?.clone()),
+            "--format" => format = it.next().ok_or("missing value for --format")?.clone(),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("missing value for --seed")?
+                    .parse()
+                    .map_err(|_| "bad seed")?
+            }
+            "--small" => small = true,
+            "--levels" => levels = true,
+            other if !other.starts_with('-') => name = Some(other.to_string()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let name = name.ok_or("usage: sac trace <benchmark> [options]")?;
+    let program = find_program(&name, small)?;
+    let trace = program
+        .trace(&TraceOptions {
+            seed,
+            gaps: true,
+            levels,
+        })
+        .map_err(|e| e.to_string())?;
+    let path = out.unwrap_or_else(|| format!("{}.sact", trace.name()));
+    let file = File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    match format.as_str() {
+        "bin" => trace_io::write_binary(&trace, &mut w).map_err(|e| e.to_string())?,
+        "text" => trace_io::write_text(&trace, &mut w).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format '{other}' (bin|text)")),
+    }
+    println!("wrote {} references to {path}", trace.len());
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut r = BufReader::new(file);
+    // Binary first; fall back to text.
+    if let Ok(t) = trace_io::read_binary(&mut r) {
+        return Ok(t);
+    }
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    trace_io::read_text(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: sac stats <trace-file>")?;
+    let trace = load_trace(path)?;
+    println!("{trace}");
+    println!(
+        "footprint: {} words ({} KB); {:.1}% loads; issue time {} cycles",
+        trace.footprint_words(),
+        trace.footprint_words() * 8 / 1024,
+        100.0 * trace.read_fraction(),
+        trace.issue_cycles()
+    );
+    let tags = TagFractions::of(&trace);
+    println!("\ntag classes:");
+    for class in TagClass::ALL {
+        println!("  {:<26} {:>7.4}", class.label(), tags.fraction(class));
+    }
+    let reuse = ReuseHistogram::of(&trace);
+    println!("\nreuse distances (Figure 1a bands):");
+    for band in ReuseBand::ALL {
+        println!("  {:<26} {:>7.4}", band.label(), reuse.fraction(band));
+    }
+    let vectors = VectorLengths::of(&trace);
+    println!("\nvector lengths (Figure 1b bands):");
+    for band in VectorBand::ALL {
+        println!("  {:<26} {:>7.4}", band.label(), vectors.fraction(band));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut configs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-c" | "--config" => {
+                configs.push(it.next().ok_or("missing value for --config")?.clone())
+            }
+            other if !other.starts_with('-') => path = Some(other.to_string()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    let path = path.ok_or("usage: sac simulate <trace-file> [-c <config>]...")?;
+    if configs.is_empty() {
+        configs = vec!["standard".into(), "soft".into()];
+    }
+    let trace = load_trace(&path)?;
+    println!("{trace}\n");
+    println!(
+        "{:<16} {:>8} {:>11} {:>11} {:>10} {:>10}",
+        "config", "AMAT", "miss ratio", "words/ref", "main hits", "aux hits"
+    );
+    for name in &configs {
+        let cfg = parse_config(name)?;
+        let m = cfg.run(&trace);
+        println!(
+            "{:<16} {:>8.3} {:>11.4} {:>11.3} {:>10} {:>10}",
+            name,
+            m.amat(),
+            m.miss_ratio(),
+            m.traffic_ratio(),
+            m.main_hits,
+            m.aux_hits
+        );
+    }
+    Ok(())
+}

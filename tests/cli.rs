@@ -1,0 +1,137 @@
+//! End-to-end tests of the `sac` command-line tool: trace generation,
+//! round-tripping through both file formats, statistics and simulation.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sac() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sac"))
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sac-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn list_shows_benchmarks_and_configs() {
+    let out = sac().arg("list").output().expect("run sac");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["MV", "SpMV", "soft", "standard", "stream-buffers"] {
+        assert!(text.contains(needle), "missing {needle} in: {text}");
+    }
+}
+
+#[test]
+fn pseudo_prints_an_annotated_listing() {
+    let out = sac()
+        .args(["pseudo", "MV", "--small"])
+        .output()
+        .expect("run sac");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PROGRAM MV"));
+    assert!(text.contains("DO j1"));
+    assert!(text.contains("t=1 s=1"), "tag annotations present: {text}");
+}
+
+#[test]
+fn trace_stats_simulate_pipeline() {
+    let path = tmpfile("mv.sact");
+    let out = sac()
+        .args(["trace", "MV", "--small", "-o"])
+        .arg(&path)
+        .output()
+        .expect("run sac trace");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = sac()
+        .arg("stats")
+        .arg(&path)
+        .output()
+        .expect("run sac stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tag classes"));
+    assert!(text.contains("reuse distances"));
+
+    let out = sac()
+        .args(["simulate"])
+        .arg(&path)
+        .args(["-c", "standard", "-c", "soft"])
+        .output()
+        .expect("run sac simulate");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("standard") && text.contains("soft"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn text_format_round_trips_through_simulate() {
+    let path = tmpfile("mv.txt");
+    let out = sac()
+        .args(["trace", "MV", "--small", "--format", "text", "-o"])
+        .arg(&path)
+        .output()
+        .expect("run sac trace");
+    assert!(out.status.success());
+    let content = std::fs::read_to_string(&path).expect("trace file");
+    assert!(content.starts_with("# trace: MV"));
+
+    let out = sac()
+        .arg("simulate")
+        .arg(&path)
+        .args(["-c", "victim"])
+        .output()
+        .expect("run sac simulate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_arguments_fail_cleanly() {
+    let out = sac().arg("frobnicate").output().expect("run sac");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = sac().args(["trace", "NopeMark"]).output().expect("run sac");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+
+    let out = sac()
+        .args(["simulate", "/nonexistent/trace.sact"])
+        .output()
+        .expect("run sac");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn deterministic_traces_across_invocations() {
+    let a = tmpfile("det-a.sact");
+    let b = tmpfile("det-b.sact");
+    for p in [&a, &b] {
+        let out = sac()
+            .args(["trace", "SpMV", "--small", "--seed", "42", "-o"])
+            .arg(p)
+            .output()
+            .expect("run sac trace");
+        assert!(out.status.success());
+    }
+    let ca = std::fs::read(&a).expect("a");
+    let cb = std::fs::read(&b).expect("b");
+    assert_eq!(ca, cb, "same seed, same bytes");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}

@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) over the core invariants: metric
+//! conservation for every engine on arbitrary tagged traces, virtual-line
+//! block arithmetic, and write-buffer timing.
+
+use proptest::prelude::*;
+use software_assisted_caches::core::{virtual_block, AssistCache, SoftCache, SoftCacheConfig};
+use software_assisted_caches::simcache::{
+    classify_misses, BypassCache, BypassMode, CacheGeometry, CacheSim, ColumnAssociativeCache,
+    MemoryModel, Metrics, NextLinePrefetchCache, StandardCache, StreamBufferCache, VictimCache,
+    WriteBuffer,
+};
+use software_assisted_caches::trace::{Access, Trace};
+
+/// Strategy: an arbitrary tagged access over a bounded footprint.
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (
+        0u64..4096,    // line-ish address space (words)
+        any::<bool>(), // write?
+        any::<bool>(), // temporal
+        any::<bool>(), // spatial
+        1u32..20,      // gap
+    )
+        .prop_map(|(word, write, temporal, spatial, gap)| {
+            let addr = word * 8;
+            let a = if write {
+                Access::write(addr)
+            } else {
+                Access::read(addr)
+            };
+            a.with_temporal(temporal)
+                .with_spatial(spatial)
+                .with_gap(gap)
+        })
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(access_strategy(), 1..600).prop_map(|v| v.into_iter().collect())
+}
+
+/// Invariants every engine must maintain on any input.
+fn check_conservation(m: &Metrics, trace: &Trace) {
+    assert_eq!(m.refs as usize, trace.len());
+    assert_eq!(m.reads + m.writes, m.refs);
+    assert_eq!(m.main_hits + m.aux_hits + m.misses + m.bypasses, m.refs);
+    assert!(m.amat() >= 1.0, "an access costs at least one cycle: {m}");
+    let ratio = m.miss_ratio();
+    assert!((0.0..=1.0).contains(&ratio));
+    assert!(m.hit_ratio() + ratio <= 1.0 + 1e-9);
+    // Useful prefetches never exceed issued prefetches.
+    assert!(m.useful_prefetches <= m.prefetches);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn standard_cache_conserves_references(trace in trace_strategy()) {
+        let mut c = StandardCache::new(CacheGeometry::new(1024, 32, 1), MemoryModel::default());
+        c.run(&trace);
+        check_conservation(c.metrics(), &trace);
+    }
+
+    #[test]
+    fn victim_cache_conserves_references(trace in trace_strategy()) {
+        let mut c = VictimCache::new(CacheGeometry::new(1024, 32, 1), MemoryModel::default(), 4);
+        c.run(&trace);
+        check_conservation(c.metrics(), &trace);
+    }
+
+    #[test]
+    fn bypass_cache_conserves_references(trace in trace_strategy()) {
+        for mode in [BypassMode::Plain, BypassMode::Buffered { lines: 2 }] {
+            let mut c = BypassCache::new(CacheGeometry::new(1024, 32, 1), MemoryModel::default(), mode);
+            c.run(&trace);
+            check_conservation(c.metrics(), &trace);
+        }
+    }
+
+    #[test]
+    fn prefetch_cache_conserves_references(trace in trace_strategy()) {
+        let mut c = NextLinePrefetchCache::new(
+            CacheGeometry::new(1024, 32, 1),
+            MemoryModel::default(),
+            4,
+        );
+        c.run(&trace);
+        check_conservation(c.metrics(), &trace);
+    }
+
+    #[test]
+    fn related_designs_conserve_references(trace in trace_strategy()) {
+        let geom = CacheGeometry::new(1024, 32, 1);
+        let mem = MemoryModel::default();
+        {
+            let mut c = StreamBufferCache::new(geom, mem, 2, 4);
+            c.run(&trace);
+            check_conservation(c.metrics(), &trace);
+        }
+        {
+            let mut c = ColumnAssociativeCache::new(geom, mem);
+            c.run(&trace);
+            check_conservation(c.metrics(), &trace);
+        }
+        {
+            let mut c = AssistCache::new(geom, mem, 4);
+            c.run(&trace);
+            check_conservation(c.metrics(), &trace);
+        }
+    }
+
+    #[test]
+    fn miss_classification_is_bounded_and_consistent(trace in trace_strategy()) {
+        let geom = CacheGeometry::new(1024, 32, 1);
+        let c = classify_misses(&trace, geom);
+        prop_assert_eq!(c.refs as usize, trace.len());
+        prop_assert!(c.total() as usize <= trace.len());
+        prop_assert!(c.compulsory <= c.total() || c.conflict == 0);
+        // The real organization can never beat the compulsory floor.
+        prop_assert!(c.total() >= c.compulsory);
+        // And the standard engine's miss count matches the classifier's.
+        let mut sim = StandardCache::new(geom, MemoryModel::default());
+        sim.run(&trace);
+        prop_assert_eq!(sim.metrics().misses, c.total());
+    }
+
+    #[test]
+    fn soft_cache_conserves_references(trace in trace_strategy()) {
+        let cfg = SoftCacheConfig::soft()
+            .with_geometry(CacheGeometry::new(1024, 32, 1))
+            .with_bounce_lines(4)
+            .with_prefetch(true);
+        let mut c = SoftCache::new(cfg);
+        c.run(&trace);
+        check_conservation(c.metrics(), &trace);
+    }
+
+    #[test]
+    fn soft_cache_conserves_on_all_paper_configs(trace in trace_strategy()) {
+        for cfg in [
+            SoftCacheConfig::soft(),
+            SoftCacheConfig::temporal_only(),
+            SoftCacheConfig::spatial_only(),
+            SoftCacheConfig::simplified_assoc(2),
+        ] {
+            let mut c = SoftCache::new(cfg);
+            c.run(&trace);
+            check_conservation(c.metrics(), &trace);
+        }
+    }
+
+    #[test]
+    fn engines_are_deterministic(trace in trace_strategy()) {
+        let run = |trace: &Trace| {
+            let mut c = SoftCache::new(SoftCacheConfig::soft().with_prefetch(true));
+            c.run(trace);
+            *c.metrics()
+        };
+        prop_assert_eq!(run(&trace), run(&trace));
+    }
+
+    #[test]
+    fn virtual_block_contains_and_aligns(line in 0u64..100_000, span_pow in 0u32..4) {
+        let ls = 32u64;
+        let vls = ls << span_pow;
+        let block = virtual_block(line, ls, vls);
+        prop_assert!(block.contains(&line));
+        prop_assert_eq!(block.end - block.start, vls / ls);
+        prop_assert_eq!(block.start % (vls / ls), 0);
+    }
+
+    #[test]
+    fn write_buffer_never_goes_back_in_time(pushes in prop::collection::vec(0u64..50, 1..40)) {
+        let mut wb = WriteBuffer::new(4, 3);
+        let mut now = 0u64;
+        for dt in pushes {
+            now += dt;
+            let stall = wb.push(now);
+            // A stall is bounded by the full drain of the buffer.
+            prop_assert!(stall <= 4 * 3);
+        }
+    }
+
+    #[test]
+    fn hit_plus_miss_cycles_bound_amat(trace in trace_strategy()) {
+        // AMAT is bounded above by the cost of missing on every access
+        // with the largest virtual line plus worst-case stalls.
+        let mut c = SoftCache::new(SoftCacheConfig::soft().with_virtual_line(256));
+        c.run(&trace);
+        let worst = 20.0 + (8.0 * 32.0) / 16.0 + 16.0; // fetch + generous stall slack
+        prop_assert!(c.metrics().amat() <= worst, "{}", c.metrics());
+    }
+}
+
+/// Separate (non-proptest) regression: zero-length traces are harmless.
+#[test]
+fn empty_trace_is_fine_everywhere() {
+    let empty = Trace::new("empty");
+    let mut soft = SoftCache::new(SoftCacheConfig::soft());
+    soft.run(&empty);
+    assert_eq!(soft.metrics().refs, 0);
+    assert_eq!(soft.metrics().amat(), 0.0);
+}
