@@ -4,9 +4,18 @@
 //! cargo run --release -p sac-experiments --bin figures -- all
 //! cargo run --release -p sac-experiments --bin figures -- fig06a fig07b
 //! cargo run --release -p sac-experiments --bin figures -- --small fig11a
+//! cargo run --release -p sac-experiments --bin figures -- --jobs 4 all
+//! cargo run --release -p sac-experiments --bin figures -- --sequential fig06a
 //! ```
+//!
+//! Sweeps shard their (config × workload) cells across a worker pool;
+//! `--jobs N` pins the worker count, `--sequential` is `--jobs 1`, and
+//! the default uses every core. Output is bit-identical either way. A
+//! run summary (cells done, slowest cells, aggregate speedup) goes to
+//! stderr at the end.
 
-use sac_experiments::{figures, Suite, Table};
+use sac_experiments::{figures, runner, Suite, Table};
+use std::time::Instant;
 
 /// Figure ids in paper order.
 const ALL: [&str; 19] = [
@@ -37,7 +46,37 @@ const EXTENSIONS: [&str; 7] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
-    let mut wanted: Vec<String> = args.into_iter().filter(|a| a != "--small").collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--small" => {}
+            "--sequential" => runner::set_jobs(1),
+            "--jobs" => {
+                let n = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+                runner::set_jobs(n);
+            }
+            _ => {
+                if let Some(n) = a.strip_prefix("--jobs=") {
+                    match n.parse::<usize>() {
+                        Ok(n) => runner::set_jobs(n),
+                        Err(_) => {
+                            eprintln!("--jobs needs a positive integer, got {n:?}");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    wanted.push(a);
+                }
+            }
+        }
+    }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL.iter().map(|s| s.to_string()).collect();
     }
@@ -48,13 +87,17 @@ fn main() {
         wanted = EXTENSIONS.iter().map(|s| s.to_string()).collect();
     }
 
+    runner::reset_stats();
+    let start = Instant::now();
+
     let needs_suite = wanted
         .iter()
         .any(|w| !matches!(w.as_str(), "fig04b" | "fig10a" | "fig11a" | "fig11b"));
     let suite = needs_suite.then(|| {
         eprintln!(
-            "generating {} benchmark traces...",
-            if small { "small" } else { "paper-scale" }
+            "generating {} benchmark traces on {} worker(s)...",
+            if small { "small" } else { "paper-scale" },
+            runner::jobs()
         );
         if small {
             Suite::small()
@@ -64,14 +107,25 @@ fn main() {
     });
 
     for id in &wanted {
+        let before = runner::cells_done();
+        let figure_start = Instant::now();
         let table = run_one(id, suite.as_ref(), small);
         match table {
-            Some(t) => println!("{t}"),
+            Some(t) => {
+                println!("{t}");
+                eprintln!(
+                    "{id}: {} cells in {:.2?}",
+                    runner::cells_done() - before,
+                    figure_start.elapsed()
+                );
+            }
             None => {
                 eprintln!("unknown figure id: {id} (valid: {ALL:?}, {ABLATIONS:?}, {EXTENSIONS:?})")
             }
         }
     }
+
+    eprint!("{}", runner::summary(start.elapsed()));
 }
 
 fn run_one(id: &str, suite: Option<&Suite>, small: bool) -> Option<Table> {

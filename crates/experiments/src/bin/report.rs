@@ -4,13 +4,40 @@
 //! ```text
 //! cargo run --release -p sac-experiments --bin report > results.md
 //! cargo run --release -p sac-experiments --bin report -- --csv out/   # + CSV per table
+//! cargo run --release -p sac-experiments --bin report -- --jobs 4
+//! cargo run --release -p sac-experiments --bin report -- --sequential
 //! ```
+//!
+//! Sweep cells are sharded across a worker pool (`--jobs N` pins the
+//! count, `--sequential` is `--jobs 1`, default all cores); the tables
+//! are bit-identical either way. A run summary goes to stderr.
 
-use sac_experiments::{figures, Suite};
+use sac_experiments::{figures, runner, Suite};
+use std::time::Instant;
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    eprintln!("generating benchmark traces...");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    if args.iter().any(|a| a == "--sequential") {
+        runner::set_jobs(1);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) => runner::set_jobs(n),
+            None => {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    runner::reset_stats();
+    let start = Instant::now();
+
+    eprintln!(
+        "generating benchmark traces on {} worker(s)...",
+        runner::jobs()
+    );
     let suite = if small {
         Suite::small()
     } else {
@@ -77,4 +104,6 @@ fn main() {
             eprintln!("wrote {}", path.display());
         }
     }
+
+    eprint!("{}", runner::summary(start.elapsed()));
 }

@@ -1,13 +1,43 @@
 //! One function per figure of the paper's evaluation, plus the ablations
 //! called out in DESIGN.md.
+//!
+//! Every figure is a sweep over a (configuration × workload) grid. The
+//! grid cells are independent simulations, so each figure shards its
+//! cells across the [`runner`] worker pool and reassembles rows **by
+//! cell index** — the emitted [`Table`] is bit-identical to the one a
+//! sequential run produces, whatever the worker count (see
+//! `runner::set_jobs`). Cross-cell reductions (suite means, geometric
+//! means) happen after aggregation, in row order, for the same reason.
 
-use crate::{Config, Suite, Table};
+use crate::{runner, Config, Suite, Table};
 use sac_core::SoftCacheConfig;
 use sac_simcache::{BypassMode, CacheGeometry, MemoryModel, Metrics};
 use sac_trace::stats::{
     ReuseBand, ReuseHistogram, TagClass, TagFractions, VectorBand, VectorLengths,
 };
 use sac_trace::GapModel;
+
+/// The short cell-label prefix of a figure title ("Figure 6a — ..." →
+/// "Figure 6a").
+fn short(title: &str) -> &str {
+    title.split('—').next().unwrap_or(title).trim()
+}
+
+/// Runs every `(benchmark, config)` cell of the grid in parallel and
+/// returns the metrics in `[benchmark][config]` order.
+fn run_grid(title: &str, suite: &Suite, configs: &[(&str, Config)]) -> Vec<Vec<Metrics>> {
+    let nc = configs.len();
+    let cells: Vec<(usize, usize)> = (0..suite.entries().len())
+        .flat_map(|r| (0..nc).map(move |c| (r, c)))
+        .collect();
+    let prefix = short(title);
+    let flat = runner::par_map(&cells, |_, &(r, c)| {
+        let (name, trace) = &suite.entries()[r];
+        let (label, cfg) = &configs[c];
+        runner::run_cell(format!("{prefix}/{name}/{label}"), cfg, trace)
+    });
+    flat.chunks(nc).map(<[Metrics]>::to_vec).collect()
+}
 
 /// Runs every `(label, config)` over every benchmark and tabulates
 /// `extract(metrics)`.
@@ -19,18 +49,32 @@ fn metric_table(
 ) -> Table {
     let labels: Vec<&str> = configs.iter().map(|(l, _)| *l).collect();
     let mut table = Table::new(title, &labels);
-    for (name, trace) in suite.entries() {
-        let row: Vec<f64> = configs
-            .iter()
-            .map(|(_, c)| extract(&c.run(trace)))
-            .collect();
-        table.push_row(name.clone(), row);
+    let grid = run_grid(title, suite, configs);
+    for ((name, _), row) in suite.entries().iter().zip(grid) {
+        table.push_row(name.clone(), row.iter().map(&extract).collect());
     }
     table
 }
 
 fn amat_table(title: &str, suite: &Suite, configs: &[(&str, Config)]) -> Table {
     metric_table(title, suite, configs, |m| m.amat())
+}
+
+/// Borrows `(String, Config)` sweeps as the `(&str, Config)` slices the
+/// table helpers take.
+fn as_label_refs(configs: &[(String, Config)]) -> Vec<(&str, Config)> {
+    configs.iter().map(|(l, c)| (l.as_str(), *c)).collect()
+}
+
+/// Parallel map over the suite's benchmarks, one row per benchmark, rows
+/// in suite order.
+fn par_rows(
+    suite: &Suite,
+    f: impl Fn(&str, &sac_trace::Trace) -> Vec<f64> + Sync,
+) -> Vec<(String, Vec<f64>)> {
+    runner::par_map(suite.entries(), |_, (name, trace)| {
+        (name.clone(), f(name, trace))
+    })
 }
 
 /// The four software-control variants of Figures 6a/7a/7b.
@@ -50,9 +94,12 @@ pub fn fig01a(suite: &Suite) -> Table {
         "Figure 1a — reuse-distance distribution (fraction of references)",
         &labels,
     );
-    for (name, trace) in suite.entries() {
-        let h = ReuseHistogram::of(trace);
-        t.push_row(name.clone(), h.fractions().to_vec());
+    for (name, row) in par_rows(suite, |name, trace| {
+        runner::timed_cell(format!("Figure 1a/{name}/reuse"), || {
+            ReuseHistogram::of(trace).fractions().to_vec()
+        })
+    }) {
+        t.push_row(name, row);
     }
     t
 }
@@ -65,9 +112,12 @@ pub fn fig01b(suite: &Suite) -> Table {
         "Figure 1b — vector-length distribution (fraction of references)",
         &labels,
     );
-    for (name, trace) in suite.entries() {
-        let v = VectorLengths::of(trace);
-        t.push_row(name.clone(), v.fractions().to_vec());
+    for (name, row) in par_rows(suite, |name, trace| {
+        runner::timed_cell(format!("Figure 1b/{name}/vectors"), || {
+            VectorLengths::of(trace).fractions().to_vec()
+        })
+    }) {
+        t.push_row(name, row);
     }
     t
 }
@@ -122,9 +172,12 @@ pub fn fig04a(suite: &Suite) -> Table {
         "Figure 4a — software-tag classes (fraction of references)",
         &labels,
     );
-    for (name, trace) in suite.entries() {
-        let f = TagFractions::of(trace);
-        t.push_row(name.clone(), f.fractions().to_vec());
+    for (name, row) in par_rows(suite, |name, trace| {
+        runner::timed_cell(format!("Figure 4a/{name}/tags"), || {
+            TagFractions::of(trace).fractions().to_vec()
+        })
+    }) {
+        t.push_row(name, row);
     }
     t
 }
@@ -163,9 +216,11 @@ pub fn fig06b(suite: &Suite) -> Table {
         "Figure 6b — repartition of cache hits (hit ratio split, Soft.)",
         &["main cache", "bounce-back"],
     );
-    for (name, trace) in suite.entries() {
-        let m = Config::soft().run(trace);
-        t.push_row(name.clone(), vec![m.main_hit_ratio(), m.aux_hit_ratio()]);
+    for (name, row) in par_rows(suite, |name, trace| {
+        let m = runner::run_cell(format!("Figure 6b/{name}/Soft."), &Config::soft(), trace);
+        vec![m.main_hit_ratio(), m.aux_hit_ratio()]
+    }) {
+        t.push_row(name, row);
     }
     t
 }
@@ -198,16 +253,11 @@ pub fn fig08a(suite: &Suite) -> Table {
             )
         })
         .collect();
-    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
-    let mut t = Table::new(
+    amat_table(
         "Figure 8a — influence of virtual line size (AMAT, cycles)",
-        &labels,
-    );
-    for (name, trace) in suite.entries() {
-        let row: Vec<f64> = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
-        t.push_row(name.clone(), row);
-    }
-    t
+        suite,
+        &as_label_refs(&configs),
+    )
 }
 
 /// Figure 8b: influence of the physical line size (AMAT), standard
@@ -227,16 +277,11 @@ pub fn fig08b(suite: &Suite) -> Table {
         })
         .collect();
     configs.push(("Soft.".to_string(), Config::soft()));
-    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
-    let mut t = Table::new(
+    amat_table(
         "Figure 8b — influence of physical line size (AMAT, cycles)",
-        &labels,
-    );
-    for (name, trace) in suite.entries() {
-        let row: Vec<f64> = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
-        t.push_row(name.clone(), row);
-    }
-    t
+        suite,
+        &as_label_refs(&configs),
+    )
 }
 
 /// Figure 9a: software control for larger caches (% of misses removed
@@ -256,19 +301,31 @@ pub fn fig09a(suite: &Suite) -> Table {
         &labels,
     );
     let mem = MemoryModel::default();
-    for (name, trace) in suite.entries() {
-        let row: Vec<f64> = points
-            .iter()
-            .map(|(_, geom)| {
-                let base = Config::Standard { geom: *geom, mem }.run(trace);
-                let soft_cfg = SoftCacheConfig::soft()
-                    .with_geometry(*geom)
-                    .with_virtual_line(geom.line_bytes() * 2);
-                let soft = Config::Soft(soft_cfg).run(trace);
-                soft.misses_removed_vs(&base)
-            })
-            .collect();
-        t.push_row(name.clone(), row);
+    // Each cell runs the plain baseline and the soft cache on the same
+    // geometry; the grid is (benchmark × geometry).
+    let cells: Vec<(usize, usize)> = (0..suite.entries().len())
+        .flat_map(|r| (0..points.len()).map(move |p| (r, p)))
+        .collect();
+    let flat = runner::par_map(&cells, |_, &(r, p)| {
+        let (name, trace) = &suite.entries()[r];
+        let (label, geom) = &points[p];
+        let base = runner::run_cell(
+            format!("Figure 9a/{name}/{label}/base"),
+            &Config::Standard { geom: *geom, mem },
+            trace,
+        );
+        let soft_cfg = SoftCacheConfig::soft()
+            .with_geometry(*geom)
+            .with_virtual_line(geom.line_bytes() * 2);
+        let soft = runner::run_cell(
+            format!("Figure 9a/{name}/{label}/soft"),
+            &Config::Soft(soft_cfg),
+            trace,
+        );
+        soft.misses_removed_vs(&base)
+    });
+    for ((name, _), row) in suite.entries().iter().zip(flat.chunks(points.len())) {
+        t.push_row(name.clone(), row.to_vec());
     }
     t
 }
@@ -323,21 +380,30 @@ pub fn fig10b(suite: &Suite) -> Table {
         "Figure 10b — influence of memory latency (AMAT Stand. − AMAT Soft., cycles)",
         &labels,
     );
-    for (name, trace) in suite.entries() {
-        let row: Vec<f64> = latencies
-            .iter()
-            .map(|&lat| {
-                let mem = MemoryModel::default().with_latency(lat);
-                let stand = Config::Standard {
-                    geom: CacheGeometry::standard(),
-                    mem,
-                }
-                .run(trace);
-                let soft = Config::Soft(SoftCacheConfig::soft().with_latency(lat)).run(trace);
-                stand.amat() - soft.amat()
-            })
-            .collect();
-        t.push_row(name.clone(), row);
+    let cells: Vec<(usize, usize)> = (0..suite.entries().len())
+        .flat_map(|r| (0..latencies.len()).map(move |l| (r, l)))
+        .collect();
+    let flat = runner::par_map(&cells, |_, &(r, l)| {
+        let (name, trace) = &suite.entries()[r];
+        let lat = latencies[l];
+        let mem = MemoryModel::default().with_latency(lat);
+        let stand = runner::run_cell(
+            format!("Figure 10b/{name}/lat={lat}/stand"),
+            &Config::Standard {
+                geom: CacheGeometry::standard(),
+                mem,
+            },
+            trace,
+        );
+        let soft = runner::run_cell(
+            format!("Figure 10b/{name}/lat={lat}/soft"),
+            &Config::Soft(SoftCacheConfig::soft().with_latency(lat)),
+            trace,
+        );
+        stand.amat() - soft.amat()
+    });
+    for ((name, _), row) in suite.entries().iter().zip(flat.chunks(latencies.len())) {
+        t.push_row(name.clone(), row.to_vec());
     }
     t
 }
@@ -357,12 +423,23 @@ pub fn fig11a(small: bool) -> Table {
         "Figure 11a — blocked MV: AMAT vs block size",
         &["Stand.", "Soft."],
     );
-    for b in blocks {
+    // One parallel cell per block size: the trace is generated once per
+    // cell and shared by both engine runs.
+    let rows = runner::par_map(&blocks, |_, &b| {
         let p = sac_workloads::blocked::program(sac_workloads::blocked::Params { n, block: b });
-        let trace = p.trace_default();
-        let stand = Config::standard().run(&trace).amat();
-        let soft = Config::soft().run(&trace).amat();
-        t.push_row(format!("B={b}"), vec![stand, soft]);
+        let trace = runner::timed_cell(format!("Figure 11a/B={b}/trace"), || p.trace_default());
+        let stand = runner::run_cell(
+            format!("Figure 11a/B={b}/Stand."),
+            &Config::standard(),
+            &trace,
+        )
+        .amat();
+        let soft =
+            runner::run_cell(format!("Figure 11a/B={b}/Soft."), &Config::soft(), &trace).amat();
+        (format!("B={b}"), vec![stand, soft])
+    });
+    for (label, row) in rows {
+        t.push_row(label, row);
     }
     t
 }
@@ -375,24 +452,44 @@ pub fn fig11b(small: bool) -> Table {
         "Figure 11b — blocked MM: AMAT vs leading dimension, copy × soft",
         &["NoCopy/Stand.", "Copy/Stand.", "NoCopy/Soft.", "Copy/Soft."],
     );
-    for ld in sac_workloads::copying::FIG11B_LDS {
-        let mut row = Vec::new();
-        for (copying, soft) in [(false, false), (true, false), (false, true), (true, true)] {
+    let lds: Vec<i64> = sac_workloads::copying::FIG11B_LDS.to_vec();
+    let rows = runner::par_map(&lds, |_, &ld| {
+        // The four cells of a row need only two traces (copy off/on);
+        // generate each once and share it across the engine runs.
+        let trace_for = |copying: bool| {
             let p = sac_workloads::copying::program(sac_workloads::copying::Params {
                 n,
                 ld,
                 block,
                 copying,
             });
-            let trace = p.trace_default();
+            runner::timed_cell(format!("Figure 11b/ld={ld}/copy={copying}/trace"), || {
+                p.trace_default()
+            })
+        };
+        let nocopy = trace_for(false);
+        let copy = trace_for(true);
+        let mut row = Vec::new();
+        for (copying, soft) in [(false, false), (true, false), (false, true), (true, true)] {
+            let trace = if copying { &copy } else { &nocopy };
             let cfg = if soft {
                 Config::soft()
             } else {
                 Config::standard()
             };
-            row.push(cfg.run(&trace).amat());
+            row.push(
+                runner::run_cell(
+                    format!("Figure 11b/ld={ld}/copy={copying}/soft={soft}"),
+                    &cfg,
+                    trace,
+                )
+                .amat(),
+            );
         }
-        t.push_row(format!("ld={ld}"), row);
+        (format!("ld={ld}"), row)
+    });
+    for (label, row) in rows {
+        t.push_row(label, row);
     }
     t
 }
@@ -431,26 +528,41 @@ pub fn ext_copy_vline(small: bool) -> Table {
         "Extension — copy refill with block-sized virtual lines (AMAT)",
         &["Copy/Soft 64B", "Copy/Soft variable"],
     );
-    for ld in sac_workloads::copying::FIG11B_LDS {
+    let lds: Vec<i64> = sac_workloads::copying::FIG11B_LDS.to_vec();
+    let rows = runner::par_map(&lds, |_, &ld| {
         let p = sac_workloads::copying::program(sac_workloads::copying::Params {
             n,
             ld,
             block,
             copying: true,
         });
-        let plain = p.trace_default();
-        let leveled = p
-            .trace(&sac_loopir::TraceOptions {
+        let plain = runner::timed_cell(format!("Ext copy-vline/ld={ld}/trace"), || {
+            p.trace_default()
+        });
+        let leveled = runner::timed_cell(format!("Ext copy-vline/ld={ld}/leveled-trace"), || {
+            p.trace(&sac_loopir::TraceOptions {
                 seed: 0x5AC,
                 gaps: true,
                 levels: true,
             })
-            .expect("copy kernel traces");
-        let fixed = Config::soft().run(&plain).amat();
-        let var = Config::Soft(SoftCacheConfig::soft().with_variable_vlines(true))
-            .run(&leveled)
-            .amat();
-        t.push_row(format!("ld={ld}"), vec![fixed, var]);
+            .expect("copy kernel traces")
+        });
+        let fixed = runner::run_cell(
+            format!("Ext copy-vline/ld={ld}/fixed"),
+            &Config::soft(),
+            &plain,
+        )
+        .amat();
+        let var = runner::run_cell(
+            format!("Ext copy-vline/ld={ld}/variable"),
+            &Config::Soft(SoftCacheConfig::soft().with_variable_vlines(true)),
+            &leveled,
+        )
+        .amat();
+        (format!("ld={ld}"), vec![fixed, var])
+    });
+    for (label, row) in rows {
+        t.push_row(label, row);
     }
     t
 }
@@ -476,38 +588,46 @@ pub fn ext_context_switch(suite: &Suite) -> Table {
         "Extension — context-switch robustness (mean AMAT: standard / soft)",
         &labels,
     );
-    for (kind, soft) in [("Stand.", false), ("Soft.", true)] {
-        let row: Vec<f64> = quanta
-            .iter()
+    let kinds = [("Stand.", false), ("Soft.", true)];
+    let nb = suite.entries().len();
+    // One cell per (kind, quantum, benchmark); the suite mean is reduced
+    // afterwards in benchmark order.
+    let cells: Vec<(usize, usize, usize)> = (0..kinds.len())
+        .flat_map(|k| (0..quanta.len()).flat_map(move |q| (0..nb).map(move |b| (k, q, b))))
+        .collect();
+    let flat = runner::par_map(&cells, |_, &(k, q, b)| {
+        let (name, trace) = &suite.entries()[b];
+        let (kind, soft) = kinds[k];
+        let quantum = quanta[q];
+        let label = format!("Ext ctx-switch/{name}/{kind}/q={quantum:?}");
+        let m = runner::metered_cell(label, || {
+            if soft {
+                let mut c = SoftCache::new(SoftCacheConfig::soft());
+                match quantum {
+                    None => c.run(trace),
+                    Some(q) => c.run_with_context_switches(trace, q),
+                }
+                *c.metrics()
+            } else {
+                let mut c = StandardCache::new(CacheGeometry::standard(), MemoryModel::default());
+                match quantum {
+                    None => c.run(trace),
+                    Some(q) => c.run_with_context_switches(trace, q),
+                }
+                *c.metrics()
+            }
+        });
+        m.amat()
+    });
+    for (k, (kind, _)) in kinds.iter().enumerate() {
+        let row: Vec<f64> = (0..quanta.len())
             .map(|q| {
-                let sum: f64 = suite
-                    .entries()
-                    .iter()
-                    .map(|(_, trace)| {
-                        if soft {
-                            let mut c = SoftCache::new(SoftCacheConfig::soft());
-                            match q {
-                                None => c.run(trace),
-                                Some(q) => c.run_with_context_switches(trace, *q),
-                            }
-                            c.metrics().amat()
-                        } else {
-                            let mut c = StandardCache::new(
-                                CacheGeometry::standard(),
-                                MemoryModel::default(),
-                            );
-                            match q {
-                                None => c.run(trace),
-                                Some(q) => c.run_with_context_switches(trace, *q),
-                            }
-                            c.metrics().amat()
-                        }
-                    })
-                    .sum();
-                sum / suite.entries().len() as f64
+                let base = (k * quanta.len() + q) * nb;
+                let sum: f64 = flat[base..base + nb].iter().sum();
+                sum / nb as f64
             })
             .collect();
-        t.push_row(kind, row);
+        t.push_row(*kind, row);
     }
     t
 }
@@ -567,13 +687,11 @@ pub fn ablation_bb_size(suite: &Suite) -> Table {
             )
         })
         .collect();
-    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
-    let mut t = Table::new("Ablation — bounce-back cache size (AMAT, cycles)", &labels);
-    for (name, trace) in suite.entries() {
-        let row = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
-        t.push_row(name.clone(), row);
-    }
-    t
+    amat_table(
+        "Ablation — bounce-back cache size (AMAT, cycles)",
+        suite,
+        &as_label_refs(&configs),
+    )
 }
 
 /// Ablation: bounce-back cache associativity (§2.2: "a 4-way bounce-back
@@ -593,16 +711,11 @@ pub fn ablation_bb_ways(suite: &Suite) -> Table {
         )
     })
     .collect();
-    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
-    let mut t = Table::new(
+    amat_table(
         "Ablation — bounce-back associativity (AMAT, cycles)",
-        &labels,
-    );
-    for (name, trace) in suite.entries() {
-        let row = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
-        t.push_row(name.clone(), row);
-    }
-    t
+        suite,
+        &as_label_refs(&configs),
+    )
 }
 
 /// Ablation: victim-for-all vs temporal-only admission into the
@@ -662,27 +775,45 @@ pub fn ext_prefetch_distance(suite: &Suite) -> Table {
         "Extension — prefetch distance vs latency (mean AMAT, cycles)",
         &labels,
     );
-    for lat in [20u64, 25, 30, 40] {
-        let mut row = Vec::new();
-        let mean = |cfg: Config| {
-            let sum: f64 = suite
-                .entries()
-                .iter()
-                .map(|(_, trace)| cfg.run(trace).amat())
-                .sum();
-            sum / suite.entries().len() as f64
-        };
-        row.push(mean(Config::Soft(
-            SoftCacheConfig::soft().with_latency(lat),
-        )));
-        for d in degrees {
-            row.push(mean(Config::Soft(
+    let lats = [20u64, 25, 30, 40];
+    let nb = suite.entries().len();
+    let config_for = |lat: u64, col: usize| -> Config {
+        if col == 0 {
+            Config::Soft(SoftCacheConfig::soft().with_latency(lat))
+        } else {
+            Config::Soft(
                 SoftCacheConfig::soft()
                     .with_latency(lat)
                     .with_prefetch(true)
-                    .with_prefetch_degree(d),
-            )));
+                    .with_prefetch_degree(degrees[col - 1]),
+            )
         }
+    };
+    let ncols = degrees.len() + 1;
+    // One cell per (latency, column, benchmark); suite means reduce in
+    // benchmark order afterwards.
+    let cells: Vec<(usize, usize, usize)> = (0..lats.len())
+        .flat_map(|l| (0..ncols).flat_map(move |c| (0..nb).map(move |b| (l, c, b))))
+        .collect();
+    let flat = runner::par_map(&cells, |_, &(l, c, b)| {
+        let (name, trace) = &suite.entries()[b];
+        let lat = lats[l];
+        let cfg = config_for(lat, c);
+        runner::run_cell(
+            format!("Ext pf-distance/{name}/lat={lat}/col{c}"),
+            &cfg,
+            trace,
+        )
+        .amat()
+    });
+    for (l, lat) in lats.iter().enumerate() {
+        let row: Vec<f64> = (0..ncols)
+            .map(|c| {
+                let base = (l * ncols + c) * nb;
+                let sum: f64 = flat[base..base + nb].iter().sum();
+                sum / nb as f64
+            })
+            .collect();
         t.push_row(format!("lat={lat}"), row);
     }
     t
@@ -740,19 +871,24 @@ pub fn ext_miss_classes(suite: &Suite) -> Table {
             "soft total",
         ],
     );
-    for (name, trace) in suite.entries() {
-        let c = classify_misses(trace, geom);
-        let soft = Config::soft().run(trace);
-        t.push_row(
-            name.clone(),
-            vec![
-                c.per_ref(c.compulsory),
-                c.per_ref(c.capacity),
-                c.per_ref(c.conflict),
-                c.per_ref(c.total()),
-                soft.miss_ratio(),
-            ],
+    for (name, row) in par_rows(suite, |name, trace| {
+        let c = runner::timed_cell(format!("Ext miss-classes/{name}/classify"), || {
+            classify_misses(trace, geom)
+        });
+        let soft = runner::run_cell(
+            format!("Ext miss-classes/{name}/soft"),
+            &Config::soft(),
+            trace,
         );
+        vec![
+            c.per_ref(c.compulsory),
+            c.per_ref(c.capacity),
+            c.per_ref(c.conflict),
+            c.per_ref(c.total()),
+            soft.miss_ratio(),
+        ]
+    }) {
+        t.push_row(name, row);
     }
     t
 }
@@ -807,16 +943,11 @@ pub fn ablation_associativity(suite: &Suite) -> Table {
             )
         })
         .collect();
-    let labels: Vec<&str> = configs.iter().map(|(l, _)| l.as_str()).collect();
-    let mut t = Table::new(
+    amat_table(
         "Ablation — software control vs main-cache associativity (AMAT, cycles)",
-        &labels,
-    );
-    for (name, trace) in suite.entries() {
-        let row = configs.iter().map(|(_, c)| c.run(trace).amat()).collect();
-        t.push_row(name.clone(), row);
-    }
-    t
+        suite,
+        &as_label_refs(&configs),
+    )
 }
 
 /// Ablation: bus bandwidth. The virtual-line penalty is `n·LS/w_b`
@@ -824,37 +955,26 @@ pub fn ablation_associativity(suite: &Suite) -> Table {
 /// bus), so narrower buses shrink the profitable virtual-line size.
 pub fn ablation_bus_width(suite: &Suite) -> Table {
     let widths = [8u64, 16, 32];
-    let mut labels = Vec::new();
+    let mut configs: Vec<(String, Config)> = Vec::new();
     for w in widths {
-        labels.push(format!("stand w={w}"));
-        labels.push(format!("soft w={w}"));
+        let mem = MemoryModel::new(20, w);
+        configs.push((
+            format!("stand w={w}"),
+            Config::Standard {
+                geom: CacheGeometry::standard(),
+                mem,
+            },
+        ));
+        configs.push((
+            format!("soft w={w}"),
+            Config::Soft(SoftCacheConfig::soft().with_memory(mem)),
+        ));
     }
-    let labels: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(
+    amat_table(
         "Ablation — bus bandwidth (AMAT, cycles; bytes/cycle)",
-        &labels,
-    );
-    for (name, trace) in suite.entries() {
-        let mut row = Vec::new();
-        for w in widths {
-            let mem = MemoryModel::new(20, w);
-            row.push(
-                Config::Standard {
-                    geom: CacheGeometry::standard(),
-                    mem,
-                }
-                .run(trace)
-                .amat(),
-            );
-            row.push(
-                Config::Soft(SoftCacheConfig::soft().with_memory(mem))
-                    .run(trace)
-                    .amat(),
-            );
-        }
-        t.push_row(name.clone(), row);
-    }
-    t
+        suite,
+        &as_label_refs(&configs),
+    )
 }
 
 /// Ablation: 16-byte physical lines under software control (§3.2 "Cache

@@ -28,7 +28,9 @@ mod suite;
 mod table;
 
 pub mod figures;
+pub mod runner;
 
 pub use config::Config;
+pub use runner::RunSummary;
 pub use suite::Suite;
 pub use table::Table;

@@ -1,0 +1,336 @@
+//! The parallel sweep runner: a self-scheduling worker pool over the
+//! (configuration × workload) grid, with deterministic aggregation.
+//!
+//! The paper's figures are produced by sweeping many cache
+//! configurations over many workload traces. Every cell of that grid is
+//! an independent simulation, so the sweep is embarrassingly parallel —
+//! but figure output must be **bit-identical** to the sequential path.
+//! The runner guarantees that by construction:
+//!
+//! * work is handed out through a shared atomic cursor (workers "steal"
+//!   the next unclaimed cell whenever they finish one, so long cells do
+//!   not straggle a static partition);
+//! * every result is tagged with its cell index and the aggregator
+//!   places it by index, never by completion order;
+//! * each cell's floating-point math happens entirely inside the cell,
+//!   so no cross-cell reduction order can perturb the values. The only
+//!   cross-cell reductions (suite means, geometric means) are performed
+//!   after aggregation, in index order.
+//!
+//! The worker pool is built on `std::thread::scope` and `mpsc` channels
+//! only: the build environment is offline, so rayon/crossbeam are not
+//! available.
+//!
+//! The runner also carries a lightweight observability layer: every cell
+//! records its wall time and simulated-cycle counters into a process-wide
+//! ledger, which [`summary`] folds into a [`RunSummary`] (cells done,
+//! slowest cells, aggregate speedup) for the `figures` and `report`
+//! binaries.
+
+use sac_simcache::Metrics;
+use sac_trace::Trace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::Config;
+
+/// The configured worker count: 0 means "not set, use all cores".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count for subsequent sweeps (the `--jobs N` flag).
+/// `1` forces the sequential path; `0` resets to "all cores".
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::SeqCst);
+}
+
+/// The effective worker count for the next sweep.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Deterministic parallel map: applies `f` to every item and returns the
+/// results **in item order**, regardless of completion order.
+///
+/// Scheduling is dynamic (a shared cursor; idle workers claim the next
+/// unclaimed index), so an expensive cell never serializes the tail of
+/// the grid behind it. With one worker (or one item) this degenerates to
+/// a plain sequential map with zero thread overhead.
+///
+/// ```
+/// use sac_experiments::runner::par_map;
+///
+/// let squares = par_map(&[1, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_workers(items, jobs(), f)
+}
+
+/// [`par_map`] with an explicit worker count (the testable core).
+pub fn par_map_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Aggregate by cell index: completion order is irrelevant.
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell produced a result"))
+        .collect()
+}
+
+/// One finished sweep cell, as recorded in the observability ledger.
+#[derive(Debug, Clone)]
+pub struct CellStat {
+    /// `figure/benchmark/config` label.
+    pub label: String,
+    /// Host wall time the cell took.
+    pub wall: Duration,
+    /// The cell's simulation counters (zeroed for pure analysis cells).
+    pub metrics: Metrics,
+}
+
+fn ledger() -> &'static Mutex<Vec<CellStat>> {
+    static LEDGER: OnceLock<Mutex<Vec<CellStat>>> = OnceLock::new();
+    LEDGER.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Appends one cell to the observability ledger.
+pub fn record_cell(label: String, wall: Duration, metrics: Metrics) {
+    ledger().lock().expect("ledger poisoned").push(CellStat {
+        label,
+        wall,
+        metrics,
+    });
+}
+
+/// Clears the ledger (the bins call this before a run so repeated sweeps
+/// in one process do not blend).
+pub fn reset_stats() {
+    ledger().lock().expect("ledger poisoned").clear();
+}
+
+/// Cells recorded since the last [`reset_stats`].
+pub fn cells_done() -> usize {
+    ledger().lock().expect("ledger poisoned").len()
+}
+
+/// Runs one engine cell under the ledger: builds the engine, drives the
+/// trace, and records wall time + metrics under `label`.
+pub fn run_cell(label: String, config: &Config, trace: &Trace) -> Metrics {
+    metered_cell(label, || config.run(trace))
+}
+
+/// Times a cell whose body yields its own [`Metrics`] (engines driven
+/// directly rather than through [`Config::run`]).
+pub fn metered_cell(label: String, f: impl FnOnce() -> Metrics) -> Metrics {
+    let start = Instant::now();
+    let m = f();
+    record_cell(label, start.elapsed(), m);
+    m
+}
+
+/// Times a non-engine cell (trace analysis, trace generation) under the
+/// ledger with zeroed simulation counters.
+pub fn timed_cell<R>(label: String, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let r = f();
+    record_cell(label, start.elapsed(), Metrics::new());
+    r
+}
+
+/// The end-of-run report of the observability layer.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Cells completed.
+    pub cells: usize,
+    /// Merged simulation counters across all cells.
+    pub totals: Metrics,
+    /// Sum of per-cell wall times (the sequential-equivalent cost).
+    pub cell_wall: Duration,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// The slowest cells, most expensive first: `(label, wall)`.
+    pub slowest: Vec<(String, Duration)>,
+}
+
+impl RunSummary {
+    /// Aggregate speedup: total cell time over elapsed wall time. ~1.0
+    /// when sequential (or on one core); approaches the worker count when
+    /// the grid parallelizes well.
+    pub fn speedup(&self) -> f64 {
+        if self.elapsed.as_secs_f64() > 0.0 {
+            self.cell_wall.as_secs_f64() / self.elapsed.as_secs_f64()
+        } else {
+            1.0
+        }
+    }
+}
+
+impl std::fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sweep: {} cells, {} simulated refs, {} simulated cycles",
+            self.cells, self.totals.refs, self.totals.mem_cycles
+        )?;
+        writeln!(
+            f,
+            "cell time {:.2?} over wall {:.2?} on {} worker(s) — speedup {:.2}x",
+            self.cell_wall,
+            self.elapsed,
+            self.jobs,
+            self.speedup()
+        )?;
+        if !self.slowest.is_empty() {
+            writeln!(f, "slowest cells:")?;
+            for (label, wall) in &self.slowest {
+                writeln!(f, "  {wall:>10.2?}  {label}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Folds the ledger into a [`RunSummary`] for a run that took `elapsed`.
+pub fn summary(elapsed: Duration) -> RunSummary {
+    let cells = ledger().lock().expect("ledger poisoned");
+    let totals = Metrics::merged(cells.iter().map(|c| &c.metrics));
+    let cell_wall = cells.iter().map(|c| c.wall).sum();
+    let mut slowest: Vec<(String, Duration)> =
+        cells.iter().map(|c| (c.label.clone(), c.wall)).collect();
+    slowest.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    slowest.truncate(5);
+    RunSummary {
+        jobs: jobs(),
+        cells: cells.len(),
+        totals,
+        cell_wall,
+        elapsed,
+        slowest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_trace::Access;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for workers in [1, 2, 4, 7] {
+            // Skew the work so late items finish first under parallelism.
+            let out = par_map_workers(&items, workers, |i, &x| {
+                if i < 4 {
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                x * 2
+            });
+            let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_workers(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map_workers(&[9], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_engine_cells() {
+        let trace: Trace = (0..512u64)
+            .map(|i| Access::read((i % 96) * 8).with_spatial(i % 3 == 0))
+            .collect();
+        let configs = [
+            Config::standard(),
+            Config::soft(),
+            Config::standard_victim(),
+        ];
+        let seq: Vec<_> = configs.iter().map(|c| c.run(&trace)).collect();
+        let par = par_map_workers(&configs, 3, |_, c| c.run(&trace));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn engines_and_traces_are_send_and_sync_enough_for_the_pool() {
+        fn sendable<T: Send>() {}
+        fn shareable<T: Sync>() {}
+        sendable::<Metrics>();
+        sendable::<Config>();
+        shareable::<Config>();
+        shareable::<Trace>();
+        sendable::<sac_core::SoftCache>();
+        sendable::<sac_simcache::StandardCache>();
+        sendable::<sac_simcache::VictimCache>();
+        sendable::<sac_simcache::StreamBufferCache>();
+    }
+
+    #[test]
+    fn ledger_folds_into_a_summary() {
+        // The ledger is process-global; other tests may add cells
+        // concurrently, so assert only on a lower bound and on the cells
+        // this test contributed.
+        let label = "test/ledger/cell".to_string();
+        let m = Metrics {
+            refs: 7,
+            mem_cycles: 21,
+            ..Metrics::default()
+        };
+        record_cell(label.clone(), Duration::from_millis(5), m);
+        let s = summary(Duration::from_millis(10));
+        assert!(s.cells >= 1);
+        assert!(s.totals.refs >= 7);
+        assert!(s.cell_wall >= Duration::from_millis(5));
+        assert!(s.speedup() > 0.0);
+        let text = s.to_string();
+        assert!(text.contains("sweep:"), "{text}");
+        assert!(text.contains("speedup"), "{text}");
+    }
+}

@@ -1,15 +1,23 @@
 //! The benchmark suite: named, pre-generated traces.
 
+use crate::runner;
 use sac_loopir::TraceOptions;
 use sac_trace::Trace;
+use std::sync::Arc;
 
 /// A set of named benchmark traces, generated once and reused across
 /// figures (trace generation is deterministic, so every figure sees the
 /// identical reference streams — as in the paper, where the time
 /// information is recorded in the trace itself).
+///
+/// Traces are held behind [`Arc`] so the parallel sweep runner can hand
+/// the same parsed trace to every worker without copying it per cell,
+/// and generation itself is sharded across workers (one benchmark per
+/// cell; the order of `entries` is always the workload order, never the
+/// completion order).
 #[derive(Debug, Clone)]
 pub struct Suite {
-    entries: Vec<(String, Trace)>,
+    entries: Vec<(String, Arc<Trace>)>,
 }
 
 impl Suite {
@@ -46,26 +54,23 @@ impl Suite {
     }
 
     fn from_programs_with(programs: Vec<sac_loopir::Program>, levels: bool) -> Self {
-        let entries = programs
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let opts = TraceOptions {
-                    seed: 0x5AC0 + i as u64,
-                    gaps: true,
-                    levels,
-                };
-                let trace = p
-                    .trace(&opts)
-                    .unwrap_or_else(|e| panic!("workload {} failed to trace: {e}", p.name()));
-                (p.name().to_string(), trace)
-            })
-            .collect();
+        let entries = runner::par_map(&programs, |i, p| {
+            let opts = TraceOptions {
+                seed: 0x5AC0 + i as u64,
+                gaps: true,
+                levels,
+            };
+            let trace = runner::timed_cell(format!("suite/{}/trace", p.name()), || {
+                p.trace(&opts)
+                    .unwrap_or_else(|e| panic!("workload {} failed to trace: {e}", p.name()))
+            });
+            (p.name().to_string(), Arc::new(trace))
+        });
         Suite { entries }
     }
 
     /// The `(name, trace)` pairs in figure order.
-    pub fn entries(&self) -> &[(String, Trace)] {
+    pub fn entries(&self) -> &[(String, Arc<Trace>)] {
         &self.entries
     }
 
@@ -76,7 +81,19 @@ impl Suite {
 
     /// Looks up one trace by benchmark name.
     pub fn trace(&self, name: &str) -> Option<&Trace> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| &**t)
+    }
+
+    /// Looks up one trace by benchmark name as a shared handle, for
+    /// handing to sweep workers without copying the trace.
+    pub fn trace_arc(&self, name: &str) -> Option<Arc<Trace>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| Arc::clone(t))
     }
 
     /// Total references across the suite.
@@ -116,5 +133,13 @@ mod tests {
         let a = Suite::small();
         let b = Suite::small();
         assert_eq!(a.trace("MV"), b.trace("MV"));
+    }
+
+    #[test]
+    fn arc_handles_alias_the_entry() {
+        let s = Suite::small();
+        let arc = s.trace_arc("MV").unwrap();
+        assert!(std::ptr::eq(&*arc, s.trace("MV").unwrap()));
+        assert!(s.trace_arc("nope").is_none());
     }
 }

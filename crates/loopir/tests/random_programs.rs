@@ -2,9 +2,15 @@
 //! interpreter must stay in bounds, trace sizes must match trip-count
 //! arithmetic, the analysis must be deterministic and total, and CALL
 //! kills must clear exactly the bodies that contain them.
+//!
+//! Offline build: programs are generated with the in-tree
+//! [`SplitMix64`] generator instead of `proptest`; each property runs
+//! over `CASES` seeds and failures report the offending seed.
 
-use proptest::prelude::*;
 use sac_loopir::{aff, AffineExpr, Program, Tags, TraceOptions};
+use sac_trace::rng::SplitMix64;
+
+const CASES: u64 = 128;
 
 /// Description of one generated loop level.
 #[derive(Debug, Clone)]
@@ -17,38 +23,29 @@ struct LoopSpec {
     child: Option<Box<LoopSpec>>,
 }
 
-fn ref_strategy(depth: usize) -> impl Strategy<Value = (Vec<i64>, bool)> {
-    (prop::collection::vec(-2i64..=2, depth), any::<bool>())
+fn gen_ref(rng: &mut SplitMix64, depth: usize) -> (Vec<i64>, bool) {
+    let coefs = (0..depth).map(|_| rng.range_i64(-2, 2)).collect();
+    (coefs, rng.chance(0.5))
 }
 
-fn loop_spec(depth: usize) -> BoxedStrategy<LoopSpec> {
-    let leaf = (
-        1i64..6,
-        prop::collection::vec(ref_strategy(depth + 1), 0..4),
-        prop::bool::weighted(0.2),
-    )
-        .prop_map(|(trip, refs, has_call)| LoopSpec {
-            trip,
-            refs,
-            has_call,
-            child: None,
-        });
-    if depth >= 2 {
-        return leaf.boxed();
+fn gen_spec(rng: &mut SplitMix64, depth: usize) -> LoopSpec {
+    let max_refs = if depth >= 2 { 4 } else { 3 };
+    let spec = LoopSpec {
+        trip: rng.range_i64(1, 5),
+        refs: (0..rng.index(max_refs))
+            .map(|_| gen_ref(rng, depth + 1))
+            .collect(),
+        has_call: rng.chance(0.2),
+        child: None,
+    };
+    if depth >= 2 || rng.chance(0.5) {
+        spec
+    } else {
+        LoopSpec {
+            child: Some(Box::new(gen_spec(rng, depth + 1))),
+            ..spec
+        }
     }
-    (
-        1i64..6,
-        prop::collection::vec(ref_strategy(depth + 1), 0..3),
-        prop::bool::weighted(0.2),
-        prop::option::of(loop_spec(depth + 1)),
-    )
-        .prop_map(|(trip, refs, has_call, child)| LoopSpec {
-            trip,
-            refs,
-            has_call,
-            child: child.map(Box::new),
-        })
-        .boxed()
 }
 
 /// Builds a program from a spec; returns (program, expected trace length,
@@ -148,70 +145,103 @@ fn build(spec: &LoopSpec) -> (Program, usize, Vec<bool>) {
     (p, expected, killed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn random_programs_trace_in_bounds(spec in loop_spec(0)) {
-        let (p, expected, _) = build(&spec);
-        let t = p
-            .trace(&TraceOptions { seed: 1, gaps: false, levels: false })
-            .expect("subscripts stay in bounds by construction");
-        prop_assert_eq!(t.len(), expected);
+/// Runs `f` over `CASES` generated specs, naming the seed on failure.
+fn for_each_spec(f: impl Fn(&LoopSpec)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x100F + case);
+        let spec = gen_spec(&mut rng, 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&spec)));
+        if let Err(e) = result {
+            eprintln!("failing case {case}: {spec:?}");
+            std::panic::resume_unwind(e);
+        }
     }
+}
 
-    #[test]
-    fn analysis_is_total_and_deterministic(spec in loop_spec(0)) {
-        let (p, _, _) = build(&spec);
+#[test]
+fn random_programs_trace_in_bounds() {
+    for_each_spec(|spec| {
+        let (p, expected, _) = build(spec);
+        let t = p
+            .trace(&TraceOptions {
+                seed: 1,
+                gaps: false,
+                levels: false,
+            })
+            .expect("subscripts stay in bounds by construction");
+        assert_eq!(t.len(), expected);
+    });
+}
+
+#[test]
+fn analysis_is_total_and_deterministic() {
+    for_each_spec(|spec| {
+        let (p, _, _) = build(spec);
         let a = p.analyze();
         let b = p.analyze();
-        prop_assert_eq!(a.len() as u32, p.ref_count());
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a.len() as u32, p.ref_count());
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn call_kills_exactly_the_enclosing_bodies(spec in loop_spec(0)) {
-        let (p, _, killed) = build(&spec);
+#[test]
+fn call_kills_exactly_the_enclosing_bodies() {
+    for_each_spec(|spec| {
+        let (p, _, killed) = build(spec);
         let tags = p.analyze();
         for (t, k) in tags.iter().zip(&killed) {
             if *k {
-                prop_assert_eq!(*t, Tags::NONE);
+                assert_eq!(*t, Tags::NONE);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn levels_are_within_the_two_bit_budget(spec in loop_spec(0)) {
-        let (p, _, _) = build(&spec);
+#[test]
+fn levels_are_within_the_two_bit_budget() {
+    for_each_spec(|spec| {
+        let (p, _, _) = build(spec);
         let t = p
-            .trace(&TraceOptions { seed: 1, gaps: false, levels: true })
+            .trace(&TraceOptions {
+                seed: 1,
+                gaps: false,
+                levels: true,
+            })
             .expect("traces");
         for a in &t {
-            prop_assert!(a.spatial_level() <= 3);
+            assert!(a.spatial_level() <= 3);
             if !a.spatial() {
-                prop_assert_eq!(a.spatial_level(), 0, "levels only on spatial refs");
+                assert_eq!(a.spatial_level(), 0, "levels only on spatial refs");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pseudocode_mentions_every_array(spec in loop_spec(0)) {
-        let (p, _, _) = build(&spec);
+#[test]
+fn pseudocode_mentions_every_array() {
+    for_each_spec(|spec| {
+        let (p, _, _) = build(spec);
         let text = p.to_pseudocode();
         for a in p.arrays() {
-            prop_assert!(text.contains(a.name()));
+            assert!(text.contains(a.name()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn traces_round_trip_through_binary_io(spec in loop_spec(0)) {
-        let (p, _, _) = build(&spec);
+#[test]
+fn traces_round_trip_through_binary_io() {
+    for_each_spec(|spec| {
+        let (p, _, _) = build(spec);
         let t = p
-            .trace(&TraceOptions { seed: 5, gaps: true, levels: true })
+            .trace(&TraceOptions {
+                seed: 5,
+                gaps: true,
+                levels: true,
+            })
             .expect("traces");
         let mut buf = Vec::new();
         sac_trace::io::write_binary(&t, &mut buf).expect("write");
         let back = sac_trace::io::read_binary(&buf[..]).expect("read");
-        prop_assert_eq!(t, back);
-    }
+        assert_eq!(t, back);
+    });
 }

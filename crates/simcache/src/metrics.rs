@@ -135,6 +135,46 @@ impl Metrics {
         }
     }
 
+    /// A copy of the current counters — the value an engine hands to the
+    /// sweep runner's aggregator while it keeps simulating.
+    pub fn snapshot(&self) -> Metrics {
+        *self
+    }
+
+    /// Accumulates another metrics block into this one. All counters are
+    /// additive, so merging per-shard metrics yields exactly the counters
+    /// a single sequential run over the concatenated work would produce;
+    /// derived ratios (AMAT, miss ratio, traffic) are recomputed from the
+    /// merged counters.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.refs += other.refs;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.main_hits += other.main_hits;
+        self.aux_hits += other.aux_hits;
+        self.misses += other.misses;
+        self.bypasses += other.bypasses;
+        self.mem_cycles += other.mem_cycles;
+        self.lines_fetched += other.lines_fetched;
+        self.words_fetched += other.words_fetched;
+        self.writebacks += other.writebacks;
+        self.bounces += other.bounces;
+        self.swaps += other.swaps;
+        self.prefetches += other.prefetches;
+        self.useful_prefetches += other.useful_prefetches;
+        self.stall_cycles += other.stall_cycles;
+    }
+
+    /// Merges an iterator of metrics blocks into one (the deterministic
+    /// reduce step of the parallel sweep runner).
+    pub fn merged<'a>(blocks: impl IntoIterator<Item = &'a Metrics>) -> Metrics {
+        let mut total = Metrics::new();
+        for b in blocks {
+            total.merge(b);
+        }
+        total
+    }
+
     /// Percentage of this configuration's misses removed relative to a
     /// baseline (Figure 9a), e.g.
     /// `soft.metrics().misses_removed_vs(&standard.metrics())`.
@@ -216,6 +256,43 @@ mod tests {
             ..Metrics::default()
         };
         assert!((m.miss_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_counterwise_addition() {
+        let a = Metrics {
+            refs: 10,
+            reads: 6,
+            writes: 4,
+            main_hits: 7,
+            misses: 3,
+            mem_cycles: 70,
+            words_fetched: 12,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            refs: 5,
+            reads: 5,
+            main_hits: 5,
+            mem_cycles: 5,
+            stall_cycles: 2,
+            ..Metrics::default()
+        };
+        let mut m = a.snapshot();
+        m.merge(&b);
+        assert_eq!(m.refs, 15);
+        assert_eq!(m.reads, 11);
+        assert_eq!(m.main_hits, 12);
+        assert_eq!(m.mem_cycles, 75);
+        assert_eq!(m.stall_cycles, 2);
+        assert_eq!(Metrics::merged([&a, &b]), m);
+        // AMAT is recomputed over the merged counters.
+        assert!((m.amat() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_of_nothing_is_zero() {
+        assert_eq!(Metrics::merged([]), Metrics::new());
     }
 
     #[test]

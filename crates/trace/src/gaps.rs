@@ -7,8 +7,7 @@
 //! gap of each trace entry from that distribution at trace-generation time.
 //! We reuse the published distribution.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// The Figure 4b histogram: `(gap in cycles, fraction of load/stores)`.
 ///
@@ -45,7 +44,7 @@ pub const FIG4B_DISTRIBUTION: [(u32, f64); 9] = [
 /// ```
 #[derive(Debug, Clone)]
 pub struct GapModel {
-    rng: StdRng,
+    rng: SplitMix64,
     /// Cumulative distribution over `FIG4B_DISTRIBUTION`.
     cdf: [(u32, f64); 9],
 }
@@ -94,14 +93,14 @@ impl GapModel {
             *slot = (final_gap, 1.0);
         }
         Ok(GapModel {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             cdf,
         })
     }
 
     /// Draws the issue gap (in cycles) for the next trace entry.
     pub fn sample(&mut self) -> u32 {
-        let u: f64 = self.rng.random();
+        let u: f64 = self.rng.next_f64();
         for &(gap, cum) in &self.cdf {
             if u < cum {
                 return gap;

@@ -37,6 +37,7 @@ mod gaps;
 mod trace;
 
 pub mod io;
+pub mod rng;
 pub mod stats;
 
 pub use access::{Access, AccessKind, WORD_BYTES};

@@ -18,9 +18,8 @@
 //! (spatial-only — which the analysis finds on its own) while
 //! `X(Index(j2))` is forced temporal by directive.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sac_loopir::{idx, indirect, shift, Bound, Program};
+use sac_trace::rng::SplitMix64;
 
 /// Sparse-problem shape parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +84,7 @@ pub fn program(params: Params) -> Program {
         "bad nnz range"
     );
     assert!(params.band >= 1, "band must be positive");
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SplitMix64::seed_from_u64(params.seed);
 
     // Column pointers and row indices (CSC). Row indices are sorted per
     // column, as a real assembly would produce.
@@ -93,12 +92,12 @@ pub fn program(params: Params) -> Program {
     let mut rowidx: Vec<i64> = Vec::new();
     colptr.push(0);
     for j in 0..params.cols {
-        let nnz = rng.random_range(params.nnz_min..=params.nnz_max);
+        let nnz = rng.range_i64(params.nnz_min, params.nnz_max);
         // Centre of column j's band on a diagonal-like profile.
         let centre = j * params.rows / params.cols.max(1);
         let lo = (centre - params.band).max(0);
         let hi = (centre + params.band).min(params.rows - 1);
-        let mut rows: Vec<i64> = (0..nnz).map(|_| rng.random_range(lo..=hi)).collect();
+        let mut rows: Vec<i64> = (0..nnz).map(|_| rng.range_i64(lo, hi)).collect();
         rows.sort_unstable();
         rows.dedup();
         rowidx.extend_from_slice(&rows);
