@@ -4,8 +4,8 @@ use crate::config::{Replacement, SoftCacheConfig};
 use crate::fillbuf::{FillBuffer, FillSlot};
 use crate::vline::virtual_block;
 use sac_simcache::{
-    CacheGeometry, CacheSim, Clock, Entry, Metrics, TagArray, WriteBuffer, DIRTY_TRANSFER_CYCLES,
-    MAIN_HIT_CYCLES, SWAP_LOCK_CYCLES,
+    CacheGeometry, CacheSim, ChunkDelta, Clock, Entry, Metrics, TagArray, WriteBuffer,
+    DIRTY_TRANSFER_CYCLES, MAIN_HIT_CYCLES, SWAP_LOCK_CYCLES,
 };
 use sac_trace::Access;
 
@@ -34,6 +34,12 @@ pub struct SoftCache {
     inflight: Vec<InflightPrefetch>,
     prefetched_resident: u32,
     fillbuf: FillBuffer,
+    // Scratch buffers reused across misses (the miss path used to
+    // allocate two Vecs per miss, which dominated system time on long
+    // sweeps). Taken with `mem::take` for the duration of a miss and
+    // restored afterwards, keeping their capacity.
+    needed_buf: Vec<u64>,
+    fill_sets_buf: Vec<u64>,
 }
 
 impl SoftCache {
@@ -69,6 +75,8 @@ impl SoftCache {
             inflight: Vec::with_capacity(MAX_INFLIGHT),
             prefetched_resident: 0,
             fillbuf: FillBuffer::for_geometry(cfg.geometry, max_vline),
+            needed_buf: Vec::new(),
+            fill_sets_buf: Vec::new(),
         }
     }
 
@@ -328,12 +336,18 @@ impl SoftCache {
             line..line + 1
         };
         // Presence checks for the additional lines are overlapped with the
-        // first request (§2.1): only absent lines are fetched.
-        let needed: Vec<u64> = block
-            .clone()
-            .filter(|&l| l == line || self.main.peek(l).is_none())
-            .collect();
-        let fill_sets: Vec<u64> = needed.iter().map(|&l| geom.set_of_line(l)).collect();
+        // first request (§2.1): only absent lines are fetched. The scratch
+        // vectors are owned by the engine and reused across misses.
+        let mut needed = std::mem::take(&mut self.needed_buf);
+        needed.clear();
+        needed.extend(
+            block
+                .clone()
+                .filter(|&l| l == line || self.main.peek(l).is_none()),
+        );
+        let mut fill_sets = std::mem::take(&mut self.fill_sets_buf);
+        fill_sets.clear();
+        fill_sets.extend(needed.iter().map(|&l| geom.set_of_line(l)));
         let penalty = self
             .cfg
             .memory
@@ -374,14 +388,11 @@ impl SoftCache {
         // the requests have gone out; a physical line found there keeps
         // the bounce-back copy and invalidates the incoming one. The
         // demanded line itself can never be there (it would have hit).
-        if let Some(bb) = self.bounce.as_ref() {
-            let stale: Vec<u64> = needed
-                .iter()
-                .copied()
-                .filter(|&l| l != line && bb.peek(l).is_some())
-                .collect();
-            for l in stale {
-                self.main.invalidate(l);
+        if let Some(bb) = &self.bounce {
+            for &l in &needed {
+                if l != line && bb.peek(l).is_some() {
+                    self.main.invalidate(l);
+                }
             }
         }
 
@@ -398,36 +409,16 @@ impl SoftCache {
                 self.clock.now() + penalty + self.cfg.memory.transfer_cycles(geom.line_bytes());
             self.issue_prefetch(block.end, ready);
         }
+        self.needed_buf = needed;
+        self.fill_sets_buf = fill_sets;
         penalty + residual
     }
-}
 
-impl CacheSim for SoftCache {
-    fn access(&mut self, a: &Access) {
-        self.metrics.record_ref(a.kind().is_write());
-        let mut cost = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += cost;
-        self.settle_prefetch();
-
-        let line = self.cfg.geometry.line_of(a.addr());
-        if let Some(idx) = self.main.probe(line) {
-            let entry = self.main.entry_at_mut(idx);
-            if a.kind().is_write() {
-                entry.dirty = true;
-            }
-            if self.cfg.use_temporal && a.temporal() {
-                entry.temporal = true;
-            }
-            if entry.prefetched {
-                entry.prefetched = false;
-            }
-            self.metrics.main_hits += 1;
-            cost += MAIN_HIT_CYCLES;
-            self.metrics.mem_cycles += cost;
-            self.clock.complete(cost);
-            return;
-        }
-
+    /// Continuation of an access once the main-cache probe has missed
+    /// (the probe — and its LRU side effect — has already happened):
+    /// bounce-back hit, in-flight prefetch hit, or a full miss. `cost`
+    /// carries the arrival stall already charged to `stall_cycles`.
+    fn access_noncached(&mut self, line: u64, mut cost: u64, a: &Access) {
         let bb_entry = self
             .bounce
             .as_mut()
@@ -465,6 +456,73 @@ impl CacheSim for SoftCache {
         cost += self.miss(line, a);
         self.metrics.mem_cycles += cost;
         self.clock.complete(cost);
+    }
+}
+
+impl CacheSim for SoftCache {
+    fn access(&mut self, a: &Access) {
+        self.metrics.record_ref(a.kind().is_write());
+        let stall = self.clock.arrive(a.gap());
+        self.metrics.stall_cycles += stall;
+        if !self.inflight.is_empty() {
+            self.settle_prefetch();
+        }
+
+        let line = self.cfg.geometry.line_of(a.addr());
+        if let Some(idx) = self.main.probe(line) {
+            let entry = self.main.entry_at_mut(idx);
+            if a.kind().is_write() {
+                entry.dirty = true;
+            }
+            if self.cfg.use_temporal && a.temporal() {
+                entry.temporal = true;
+            }
+            entry.prefetched = false;
+            self.metrics.main_hits += 1;
+            let cost = stall + MAIN_HIT_CYCLES;
+            self.metrics.mem_cycles += cost;
+            self.clock.complete(cost);
+            return;
+        }
+
+        self.access_noncached(line, stall, a);
+    }
+
+    fn run_chunk(&mut self, chunk: &[Access]) {
+        // Hit fast path: arrival, direct set index + tag compare and the
+        // hint-bit updates, with counters bumped in a compact
+        // [`ChunkDelta`] folded into the metrics at the chunk boundary.
+        // Everything else (bounce-back, in-flight prefetch, miss) drops
+        // into the shared non-cached continuation. The per-access and
+        // chunked paths produce identical metrics: the counters are all
+        // additive and the probe/LRU sequence is the same.
+        let mut delta = ChunkDelta::new();
+        for a in chunk {
+            let stall = self.clock.arrive(a.gap());
+            if !self.inflight.is_empty() {
+                self.settle_prefetch();
+            }
+            let line = self.cfg.geometry.line_of(a.addr());
+            if let Some(idx) = self.main.probe(line) {
+                let entry = self.main.entry_at_mut(idx);
+                let is_write = a.kind().is_write();
+                if is_write {
+                    entry.dirty = true;
+                }
+                if self.cfg.use_temporal && a.temporal() {
+                    entry.temporal = true;
+                }
+                entry.prefetched = false;
+                let cost = stall + MAIN_HIT_CYCLES;
+                delta.record_hit(is_write, cost, stall);
+                self.clock.complete(cost);
+            } else {
+                self.metrics.record_ref(a.kind().is_write());
+                self.metrics.stall_cycles += stall;
+                self.access_noncached(line, stall, a);
+            }
+        }
+        self.metrics.apply_chunk(&delta);
     }
 
     fn invalidate_all(&mut self) {
@@ -789,6 +847,33 @@ mod tests {
         assert_eq!(c.fill_buffer_peak(), 2);
         c.access(&read(8)); // single-line miss does not deepen it
         assert_eq!(c.fill_buffer_peak(), 2);
+    }
+
+    #[test]
+    fn chunked_replay_matches_per_access_replay() {
+        let trace: Trace = (0..20_000u64)
+            .map(|i| {
+                let a = if i % 11 == 0 {
+                    Access::write((i % 4000) * 8)
+                } else {
+                    Access::read((i % 3000) * 8)
+                };
+                a.with_spatial(i % 3 != 0)
+                    .with_temporal(i % 7 == 0)
+                    .with_gap((i % 6) as u32)
+            })
+            .collect();
+        let mut cfg = SoftCacheConfig::soft();
+        cfg.prefetch = true;
+        let mut per_access = SoftCache::new(cfg);
+        for a in &trace {
+            per_access.access(a);
+        }
+        let mut chunked = SoftCache::new(cfg);
+        for chunk in trace.as_slice().chunks(512) {
+            chunked.run_chunk(chunk);
+        }
+        assert_eq!(per_access.metrics(), chunked.metrics());
     }
 
     #[test]

@@ -13,8 +13,18 @@
 //! the default uses every core. Output is bit-identical either way. A
 //! run summary (cells done, slowest cells, aggregate speedup) goes to
 //! stderr at the end.
+//!
+//! Replay runs chunked by default (every configuration of a sweep row
+//! advances through the trace in one pass); `--materialized` replays one
+//! configuration at a time over the whole trace instead — the output is
+//! bit-identical, the flag exists so CI can diff the two paths.
+//! `--bench-json PATH` additionally times raw / hit-heavy / miss-heavy
+//! replay micro-benchmarks and writes a JSON report (refs/sec, peak RSS
+//! estimate, per-figure wall-clock) to PATH.
 
-use sac_experiments::{figures, runner, Suite, Table};
+use sac_experiments::runner::ReplayBatch;
+use sac_experiments::{figures, runner, Config, Suite, Table};
+use sac_trace::{Access, Trace};
 use std::time::Instant;
 
 /// Figure ids in paper order.
@@ -47,11 +57,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
     let mut wanted: Vec<String> = Vec::new();
+    let mut bench_json: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--small" => {}
             "--sequential" => runner::set_jobs(1),
+            "--materialized" => runner::set_replay_mode(runner::ReplayMode::Materialized),
+            "--bench-json" => {
+                bench_json = Some(iter.next().unwrap_or_else(|| {
+                    eprintln!("--bench-json needs an output path");
+                    std::process::exit(2);
+                }));
+            }
             "--jobs" => {
                 let n = iter
                     .next()
@@ -106,6 +124,7 @@ fn main() {
         }
     });
 
+    let mut figure_walls: Vec<(String, f64)> = Vec::new();
     for id in &wanted {
         let before = runner::cells_done();
         let figure_start = Instant::now();
@@ -113,10 +132,12 @@ fn main() {
         match table {
             Some(t) => {
                 println!("{t}");
+                let wall = figure_start.elapsed();
+                figure_walls.push((id.clone(), wall.as_secs_f64()));
                 eprintln!(
                     "{id}: {} cells in {:.2?}",
                     runner::cells_done() - before,
-                    figure_start.elapsed()
+                    wall
                 );
             }
             None => {
@@ -125,7 +146,131 @@ fn main() {
         }
     }
 
-    eprint!("{}", runner::summary(start.elapsed()));
+    let total_wall = start.elapsed();
+    eprint!("{}", runner::summary(total_wall));
+
+    if let Some(path) = bench_json {
+        let report = bench_report(suite.as_ref(), &figure_walls, total_wall.as_secs_f64());
+        match std::fs::write(&path, report) {
+            Ok(()) => eprintln!("wrote replay bench report to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// A trace whose footprint fits the standard 8 KB cache: after the first
+/// lap the inlined hit fast path handles every reference.
+fn hit_heavy_trace(len: usize) -> Trace {
+    let mut t = Trace::with_capacity("hit-heavy", len);
+    for i in 0..len {
+        t.push(Access::read((i as u64 % 512) * 8).with_temporal(true));
+    }
+    t
+}
+
+/// Alternating tags in every set of the standard geometry: each access
+/// evicts the line its revisit needs, so the steady state is all misses.
+fn miss_heavy_trace(len: usize) -> Trace {
+    let mut t = Trace::with_capacity("miss-heavy", len);
+    for i in 0..len {
+        let set = (i as u64 / 2) % 256;
+        let tag = (i as u64) % 2;
+        t.push(Access::read(tag * 8192 + set * 32));
+    }
+    t
+}
+
+/// Replays `trace` through a Standard + Soft batch and reports engine
+/// references per second (each engine sees every reference once).
+fn time_replay(trace: &Trace) -> (u64, f64, f64) {
+    let start = Instant::now();
+    let mut batch = ReplayBatch::new();
+    batch.push(
+        format!("bench/{}/standard", trace.name()),
+        &Config::standard(),
+    );
+    batch.push(format!("bench/{}/soft", trace.name()), &Config::soft());
+    let engines = batch.len() as u64;
+    let metrics = batch.replay(trace);
+    let wall = start.elapsed().as_secs_f64();
+    let engine_refs: u64 = metrics.iter().map(|m| m.refs).sum();
+    assert_eq!(engine_refs, trace.len() as u64 * engines);
+    (engine_refs, wall, engine_refs as f64 / wall)
+}
+
+/// Peak resident set size in bytes, from `/proc/self/status` `VmHWM`
+/// (0 when unavailable, e.g. off Linux).
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<u64>().ok())
+            })
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Hand-rolled JSON (the build is offline: no serde): the replay
+/// micro-benchmarks, the peak-RSS estimate and the per-figure wall-clock
+/// of the run that just finished.
+fn bench_report(suite: Option<&Suite>, figure_walls: &[(String, f64)], total_wall: f64) -> String {
+    const BENCH_LEN: usize = 2_000_000;
+    let raw = match suite.and_then(|s| s.entries().first()) {
+        Some((_, t)) => Trace::clone(t).with_name("raw"),
+        None => {
+            // Suite-less invocation: a deterministic mixed pattern.
+            let mut t = Trace::with_capacity("raw", BENCH_LEN);
+            let mut x = 0x5AC0_FFEEu64;
+            for _ in 0..BENCH_LEN {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t.push(Access::read((x >> 20) % (1 << 22)));
+            }
+            t
+        }
+    };
+    let shapes = [
+        ("raw", raw),
+        ("hit_heavy", hit_heavy_trace(BENCH_LEN)),
+        ("miss_heavy", miss_heavy_trace(BENCH_LEN)),
+    ];
+    let mut out = String::from("{\n  \"schema\": \"sac-bench-replay-v1\",\n");
+    out.push_str(&format!("  \"jobs\": {},\n", runner::jobs()));
+    out.push_str(&format!(
+        "  \"replay_mode\": \"{}\",\n",
+        match runner::replay_mode() {
+            runner::ReplayMode::Chunked => "chunked",
+            runner::ReplayMode::Materialized => "materialized",
+        }
+    ));
+    out.push_str("  \"replay\": {\n");
+    for (i, (name, trace)) in shapes.iter().enumerate() {
+        let (engine_refs, wall, rate) = time_replay(trace);
+        out.push_str(&format!(
+            "    \"{name}\": {{\"engine_refs\": {engine_refs}, \"wall_s\": {wall:.6}, \"refs_per_sec\": {rate:.0}}}{}\n",
+            if i + 1 < shapes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"peak_rss_bytes\": {},\n", peak_rss_bytes()));
+    out.push_str(&format!("  \"total_wall_s\": {total_wall:.3},\n"));
+    out.push_str("  \"figures\": [\n");
+    for (i, (id, wall)) in figure_walls.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"wall_s\": {wall:.3}}}{}\n",
+            if i + 1 < figure_walls.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn run_one(id: &str, suite: Option<&Suite>, small: bool) -> Option<Table> {

@@ -112,55 +112,35 @@ impl Config {
         Config::Soft(SoftCacheConfig::soft())
     }
 
-    /// Builds the engine and runs the whole trace.
-    pub fn run(&self, trace: &Trace) -> Metrics {
+    /// Builds the configured engine, ready to replay a trace. The boxed
+    /// engine is what a replay batch drives chunk by chunk; the virtual
+    /// dispatch happens once per chunk ([`CacheSim::run_chunk`]), not per
+    /// reference.
+    pub fn build(&self) -> Box<dyn CacheSim> {
         match *self {
-            Config::Standard { geom, mem } => {
-                let mut c = StandardCache::new(geom, mem);
-                c.run(trace);
-                *c.metrics()
-            }
-            Config::Victim { geom, mem, lines } => {
-                let mut c = VictimCache::new(geom, mem, lines);
-                c.run(trace);
-                *c.metrics()
-            }
-            Config::Bypass { geom, mem, mode } => {
-                let mut c = BypassCache::new(geom, mem, mode);
-                c.run(trace);
-                *c.metrics()
-            }
+            Config::Standard { geom, mem } => Box::new(StandardCache::new(geom, mem)),
+            Config::Victim { geom, mem, lines } => Box::new(VictimCache::new(geom, mem, lines)),
+            Config::Bypass { geom, mem, mode } => Box::new(BypassCache::new(geom, mem, mode)),
             Config::HwPrefetch { geom, mem, lines } => {
-                let mut c = NextLinePrefetchCache::new(geom, mem, lines);
-                c.run(trace);
-                *c.metrics()
+                Box::new(NextLinePrefetchCache::new(geom, mem, lines))
             }
             Config::StreamBuffer {
                 geom,
                 mem,
                 buffers,
                 depth,
-            } => {
-                let mut c = StreamBufferCache::new(geom, mem, buffers, depth);
-                c.run(trace);
-                *c.metrics()
-            }
-            Config::ColumnAssoc { geom, mem } => {
-                let mut c = ColumnAssociativeCache::new(geom, mem);
-                c.run(trace);
-                *c.metrics()
-            }
-            Config::Assist { geom, mem, lines } => {
-                let mut c = AssistCache::new(geom, mem, lines);
-                c.run(trace);
-                *c.metrics()
-            }
-            Config::Soft(cfg) => {
-                let mut c = SoftCache::new(cfg);
-                c.run(trace);
-                *c.metrics()
-            }
+            } => Box::new(StreamBufferCache::new(geom, mem, buffers, depth)),
+            Config::ColumnAssoc { geom, mem } => Box::new(ColumnAssociativeCache::new(geom, mem)),
+            Config::Assist { geom, mem, lines } => Box::new(AssistCache::new(geom, mem, lines)),
+            Config::Soft(cfg) => Box::new(SoftCache::new(cfg)),
         }
+    }
+
+    /// Builds the engine and runs the whole trace.
+    pub fn run(&self, trace: &Trace) -> Metrics {
+        let mut c = self.build();
+        c.run(trace);
+        *c.metrics()
     }
 }
 

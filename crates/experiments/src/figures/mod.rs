@@ -2,12 +2,15 @@
 //! called out in DESIGN.md.
 //!
 //! Every figure is a sweep over a (configuration × workload) grid. The
-//! grid cells are independent simulations, so each figure shards its
-//! cells across the [`runner`] worker pool and reassembles rows **by
-//! cell index** — the emitted [`Table`] is bit-identical to the one a
-//! sequential run produces, whatever the worker count (see
-//! `runner::set_jobs`). Cross-cell reductions (suite means, geometric
-//! means) happen after aggregation, in row order, for the same reason.
+//! unit of parallelism is one **benchmark row**: all of a row's
+//! configurations replay the row's trace in a single batched pass
+//! ([`runner::replay_trace`]) so each decoded chunk is reused by every
+//! engine while it is hot, and rows shard across the [`runner`] worker
+//! pool and reassemble **by row index** — the emitted [`Table`] is
+//! bit-identical to the one a sequential run produces, whatever the
+//! worker count (see `runner::set_jobs`). Cross-cell reductions (suite
+//! means, geometric means) happen after aggregation, in row order, for
+//! the same reason.
 
 use crate::{runner, Config, Suite, Table};
 use sac_core::SoftCacheConfig;
@@ -23,20 +26,53 @@ fn short(title: &str) -> &str {
     title.split('—').next().unwrap_or(title).trim()
 }
 
-/// Runs every `(benchmark, config)` cell of the grid in parallel and
-/// returns the metrics in `[benchmark][config]` order.
-fn run_grid(title: &str, suite: &Suite, configs: &[(&str, Config)]) -> Vec<Vec<Metrics>> {
-    let nc = configs.len();
-    let cells: Vec<(usize, usize)> = (0..suite.entries().len())
-        .flat_map(|r| (0..nc).map(move |c| (r, c)))
+/// Replays `cells` over one suite benchmark's trace, reusing any result
+/// the suite has already recorded for the same `(benchmark, config)`
+/// pair (figures share many columns); the configs not seen before replay
+/// the trace in a single batched pass and are recorded for later
+/// figures. Results come back in cell order.
+fn replay_suite_cells(
+    suite: &Suite,
+    name: &str,
+    trace: &sac_trace::Trace,
+    cells: &[(String, Config)],
+) -> Vec<Metrics> {
+    let mut out: Vec<Option<Metrics>> = cells
+        .iter()
+        .map(|(_, cfg)| suite.cached(name, cfg))
         .collect();
+    let fresh_cells: Vec<(String, Config)> = cells
+        .iter()
+        .zip(&out)
+        .filter(|(_, cached)| cached.is_none())
+        .map(|(cell, _)| cell.clone())
+        .collect();
+    if !fresh_cells.is_empty() {
+        let mut fresh = runner::replay_trace(&fresh_cells, trace).into_iter();
+        for (slot, (_, cfg)) in out.iter_mut().zip(cells) {
+            if slot.is_none() {
+                let m = fresh.next().expect("one result per fresh cell");
+                suite.store(name, cfg, m);
+                *slot = Some(m);
+            }
+        }
+    }
+    out.into_iter().map(|m| m.expect("filled")).collect()
+}
+
+/// Runs every `(benchmark, config)` cell of the grid and returns the
+/// metrics in `[benchmark][config]` order. One parallel task per
+/// benchmark; within a task all configs replay the trace in a single
+/// batched pass.
+fn run_grid(title: &str, suite: &Suite, configs: &[(&str, Config)]) -> Vec<Vec<Metrics>> {
     let prefix = short(title);
-    let flat = runner::par_map(&cells, |_, &(r, c)| {
-        let (name, trace) = &suite.entries()[r];
-        let (label, cfg) = &configs[c];
-        runner::run_cell(format!("{prefix}/{name}/{label}"), cfg, trace)
-    });
-    flat.chunks(nc).map(<[Metrics]>::to_vec).collect()
+    runner::par_map(suite.entries(), |_, (name, trace)| {
+        let cells: Vec<(String, Config)> = configs
+            .iter()
+            .map(|(label, cfg)| (format!("{prefix}/{name}/{label}"), *cfg))
+            .collect();
+        replay_suite_cells(suite, name, trace, &cells)
+    })
 }
 
 /// Runs every `(label, config)` over every benchmark and tabulates
@@ -217,7 +253,8 @@ pub fn fig06b(suite: &Suite) -> Table {
         &["main cache", "bounce-back"],
     );
     for (name, row) in par_rows(suite, |name, trace| {
-        let m = runner::run_cell(format!("Figure 6b/{name}/Soft."), &Config::soft(), trace);
+        let cells = vec![(format!("Figure 6b/{name}/Soft."), Config::soft())];
+        let m = replay_suite_cells(suite, name, trace, &cells)[0];
         vec![m.main_hit_ratio(), m.aux_hit_ratio()]
     }) {
         t.push_row(name, row);
@@ -301,31 +338,30 @@ pub fn fig09a(suite: &Suite) -> Table {
         &labels,
     );
     let mem = MemoryModel::default();
-    // Each cell runs the plain baseline and the soft cache on the same
-    // geometry; the grid is (benchmark × geometry).
-    let cells: Vec<(usize, usize)> = (0..suite.entries().len())
-        .flat_map(|r| (0..points.len()).map(move |p| (r, p)))
-        .collect();
-    let flat = runner::par_map(&cells, |_, &(r, p)| {
-        let (name, trace) = &suite.entries()[r];
-        let (label, geom) = &points[p];
-        let base = runner::run_cell(
-            format!("Figure 9a/{name}/{label}/base"),
-            &Config::Standard { geom: *geom, mem },
-            trace,
-        );
-        let soft_cfg = SoftCacheConfig::soft()
-            .with_geometry(*geom)
-            .with_virtual_line(geom.line_bytes() * 2);
-        let soft = runner::run_cell(
-            format!("Figure 9a/{name}/{label}/soft"),
-            &Config::Soft(soft_cfg),
-            trace,
-        );
-        soft.misses_removed_vs(&base)
+    // One batched pass per benchmark: the plain baseline and the soft
+    // cache of every geometry replay the trace together.
+    let rows = runner::par_map(suite.entries(), |_, (name, trace)| {
+        let mut cells: Vec<(String, Config)> = Vec::with_capacity(points.len() * 2);
+        for (label, geom) in &points {
+            cells.push((
+                format!("Figure 9a/{name}/{label}/base"),
+                Config::Standard { geom: *geom, mem },
+            ));
+            let soft_cfg = SoftCacheConfig::soft()
+                .with_geometry(*geom)
+                .with_virtual_line(geom.line_bytes() * 2);
+            cells.push((
+                format!("Figure 9a/{name}/{label}/soft"),
+                Config::Soft(soft_cfg),
+            ));
+        }
+        let ms = replay_suite_cells(suite, name, trace, &cells);
+        (0..points.len())
+            .map(|p| ms[2 * p + 1].misses_removed_vs(&ms[2 * p]))
+            .collect::<Vec<f64>>()
     });
-    for ((name, _), row) in suite.entries().iter().zip(flat.chunks(points.len())) {
-        t.push_row(name.clone(), row.to_vec());
+    for ((name, _), row) in suite.entries().iter().zip(rows) {
+        t.push_row(name.clone(), row);
     }
     t
 }
@@ -380,30 +416,31 @@ pub fn fig10b(suite: &Suite) -> Table {
         "Figure 10b — influence of memory latency (AMAT Stand. − AMAT Soft., cycles)",
         &labels,
     );
-    let cells: Vec<(usize, usize)> = (0..suite.entries().len())
-        .flat_map(|r| (0..latencies.len()).map(move |l| (r, l)))
-        .collect();
-    let flat = runner::par_map(&cells, |_, &(r, l)| {
-        let (name, trace) = &suite.entries()[r];
-        let lat = latencies[l];
-        let mem = MemoryModel::default().with_latency(lat);
-        let stand = runner::run_cell(
-            format!("Figure 10b/{name}/lat={lat}/stand"),
-            &Config::Standard {
-                geom: CacheGeometry::standard(),
-                mem,
-            },
-            trace,
-        );
-        let soft = runner::run_cell(
-            format!("Figure 10b/{name}/lat={lat}/soft"),
-            &Config::Soft(SoftCacheConfig::soft().with_latency(lat)),
-            trace,
-        );
-        stand.amat() - soft.amat()
+    // One batched pass per benchmark: both engines of every latency
+    // point replay the trace together.
+    let rows = runner::par_map(suite.entries(), |_, (name, trace)| {
+        let mut cells: Vec<(String, Config)> = Vec::with_capacity(latencies.len() * 2);
+        for &lat in &latencies {
+            let mem = MemoryModel::default().with_latency(lat);
+            cells.push((
+                format!("Figure 10b/{name}/lat={lat}/stand"),
+                Config::Standard {
+                    geom: CacheGeometry::standard(),
+                    mem,
+                },
+            ));
+            cells.push((
+                format!("Figure 10b/{name}/lat={lat}/soft"),
+                Config::Soft(SoftCacheConfig::soft().with_latency(lat)),
+            ));
+        }
+        let ms = replay_suite_cells(suite, name, trace, &cells);
+        (0..latencies.len())
+            .map(|l| ms[2 * l].amat() - ms[2 * l + 1].amat())
+            .collect::<Vec<f64>>()
     });
-    for ((name, _), row) in suite.entries().iter().zip(flat.chunks(latencies.len())) {
-        t.push_row(name.clone(), row.to_vec());
+    for ((name, _), row) in suite.entries().iter().zip(rows) {
+        t.push_row(name.clone(), row);
     }
     t
 }
@@ -428,15 +465,12 @@ pub fn fig11a(small: bool) -> Table {
     let rows = runner::par_map(&blocks, |_, &b| {
         let p = sac_workloads::blocked::program(sac_workloads::blocked::Params { n, block: b });
         let trace = runner::timed_cell(format!("Figure 11a/B={b}/trace"), || p.trace_default());
-        let stand = runner::run_cell(
-            format!("Figure 11a/B={b}/Stand."),
-            &Config::standard(),
-            &trace,
-        )
-        .amat();
-        let soft =
-            runner::run_cell(format!("Figure 11a/B={b}/Soft."), &Config::soft(), &trace).amat();
-        (format!("B={b}"), vec![stand, soft])
+        let cells = vec![
+            (format!("Figure 11a/B={b}/Stand."), Config::standard()),
+            (format!("Figure 11a/B={b}/Soft."), Config::soft()),
+        ];
+        let ms = runner::replay_trace(&cells, &trace);
+        (format!("B={b}"), vec![ms[0].amat(), ms[1].amat()])
     });
     for (label, row) in rows {
         t.push_row(label, row);
@@ -469,23 +503,22 @@ pub fn fig11b(small: bool) -> Table {
         };
         let nocopy = trace_for(false);
         let copy = trace_for(true);
-        let mut row = Vec::new();
-        for (copying, soft) in [(false, false), (true, false), (false, true), (true, true)] {
-            let trace = if copying { &copy } else { &nocopy };
-            let cfg = if soft {
-                Config::soft()
-            } else {
-                Config::standard()
-            };
-            row.push(
-                runner::run_cell(
-                    format!("Figure 11b/ld={ld}/copy={copying}/soft={soft}"),
-                    &cfg,
-                    trace,
-                )
-                .amat(),
-            );
-        }
+        // One batched pass per trace; columns interleave copy × soft.
+        let cells_for = |copying: bool| {
+            vec![
+                (
+                    format!("Figure 11b/ld={ld}/copy={copying}/soft=false"),
+                    Config::standard(),
+                ),
+                (
+                    format!("Figure 11b/ld={ld}/copy={copying}/soft=true"),
+                    Config::soft(),
+                ),
+            ]
+        };
+        let nc = runner::replay_trace(&cells_for(false), &nocopy);
+        let cp = runner::replay_trace(&cells_for(true), &copy);
+        let row = vec![nc[0].amat(), cp[0].amat(), nc[1].amat(), cp[1].amat()];
         (format!("ld={ld}"), row)
     });
     for (label, row) in rows {
@@ -790,27 +823,32 @@ pub fn ext_prefetch_distance(suite: &Suite) -> Table {
         }
     };
     let ncols = degrees.len() + 1;
-    // One cell per (latency, column, benchmark); suite means reduce in
-    // benchmark order afterwards.
-    let cells: Vec<(usize, usize, usize)> = (0..lats.len())
-        .flat_map(|l| (0..ncols).flat_map(move |c| (0..nb).map(move |b| (l, c, b))))
+    // One batched pass per (latency, benchmark): every prefetch column
+    // replays the trace together. Suite means reduce in benchmark order
+    // afterwards, preserving the sequential summation order.
+    let cells: Vec<(usize, usize)> = (0..lats.len())
+        .flat_map(|l| (0..nb).map(move |b| (l, b)))
         .collect();
-    let flat = runner::par_map(&cells, |_, &(l, c, b)| {
+    let flat: Vec<Vec<f64>> = runner::par_map(&cells, |_, &(l, b)| {
         let (name, trace) = &suite.entries()[b];
         let lat = lats[l];
-        let cfg = config_for(lat, c);
-        runner::run_cell(
-            format!("Ext pf-distance/{name}/lat={lat}/col{c}"),
-            &cfg,
-            trace,
-        )
-        .amat()
+        let batch: Vec<(String, Config)> = (0..ncols)
+            .map(|c| {
+                (
+                    format!("Ext pf-distance/{name}/lat={lat}/col{c}"),
+                    config_for(lat, c),
+                )
+            })
+            .collect();
+        replay_suite_cells(suite, name, trace, &batch)
+            .iter()
+            .map(Metrics::amat)
+            .collect()
     });
     for (l, lat) in lats.iter().enumerate() {
         let row: Vec<f64> = (0..ncols)
             .map(|c| {
-                let base = (l * ncols + c) * nb;
-                let sum: f64 = flat[base..base + nb].iter().sum();
+                let sum: f64 = (0..nb).map(|b| flat[l * nb + b][c]).sum();
                 sum / nb as f64
             })
             .collect();

@@ -27,8 +27,10 @@
 //! slowest cells, aggregate speedup) for the `figures` and `report`
 //! binaries.
 
-use sac_simcache::Metrics;
-use sac_trace::Trace;
+use sac_simcache::{CacheSim, Metrics};
+use sac_trace::io::{ChunkedReader, ReadError};
+use sac_trace::{Access, Trace};
+use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -119,6 +121,172 @@ where
         .into_iter()
         .map(|s| s.expect("every cell produced a result"))
         .collect()
+}
+
+/// References a replay batch feeds each engine per chunk (also the chunk
+/// size of the streaming SACT decoder): 64 KB of `Access`es, small enough
+/// to stay hot in L1/L2 while every engine of the batch consumes it.
+pub const REPLAY_CHUNK: usize = sac_trace::io::DEFAULT_CHUNK;
+
+/// How [`replay_trace`] traverses a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Single pass: all engines of a batch consume each chunk while it is
+    /// hot in cache (the default).
+    Chunked,
+    /// Legacy path: each engine re-traverses the whole materialized trace
+    /// on its own (`--materialized`; kept as the differential-testing
+    /// reference).
+    Materialized,
+}
+
+/// 0 = chunked, 1 = materialized.
+static REPLAY_MODE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the traversal mode for subsequent [`replay_trace`] calls.
+pub fn set_replay_mode(mode: ReplayMode) {
+    let v = match mode {
+        ReplayMode::Chunked => 0,
+        ReplayMode::Materialized => 1,
+    };
+    REPLAY_MODE.store(v, Ordering::SeqCst);
+}
+
+/// The traversal mode [`replay_trace`] will use.
+pub fn replay_mode() -> ReplayMode {
+    match REPLAY_MODE.load(Ordering::SeqCst) {
+        0 => ReplayMode::Chunked,
+        _ => ReplayMode::Materialized,
+    }
+}
+
+/// A batch of independent engines replaying one trace in a single pass.
+///
+/// Each decoded chunk is fed to every engine in push order before the
+/// next chunk is touched, so the chunk stays resident in the fastest
+/// cache levels instead of the trace being re-streamed from memory once
+/// per configuration. Engines are independent, and every [`Metrics`]
+/// counter is additive, so the result is bit-identical to running each
+/// configuration alone over the whole trace.
+///
+/// ```
+/// use sac_experiments::runner::ReplayBatch;
+/// use sac_experiments::Config;
+/// use sac_trace::{Access, Trace};
+///
+/// let trace: Trace = (0..10_000u64).map(|i| Access::read(i % 512 * 8)).collect();
+/// let mut batch = ReplayBatch::new();
+/// batch.push("demo/stand".into(), &Config::standard());
+/// batch.push("demo/soft".into(), &Config::soft());
+/// let metrics = batch.replay(&trace);
+/// assert_eq!(metrics[0], Config::standard().run(&trace));
+/// assert_eq!(metrics[1], Config::soft().run(&trace));
+/// ```
+#[derive(Default)]
+pub struct ReplayBatch {
+    engines: Vec<BatchSlot>,
+}
+
+struct BatchSlot {
+    label: String,
+    engine: Box<dyn CacheSim>,
+    wall: Duration,
+}
+
+impl ReplayBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        ReplayBatch::default()
+    }
+
+    /// Adds one configuration; its metrics appear at the matching index
+    /// of [`ReplayBatch::finish`], and its cell is recorded in the ledger
+    /// under `label`.
+    pub fn push(&mut self, label: String, config: &Config) {
+        self.engines.push(BatchSlot {
+            label,
+            engine: config.build(),
+            wall: Duration::ZERO,
+        });
+    }
+
+    /// Number of engines in the batch.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the batch holds no engines.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// Drives every engine over one decoded chunk (in push order).
+    pub fn feed(&mut self, chunk: &[Access]) {
+        for slot in &mut self.engines {
+            let start = Instant::now();
+            slot.engine.run_chunk(chunk);
+            slot.wall += start.elapsed();
+        }
+    }
+
+    /// Records each engine's cell in the ledger and returns the metrics
+    /// in push order.
+    pub fn finish(self) -> Vec<Metrics> {
+        self.engines
+            .into_iter()
+            .map(|slot| {
+                let m = *slot.engine.metrics();
+                record_cell(slot.label, slot.wall, m);
+                m
+            })
+            .collect()
+    }
+
+    /// Feeds a whole in-memory trace chunk by chunk and finishes.
+    pub fn replay(mut self, trace: &Trace) -> Vec<Metrics> {
+        for chunk in trace.as_slice().chunks(REPLAY_CHUNK) {
+            self.feed(chunk);
+        }
+        self.finish()
+    }
+
+    /// Streams a SACT trace through the batch without materializing it:
+    /// each decoded chunk is consumed by every engine, then overwritten
+    /// by the next one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors; engines keep the references replayed so
+    /// far but no cells are recorded.
+    pub fn replay_reader<R: Read>(
+        mut self,
+        reader: &mut ChunkedReader<R>,
+    ) -> Result<Vec<Metrics>, ReadError> {
+        while let Some(chunk) = reader.next_chunk()? {
+            self.feed(chunk);
+        }
+        Ok(self.finish())
+    }
+}
+
+/// Runs a labeled configuration sweep over one trace under the ledger,
+/// honoring the global [`ReplayMode`]: a single chunked pass by default,
+/// or one full traversal per configuration in materialized mode. Both
+/// modes return identical metrics (and record the same cells).
+pub fn replay_trace(cells: &[(String, Config)], trace: &Trace) -> Vec<Metrics> {
+    match replay_mode() {
+        ReplayMode::Chunked => {
+            let mut batch = ReplayBatch::new();
+            for (label, config) in cells {
+                batch.push(label.clone(), config);
+            }
+            batch.replay(trace)
+        }
+        ReplayMode::Materialized => cells
+            .iter()
+            .map(|(label, config)| run_cell(label.clone(), config, trace))
+            .collect(),
+    }
 }
 
 /// One finished sweep cell, as recorded in the observability ledger.
@@ -310,6 +478,120 @@ mod tests {
         sendable::<sac_simcache::StandardCache>();
         sendable::<sac_simcache::VictimCache>();
         sendable::<sac_simcache::StreamBufferCache>();
+    }
+
+    fn seeded_trace(seed: u64, len: usize) -> Trace {
+        let mut rng = sac_trace::rng::SplitMix64::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                let addr = rng.below(1 << 16);
+                let a = if rng.chance(0.3) {
+                    Access::write(addr)
+                } else {
+                    Access::read(addr)
+                };
+                a.with_temporal(rng.chance(0.4))
+                    .with_spatial(rng.chance(0.5))
+                    .with_spatial_level((rng.below(4)) as u8)
+                    .with_gap(rng.below(8) as u32)
+            })
+            .collect()
+    }
+
+    fn seeded_config(rng: &mut sac_trace::rng::SplitMix64) -> Config {
+        use sac_core::SoftCacheConfig;
+        use sac_simcache::{BypassMode, CacheGeometry, MemoryModel};
+        let geom = CacheGeometry::new(
+            [4096u64, 8192, 16384][rng.index(3)],
+            [32u64, 64][rng.index(2)],
+            [1u32, 2][rng.index(2)],
+        );
+        let mem = MemoryModel::new(5 + rng.below(30), [8u64, 16][rng.index(2)]);
+        match rng.below(6) {
+            0 => Config::Standard { geom, mem },
+            1 => Config::Victim {
+                geom,
+                mem,
+                lines: 4 + rng.below(8) as u32,
+            },
+            2 => Config::Bypass {
+                geom,
+                mem,
+                mode: BypassMode::Plain,
+            },
+            3 => Config::HwPrefetch {
+                geom,
+                mem,
+                lines: 4 + rng.below(8) as u32,
+            },
+            4 => Config::Soft(
+                SoftCacheConfig::soft()
+                    .with_geometry(geom)
+                    .with_memory(mem)
+                    .with_virtual_line(geom.line_bytes() * (1 << rng.below(3))),
+            ),
+            _ => Config::Soft(
+                SoftCacheConfig::soft()
+                    .with_geometry(geom)
+                    .with_memory(mem)
+                    .with_prefetch(true)
+                    .with_prefetch_degree(1 + rng.below(3) as u32),
+            ),
+        }
+    }
+
+    /// Property (seeded): batched single-pass replay over random configs
+    /// and random traces equals one-config-at-a-time replay.
+    #[test]
+    fn batched_replay_matches_one_config_at_a_time() {
+        for seed in 0..12u64 {
+            let mut rng = sac_trace::rng::SplitMix64::seed_from_u64(0xBA7C4 + seed);
+            let trace = seeded_trace(seed, 6_000);
+            let cells: Vec<(String, Config)> = (0..1 + rng.index(5))
+                .map(|i| (format!("prop/seed{seed}/cfg{i}"), seeded_config(&mut rng)))
+                .collect();
+            let solo: Vec<Metrics> = cells.iter().map(|(_, c)| c.run(&trace)).collect();
+            let mut batch = ReplayBatch::new();
+            for (label, config) in &cells {
+                batch.push(label.clone(), config);
+            }
+            let batched = batch.replay(&trace);
+            assert_eq!(solo, batched, "seed {seed}");
+        }
+    }
+
+    /// Both [`ReplayMode`]s produce identical metrics for the same sweep.
+    #[test]
+    fn replay_modes_agree() {
+        let trace = seeded_trace(99, 4_000);
+        let cells = vec![
+            ("mode/stand".to_string(), Config::standard()),
+            ("mode/victim".to_string(), Config::standard_victim()),
+            ("mode/soft".to_string(), Config::soft()),
+        ];
+        // The mode is process-global; restore it even on panic-free paths.
+        set_replay_mode(ReplayMode::Chunked);
+        let chunked = replay_trace(&cells, &trace);
+        set_replay_mode(ReplayMode::Materialized);
+        let materialized = replay_trace(&cells, &trace);
+        set_replay_mode(ReplayMode::Chunked);
+        assert_eq!(chunked, materialized);
+    }
+
+    /// Streaming SACT replay (never materializing the trace) equals
+    /// whole-`Vec` replay.
+    #[test]
+    fn streamed_replay_matches_materialized_replay() {
+        let trace = seeded_trace(7, 10_000);
+        let mut bytes = Vec::new();
+        sac_trace::io::write_binary(&trace, &mut bytes).expect("in-memory write");
+        let mut batch = ReplayBatch::new();
+        batch.push("stream/stand".into(), &Config::standard());
+        batch.push("stream/soft".into(), &Config::soft());
+        let mut reader = ChunkedReader::new(&bytes[..]).expect("valid header");
+        let streamed = batch.replay_reader(&mut reader).expect("valid stream");
+        let direct = vec![Config::standard().run(&trace), Config::soft().run(&trace)];
+        assert_eq!(streamed, direct);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The benchmark suite: named, pre-generated traces.
 
-use crate::runner;
+use crate::{runner, Config};
 use sac_loopir::TraceOptions;
+use sac_simcache::Metrics;
 use sac_trace::Trace;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A set of named benchmark traces, generated once and reused across
 /// figures (trace generation is deterministic, so every figure sees the
@@ -18,6 +20,12 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct Suite {
     entries: Vec<(String, Arc<Trace>)>,
+    // Completed (benchmark, config) cells. Suite traces are generated
+    // once and never mutated, so the same cell names the same
+    // deterministic simulation wherever it appears; figures that share
+    // columns (Stand., Soft., ...) reuse the result instead of
+    // replaying. Shared across clones, like the traces themselves.
+    results: Arc<Mutex<HashMap<(String, String), Metrics>>>,
 }
 
 impl Suite {
@@ -66,7 +74,27 @@ impl Suite {
             });
             (p.name().to_string(), Arc::new(trace))
         });
-        Suite { entries }
+        Suite {
+            entries,
+            results: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The cached metrics of an earlier `(benchmark, config)` cell over
+    /// this suite, if any figure has computed it.
+    pub(crate) fn cached(&self, bench: &str, config: &Config) -> Option<Metrics> {
+        let key = (bench.to_string(), format!("{config:?}"));
+        self.results.lock().expect("suite cache").get(&key).copied()
+    }
+
+    /// Records a completed `(benchmark, config)` cell for reuse by later
+    /// figures over this suite.
+    pub(crate) fn store(&self, bench: &str, config: &Config, metrics: Metrics) {
+        let key = (bench.to_string(), format!("{config:?}"));
+        self.results
+            .lock()
+            .expect("suite cache")
+            .insert(key, metrics);
     }
 
     /// The `(name, trace)` pairs in figure order.

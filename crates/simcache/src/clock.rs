@@ -29,6 +29,7 @@ impl Clock {
 
     /// Advances to the access's issue time and waits out any lock.
     /// Returns the stall (cycles spent waiting on the lock).
+    #[inline]
     pub fn arrive(&mut self, gap: u32) -> u64 {
         self.now += gap as u64;
         if self.now < self.locked_until {
@@ -41,17 +42,20 @@ impl Clock {
     }
 
     /// Advances past the access itself.
+    #[inline]
     pub fn complete(&mut self, cost: u64) {
         self.now += cost;
     }
 
     /// Locks the cache for `extra` cycles beyond the current time (the
     /// post-swap lock of §2.2).
+    #[inline]
     pub fn lock_for(&mut self, extra: u64) {
         self.locked_until = self.now + extra;
     }
 
     /// The current cycle.
+    #[inline]
     pub fn now(&self) -> u64 {
         self.now
     }

@@ -22,6 +22,13 @@ pub struct CacheGeometry {
     size_bytes: u64,
     line_bytes: u64,
     ways: u32,
+    // Derived at construction so the per-reference address mapping avoids
+    // u64 division when (as in every paper configuration) sizes are powers
+    // of two. Sentinels (`u32::MAX` / `u64::MAX`) select the generic
+    // divide/modulo path.
+    sets: u64,
+    line_shift: u32,
+    set_mask: u64,
 }
 
 impl CacheGeometry {
@@ -38,10 +45,22 @@ impl CacheGeometry {
             size_bytes > 0 && size_bytes.is_multiple_of(line_bytes * ways as u64),
             "cache size must be a positive multiple of line*ways"
         );
+        let sets = size_bytes / (line_bytes * ways as u64);
         CacheGeometry {
             size_bytes,
             line_bytes,
             ways,
+            sets,
+            line_shift: if line_bytes.is_power_of_two() {
+                line_bytes.trailing_zeros()
+            } else {
+                u32::MAX
+            },
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                u64::MAX
+            },
         }
     }
 
@@ -56,18 +75,21 @@ impl CacheGeometry {
     }
 
     /// Physical line size in bytes.
+    #[inline]
     pub fn line_bytes(&self) -> u64 {
         self.line_bytes
     }
 
     /// Associativity.
+    #[inline]
     pub fn ways(&self) -> u32 {
         self.ways
     }
 
     /// Number of sets.
+    #[inline]
     pub fn sets(&self) -> u64 {
-        self.size_bytes / (self.line_bytes * self.ways as u64)
+        self.sets
     }
 
     /// Total number of lines.
@@ -76,13 +98,23 @@ impl CacheGeometry {
     }
 
     /// The line number holding a byte address.
+    #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.line_bytes
+        if self.line_shift != u32::MAX {
+            addr >> self.line_shift
+        } else {
+            addr / self.line_bytes
+        }
     }
 
     /// The set index of a line number.
+    #[inline]
     pub fn set_of_line(&self, line: u64) -> u64 {
-        line % self.sets()
+        if self.set_mask != u64::MAX {
+            line & self.set_mask
+        } else {
+            line % self.sets
+        }
     }
 }
 
@@ -136,6 +168,7 @@ impl MemoryModel {
     }
 
     /// Memory latency in cycles.
+    #[inline]
     pub fn latency(&self) -> u64 {
         self.latency
     }
@@ -152,11 +185,13 @@ impl MemoryModel {
 
     /// Cycles to fetch `lines` physical lines of `line_bytes` each:
     /// `t_lat + n·LS/w_b` (§2.1).
+    #[inline]
     pub fn fetch_cycles(&self, lines: u64, line_bytes: u64) -> u64 {
         self.latency + (lines * line_bytes).div_ceil(self.bus_bytes)
     }
 
     /// Cycles to transfer one item of `bytes` over the bus.
+    #[inline]
     pub fn transfer_cycles(&self, bytes: u64) -> u64 {
         bytes.div_ceil(self.bus_bytes)
     }
@@ -208,6 +243,21 @@ mod tests {
     #[should_panic(expected = "multiple")]
     fn bad_size_rejected() {
         let _ = CacheGeometry::new(1000, 32, 1);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_fall_back_to_modulo() {
+        // 96 sets: the mask fast path must not engage.
+        let g = CacheGeometry::new(96 * 32, 32, 1);
+        assert_eq!(g.sets(), 96);
+        for line in [0u64, 1, 95, 96, 97, 191, 1000] {
+            assert_eq!(g.set_of_line(line), line % 96);
+        }
+        // 24-byte lines: the shift fast path must not engage.
+        let g = CacheGeometry::new(24 * 64, 24, 1);
+        for addr in [0u64, 23, 24, 25, 47, 48, 1000] {
+            assert_eq!(g.line_of(addr), addr / 24);
+        }
     }
 
     #[test]

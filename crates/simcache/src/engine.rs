@@ -32,11 +32,25 @@ pub trait CacheSim {
     /// clear their main array.
     fn invalidate_all(&mut self);
 
-    /// Drives an entire trace through the simulator.
-    fn run(&mut self, trace: &Trace) {
-        for a in trace {
+    /// Drives a contiguous slice of references through the simulator —
+    /// the unit of work of the batched replay engine, which decodes a
+    /// trace chunk once and feeds it to many engines while it is hot in
+    /// cache.
+    ///
+    /// The default implementation simply calls [`CacheSim::access`] per
+    /// reference; engines with a hit fast path override it to bump a
+    /// compact [`crate::ChunkDelta`] on main-cache hits and merge it into
+    /// [`Metrics`] at the chunk boundary. Either way the counters after
+    /// the call are exactly those of per-access replay.
+    fn run_chunk(&mut self, chunk: &[Access]) {
+        for a in chunk {
             self.access(a);
         }
+    }
+
+    /// Drives an entire trace through the simulator.
+    fn run(&mut self, trace: &Trace) {
+        self.run_chunk(trace.as_slice());
     }
 
     /// Drives a trace, invalidating everything every `quantum`

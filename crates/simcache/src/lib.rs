@@ -65,7 +65,7 @@ pub use clock::Clock;
 pub use colassoc::ColumnAssociativeCache;
 pub use config::{CacheGeometry, MemoryModel};
 pub use engine::CacheSim;
-pub use metrics::Metrics;
+pub use metrics::{ChunkDelta, Metrics};
 pub use prefetch::NextLinePrefetchCache;
 pub use standard::StandardCache;
 pub use stream::StreamBufferCache;

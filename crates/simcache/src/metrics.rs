@@ -47,6 +47,55 @@ pub struct Metrics {
     pub stall_cycles: u64,
 }
 
+/// Compact per-chunk counter deltas bumped on the replay engine's hit
+/// fast path and folded into [`Metrics`] at chunk boundaries via
+/// [`Metrics::apply_chunk`].
+///
+/// A main-cache hit can only touch a handful of counters (reference
+/// bookkeeping, the hit itself, its cycle cost and any lock stall), so
+/// the fast path updates this 24-byte struct — which lives in a register
+/// or a single cache line — instead of the full [`Metrics`] block. The
+/// per-chunk counts fit comfortably in `u32` for any practical chunk
+/// size; cycle totals stay `u64`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkDelta {
+    /// References processed on the fast path.
+    pub refs: u32,
+    /// Stores among them (loads are `refs - writes`).
+    pub writes: u32,
+    /// Main-cache hits (on the fast path, every reference is one).
+    pub main_hits: u32,
+    /// Access cost in cycles accumulated by those hits.
+    pub mem_cycles: u64,
+    /// Cycles lost to cache locks before those hits.
+    pub stall_cycles: u64,
+}
+
+impl ChunkDelta {
+    /// Creates a zeroed delta.
+    #[inline]
+    pub fn new() -> Self {
+        ChunkDelta::default()
+    }
+
+    /// Records one main-cache hit: `cost` access cycles after `stall`
+    /// lock-wait cycles.
+    #[inline]
+    pub fn record_hit(&mut self, is_write: bool, cost: u64, stall: u64) {
+        self.refs += 1;
+        self.writes += u32::from(is_write);
+        self.main_hits += 1;
+        self.mem_cycles += cost;
+        self.stall_cycles += stall;
+    }
+
+    /// True if nothing has been recorded since the last reset.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.refs == 0
+    }
+}
+
 impl Metrics {
     /// Creates zeroed metrics.
     pub fn new() -> Self {
@@ -175,6 +224,21 @@ impl Metrics {
         total
     }
 
+    /// Folds a fast-path hit delta into the full counters (the chunk
+    /// boundary of the replay engine's hit fast path). Only the counters
+    /// a main-cache hit can touch are carried by [`ChunkDelta`]; all of
+    /// them are additive, so applying the delta at the end of a chunk
+    /// yields exactly the counters per-access bumping would have.
+    #[inline]
+    pub fn apply_chunk(&mut self, d: &ChunkDelta) {
+        self.refs += d.refs as u64;
+        self.writes += d.writes as u64;
+        self.reads += (d.refs - d.writes) as u64;
+        self.main_hits += d.main_hits as u64;
+        self.mem_cycles += d.mem_cycles;
+        self.stall_cycles += d.stall_cycles;
+    }
+
     /// Percentage of this configuration's misses removed relative to a
     /// baseline (Figure 9a), e.g.
     /// `soft.metrics().misses_removed_vs(&standard.metrics())`.
@@ -293,6 +357,30 @@ mod tests {
     #[test]
     fn merged_of_nothing_is_zero() {
         assert_eq!(Metrics::merged([]), Metrics::new());
+    }
+
+    #[test]
+    fn chunk_delta_folds_exactly_like_per_access_bumping() {
+        // Per-access path: record_ref + hit bookkeeping.
+        let mut direct = Metrics::new();
+        for i in 0..5u64 {
+            let is_write = i % 2 == 0;
+            direct.record_ref(is_write);
+            direct.main_hits += 1;
+            direct.mem_cycles += 1;
+        }
+        direct.stall_cycles += 4;
+
+        // Fast path: the same hits through a delta.
+        let mut folded = Metrics::new();
+        let mut d = ChunkDelta::new();
+        assert!(d.is_empty());
+        for i in 0..5u64 {
+            d.record_hit(i % 2 == 0, 1, if i == 0 { 4 } else { 0 });
+        }
+        assert!(!d.is_empty());
+        folded.apply_chunk(&d);
+        assert_eq!(folded, direct);
     }
 
     #[test]

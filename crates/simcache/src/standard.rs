@@ -2,7 +2,8 @@
 
 use crate::clock::Clock;
 use crate::{
-    CacheGeometry, CacheSim, MemoryModel, Metrics, TagArray, WriteBuffer, MAIN_HIT_CYCLES,
+    CacheGeometry, CacheSim, ChunkDelta, MemoryModel, Metrics, TagArray, WriteBuffer,
+    MAIN_HIT_CYCLES,
 };
 use sac_trace::Access;
 
@@ -54,38 +55,75 @@ impl StandardCache {
     pub fn memory(&self) -> MemoryModel {
         self.mem
     }
+
+    /// Miss machinery shared by [`CacheSim::access`] and the chunked fast
+    /// path: fetch, fill, write back a dirty victim. Returns the access
+    /// cost beyond the arrival stall.
+    fn miss(&mut self, a: &Access, line: u64) -> u64 {
+        self.metrics.misses += 1;
+        let mut cost = self.mem.fetch_cycles(1, self.geom.line_bytes());
+        self.metrics.record_fetch(1, self.geom.line_bytes());
+        let way = self.tags.victim_way(line);
+        let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
+        if old.valid && old.dirty {
+            self.metrics.writebacks += 1;
+            // The 2-cycle transfer hides under the miss penalty; only
+            // write-buffer pressure shows up as stall.
+            let stall = self.wb.push(self.clock.now());
+            self.metrics.stall_cycles += stall;
+            cost += stall;
+        }
+        cost
+    }
 }
 
 impl CacheSim for StandardCache {
     fn access(&mut self, a: &Access) {
         self.metrics.record_ref(a.kind().is_write());
-        let mut cost = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += cost;
+        let stall = self.clock.arrive(a.gap());
+        self.metrics.stall_cycles += stall;
 
         let line = self.geom.line_of(a.addr());
-        if let Some(idx) = self.tags.probe(line) {
+        let cost = if let Some(idx) = self.tags.probe(line) {
             if a.kind().is_write() {
                 self.tags.entry_at_mut(idx).dirty = true;
             }
             self.metrics.main_hits += 1;
-            cost += MAIN_HIT_CYCLES;
+            stall + MAIN_HIT_CYCLES
         } else {
-            self.metrics.misses += 1;
-            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
-            self.metrics.record_fetch(1, self.geom.line_bytes());
-            let way = self.tags.victim_way(line);
-            let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
-            if old.valid && old.dirty {
-                self.metrics.writebacks += 1;
-                // The 2-cycle transfer hides under the miss penalty; only
-                // write-buffer pressure shows up as stall.
-                let stall = self.wb.push(self.clock.now());
-                self.metrics.stall_cycles += stall;
-                cost += stall;
-            }
-        }
+            stall + self.miss(a, line)
+        };
         self.metrics.mem_cycles += cost;
         self.clock.complete(cost);
+    }
+
+    fn run_chunk(&mut self, chunk: &[Access]) {
+        // Hit fast path: a direct index + tag compare bumping a compact
+        // [`ChunkDelta`] instead of the full metrics block; the miss
+        // machinery only runs on actual misses. All counters are
+        // additive, so folding the delta at the chunk boundary yields
+        // exactly the per-access counters.
+        let mut delta = ChunkDelta::new();
+        for a in chunk {
+            let stall = self.clock.arrive(a.gap());
+            let line = self.geom.line_of(a.addr());
+            if let Some(idx) = self.tags.probe(line) {
+                let is_write = a.kind().is_write();
+                if is_write {
+                    self.tags.entry_at_mut(idx).dirty = true;
+                }
+                let cost = stall + MAIN_HIT_CYCLES;
+                delta.record_hit(is_write, cost, stall);
+                self.clock.complete(cost);
+            } else {
+                self.metrics.record_ref(a.kind().is_write());
+                self.metrics.stall_cycles += stall;
+                let cost = stall + self.miss(a, line);
+                self.metrics.mem_cycles += cost;
+                self.clock.complete(cost);
+            }
+        }
+        self.metrics.apply_chunk(&delta);
     }
 
     fn invalidate_all(&mut self) {
@@ -179,6 +217,29 @@ mod tests {
             (c.metrics().amat() - 22.0).abs() < 0.5,
             "write-buffer noise only"
         );
+    }
+
+    #[test]
+    fn chunked_replay_matches_per_access_replay() {
+        let trace: Trace = (0..1000u64)
+            .map(|i| {
+                let a = if i % 7 == 0 {
+                    Access::write(i * 40)
+                } else {
+                    Access::read((i % 13) * 32)
+                };
+                a.with_gap((i % 5) as u32)
+            })
+            .collect();
+        let mut per_access = small();
+        for a in &trace {
+            per_access.access(a);
+        }
+        let mut chunked = small();
+        for chunk in trace.as_slice().chunks(64) {
+            chunked.run_chunk(chunk);
+        }
+        assert_eq!(per_access.metrics(), chunked.metrics());
     }
 
     #[test]

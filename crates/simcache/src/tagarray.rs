@@ -73,6 +73,7 @@ impl TagArray {
         self.geom
     }
 
+    #[inline]
     fn set_range(&self, line: u64) -> std::ops::Range<usize> {
         let set = self.geom.set_of_line(line) as usize;
         let ways = self.geom.ways() as usize;
@@ -81,6 +82,7 @@ impl TagArray {
 
     /// Looks up a line, updating LRU on hit. Returns the entry's global
     /// index.
+    #[inline]
     pub fn probe(&mut self, line: u64) -> Option<usize> {
         let range = self.set_range(line);
         self.clock += 1;
@@ -96,6 +98,7 @@ impl TagArray {
     }
 
     /// Looks up a line without touching LRU (coherence checks).
+    #[inline]
     pub fn peek(&self, line: u64) -> Option<usize> {
         self.set_range(line)
             .find(|&i| self.entries[i].valid && self.entries[i].line == line)
@@ -103,6 +106,7 @@ impl TagArray {
 
     /// The way index (within the line's set) that plain LRU would replace:
     /// an invalid way if any, otherwise the least recently used.
+    #[inline]
     pub fn victim_way(&self, line: u64) -> usize {
         let range = self.set_range(line);
         let base = range.start;
@@ -152,17 +156,20 @@ impl TagArray {
     }
 
     /// Mutable access by global index (as returned by [`TagArray::probe`]).
+    #[inline]
     pub fn entry_at_mut(&mut self, index: usize) -> &mut Entry {
         &mut self.entries[index]
     }
 
     /// Read access by global index.
+    #[inline]
     pub fn entry_at(&self, index: usize) -> &Entry {
         &self.entries[index]
     }
 
     /// Installs `line` at the given way of its set, returning the evicted
     /// entry (valid if real data was displaced).
+    #[inline]
     pub fn fill(&mut self, line: u64, way: usize, _addr: u64, dirty: bool) -> Entry {
         self.clock += 1;
         let idx = self.set_range(line).start + way;

@@ -23,11 +23,13 @@ pub enum AccessKind {
 
 impl AccessKind {
     /// Returns `true` for [`AccessKind::Read`].
+    #[inline]
     pub fn is_read(self) -> bool {
         matches!(self, AccessKind::Read)
     }
 
     /// Returns `true` for [`AccessKind::Write`].
+    #[inline]
     pub fn is_write(self) -> bool {
         matches!(self, AccessKind::Write)
     }
@@ -162,17 +164,20 @@ impl Access {
     }
 
     /// The referenced byte address.
+    #[inline]
     pub fn addr(&self) -> u64 {
         self.addr
     }
 
     /// The word-aligned address (addresses are classified at word
     /// granularity by the reuse statistics).
+    #[inline]
     pub fn word(&self) -> u64 {
         self.addr / WORD_BYTES
     }
 
     /// Load or store.
+    #[inline]
     pub fn kind(&self) -> AccessKind {
         if self.flags & FLAG_WRITE != 0 {
             AccessKind::Write
@@ -182,26 +187,31 @@ impl Access {
     }
 
     /// Whether the issuing load/store carries the temporal tag.
+    #[inline]
     pub fn temporal(&self) -> bool {
         self.flags & FLAG_TEMPORAL != 0
     }
 
     /// Whether the issuing load/store carries the spatial tag.
+    #[inline]
     pub fn spatial(&self) -> bool {
         self.flags & FLAG_SPATIAL != 0
     }
 
     /// The spatial level (0 = use the cache's default virtual line).
+    #[inline]
     pub fn spatial_level(&self) -> u8 {
         (self.flags & LEVEL_MASK) >> LEVEL_SHIFT
     }
 
     /// Issue-time gap in cycles since the previous reference.
+    #[inline]
     pub fn gap(&self) -> u32 {
         self.gap as u32
     }
 
     /// Static instruction id.
+    #[inline]
     pub fn instr(&self) -> u32 {
         self.instr
     }

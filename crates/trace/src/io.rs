@@ -93,58 +93,190 @@ pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a trace in the binary `SACT` format.
+/// Size of one SACT entry on disk, in bytes.
+const ENTRY_BYTES: usize = 16;
+
+/// Default number of entries a [`ChunkedReader`] decodes per chunk.
 ///
-/// A `&mut` reference may be passed for `r` (any `Read` works).
+/// 4096 × 16 B = 64 KB of raw bytes and 64 KB of decoded [`Access`]es —
+/// small enough to stay resident in L1/L2 while a replay batch drives
+/// several engines over the chunk, large enough to amortize read calls.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// Decodes one on-disk SACT entry.
+#[inline]
+fn decode_entry(buf: &[u8]) -> Access {
+    let addr = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+    let instr = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    let gap = u16::from_le_bytes(buf[12..14].try_into().expect("2 bytes"));
+    let flags = buf[14];
+    let kind = if flags & 1 != 0 {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+    Access::new(addr, kind)
+        .with_temporal(flags & 2 != 0)
+        .with_spatial(flags & 4 != 0)
+        .with_spatial_level((flags >> 3) & 0b11)
+        .with_gap(gap as u32)
+        .with_instr(instr)
+}
+
+/// A streaming SACT decoder: parses the header eagerly, then yields the
+/// entry section chunk by chunk so a trace is never fully materialized
+/// unless the caller collects it.
+///
+/// Both the raw byte buffer and the decoded [`Access`] buffer are
+/// allocated once and reused across chunks, so steady-state decoding does
+/// no per-entry (or even per-chunk) allocation — this replaced a reader
+/// that issued one 16-byte `read_exact` per entry.
+///
+/// ```
+/// use sac_trace::{io, Access, Trace};
+///
+/// let trace: Trace = (0..10_000u64).map(|i| Access::read(i * 8)).collect();
+/// let mut bytes = Vec::new();
+/// io::write_binary(&trace, &mut bytes).unwrap();
+///
+/// let mut reader = io::ChunkedReader::new(&bytes[..]).unwrap();
+/// assert_eq!(reader.total(), 10_000);
+/// let mut seen = 0;
+/// while let Some(chunk) = reader.next_chunk().unwrap() {
+///     assert!(chunk.len() <= io::DEFAULT_CHUNK);
+///     seen += chunk.len() as u64;
+/// }
+/// assert_eq!(seen, 10_000);
+/// ```
+pub struct ChunkedReader<R: Read> {
+    r: BufReader<R>,
+    name: String,
+    total: u64,
+    remaining: u64,
+    chunk_entries: usize,
+    bytes: Vec<u8>,
+    decoded: Vec<Access>,
+}
+
+impl<R: Read> ChunkedReader<R> {
+    /// Opens a SACT stream, parsing and validating the header, with the
+    /// default chunk size ([`DEFAULT_CHUNK`] entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] on I/O failure, bad magic/version, an
+    /// oversized name, or an entry count whose byte size overflows `u64`
+    /// (a malformed or adversarial header — no allocation is attempted).
+    pub fn new(r: R) -> Result<Self, ReadError> {
+        ChunkedReader::with_chunk_size(r, DEFAULT_CHUNK)
+    }
+
+    /// Opens a SACT stream decoding `chunk_entries` entries per chunk.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ChunkedReader::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_entries` is zero.
+    pub fn with_chunk_size(r: R, chunk_entries: usize) -> Result<Self, ReadError> {
+        assert!(chunk_entries > 0, "chunk size must be positive");
+        let mut r = BufReader::new(r);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ReadError::BadHeader(format!("magic {magic:?}")));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(ReadError::BadHeader(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let namelen = read_u32(&mut r)? as usize;
+        if namelen > 1 << 20 {
+            return Err(ReadError::BadHeader(format!("name length {namelen}")));
+        }
+        let mut name = vec![0u8; namelen];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| ReadError::BadHeader(format!("name not UTF-8: {e}")))?;
+        let count = read_u64(&mut r)?;
+        // A count whose byte size cannot be represented is malformed by
+        // construction; reject it before any size computation can wrap.
+        if count.checked_mul(ENTRY_BYTES as u64).is_none() {
+            return Err(ReadError::BadHeader(format!(
+                "entry count {count} overflows the entry section size"
+            )));
+        }
+        Ok(ChunkedReader {
+            r,
+            name,
+            total: count,
+            remaining: count,
+            chunk_entries,
+            bytes: Vec::new(),
+            decoded: Vec::new(),
+        })
+    }
+
+    /// The trace name from the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of entries announced by the header.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Entries not yet yielded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Decodes and returns the next chunk, or `None` once all announced
+    /// entries have been yielded. The returned slice borrows an internal
+    /// buffer that is overwritten by the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::BadEntry`] if the entry section ends before
+    /// `count` entries (truncated stream) or the underlying read fails.
+    pub fn next_chunk(&mut self) -> Result<Option<&[Access]>, ReadError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let n = (self.remaining).min(self.chunk_entries as u64) as usize;
+        self.bytes.resize(n * ENTRY_BYTES, 0);
+        let start = self.total - self.remaining;
+        self.r.read_exact(&mut self.bytes).map_err(|e| {
+            ReadError::BadEntry(format!("entries {start}..{}: {e}", start + n as u64))
+        })?;
+        self.decoded.clear();
+        self.decoded
+            .extend(self.bytes.chunks_exact(ENTRY_BYTES).map(decode_entry));
+        self.remaining -= n as u64;
+        Ok(Some(&self.decoded))
+    }
+}
+
+/// Reads a trace in the binary `SACT` format, fully materialized.
+///
+/// A `&mut` reference may be passed for `r` (any `Read` works). This is
+/// [`ChunkedReader`] driven to completion; use the reader directly to
+/// stream a trace without holding it all in memory.
 ///
 /// # Errors
 ///
 /// Returns [`ReadError`] on I/O failure, bad magic/version, or a
 /// truncated entry section.
 pub fn read_binary<R: Read>(r: R) -> Result<Trace, ReadError> {
-    let mut r = BufReader::new(r);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(ReadError::BadHeader(format!("magic {magic:?}")));
-    }
-    let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(ReadError::BadHeader(format!(
-            "unsupported version {version}"
-        )));
-    }
-    let namelen = read_u32(&mut r)? as usize;
-    if namelen > 1 << 20 {
-        return Err(ReadError::BadHeader(format!("name length {namelen}")));
-    }
-    let mut name = vec![0u8; namelen];
-    r.read_exact(&mut name)?;
-    let name = String::from_utf8(name)
-        .map_err(|e| ReadError::BadHeader(format!("name not UTF-8: {e}")))?;
-    let count = read_u64(&mut r)? as usize;
-    let mut trace = Trace::with_capacity(name, count.min(1 << 24));
-    let mut buf = [0u8; 16];
-    for i in 0..count {
-        r.read_exact(&mut buf)
-            .map_err(|e| ReadError::BadEntry(format!("entry {i}: {e}")))?;
-        let addr = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
-        let instr = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
-        let gap = u16::from_le_bytes(buf[12..14].try_into().expect("2 bytes"));
-        let flags = buf[14];
-        let kind = if flags & 1 != 0 {
-            AccessKind::Write
-        } else {
-            AccessKind::Read
-        };
-        trace.push(
-            Access::new(addr, kind)
-                .with_temporal(flags & 2 != 0)
-                .with_spatial(flags & 4 != 0)
-                .with_spatial_level((flags >> 3) & 0b11)
-                .with_gap(gap as u32)
-                .with_instr(instr),
-        );
+    let mut reader = ChunkedReader::new(r)?;
+    let mut trace = Trace::with_capacity(reader.name(), reader.total().min(1 << 24) as usize);
+    while let Some(chunk) = reader.next_chunk()? {
+        trace.extend(chunk.iter().copied());
     }
     Ok(trace)
 }
@@ -329,6 +461,76 @@ mod tests {
         buf.truncate(buf.len() - 7);
         let err = read_binary(&buf[..]).unwrap_err();
         assert!(matches!(err, ReadError::BadEntry(_)));
+    }
+
+    /// Fuzz seed: a syntactically valid header whose entry count
+    /// (`u64::MAX`) would overflow the entry-section size computation.
+    /// The reader must reject it at header-parse time, before any
+    /// count-derived allocation.
+    #[test]
+    fn overflowing_count_rejected_at_header() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SACT");
+        buf.extend_from_slice(&1u32.to_le_bytes()); // version
+        buf.extend_from_slice(&0u32.to_le_bytes()); // namelen
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // count
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader(_)));
+        assert!(err.to_string().contains("overflow"));
+        let err = ChunkedReader::new(&buf[..]).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader(_)));
+    }
+
+    #[test]
+    fn huge_count_with_no_entries_is_a_bad_entry_not_an_allocation() {
+        // count = 2^40: fits in u64 bytes, but the stream holds no
+        // entries. The chunked reader must fail on the first chunk read
+        // without ever allocating the announced size.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SACT");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadEntry(_)));
+    }
+
+    #[test]
+    fn chunked_reader_streams_all_entries_in_order() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        // A chunk size that does not divide 500 exercises the tail chunk.
+        let mut reader = ChunkedReader::with_chunk_size(&buf[..], 64).unwrap();
+        assert_eq!(reader.name(), "sample");
+        assert_eq!(reader.total(), 500);
+        let mut streamed = Vec::new();
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            assert!(chunk.len() <= 64);
+            streamed.extend_from_slice(chunk);
+        }
+        assert_eq!(reader.remaining(), 0);
+        assert_eq!(streamed, t.as_slice());
+        // Exhausted readers keep returning None.
+        assert!(reader.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_reader_reports_truncation_with_entry_range() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        let mut reader = ChunkedReader::with_chunk_size(&buf[..], 128).unwrap();
+        let err = loop {
+            match reader.next_chunk() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("truncated stream decoded fully"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, ReadError::BadEntry(_)));
+        assert!(err.to_string().contains("384..500"), "{err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 mod reuse;
 mod tags;
 mod vectors;
+mod wordmap;
 
 pub use reuse::{ReuseBand, ReuseHistogram};
 pub use tags::{TagClass, TagFractions};

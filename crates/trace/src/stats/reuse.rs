@@ -1,7 +1,7 @@
 //! Reuse-distance distribution (paper Figure 1a).
 
+use super::wordmap::WordMap;
 use crate::Trace;
-use std::collections::HashMap;
 use std::fmt;
 
 /// The reuse-distance bands plotted in Figure 1a.
@@ -90,7 +90,9 @@ impl ReuseHistogram {
         // Backward pass records, for each reference, the index of the next
         // reference to the same word.
         let n = trace.len();
-        let mut next_use: HashMap<u64, u64> = HashMap::new();
+        // Sized for the common case of many reuses per word; grows if the
+        // trace turns out to be mostly-unique addresses.
+        let mut next_use = WordMap::with_capacity(n / 4);
         let mut counts = [0u64; 5];
         // Iterate backward so `next_use` holds the *next* use when visited.
         for (i, a) in trace.iter().enumerate().rev() {

@@ -1,0 +1,92 @@
+//! Replay-path equivalence: the streamed chunked replay (SACT decode one
+//! chunk at a time, every engine advancing per chunk), the chunked
+//! whole-`Vec` replay and the materialized one-config-at-a-time replay
+//! must produce identical [`Metrics`] — the figure suite's byte-identical
+//! output rests on this.
+
+use software_assisted_caches::experiments::runner::ReplayBatch;
+use software_assisted_caches::experiments::{Config, Suite};
+use software_assisted_caches::simcache::Metrics;
+use software_assisted_caches::trace::io::{read_text, write_binary, ChunkedReader};
+use software_assisted_caches::trace::Trace;
+
+fn golden() -> Trace {
+    let text = include_str!("data/golden.trace");
+    let trace = read_text(text.as_bytes()).expect("golden trace parses");
+    assert_eq!(trace.len(), 280);
+    trace
+}
+
+fn configs() -> Vec<(String, Config)> {
+    vec![
+        ("equiv/standard".to_string(), Config::standard()),
+        ("equiv/victim".to_string(), Config::standard_victim()),
+        ("equiv/soft".to_string(), Config::soft()),
+    ]
+}
+
+/// Materialized baseline: each config builds its own engine and replays
+/// the whole trace alone.
+fn one_at_a_time(cells: &[(String, Config)], trace: &Trace) -> Vec<Metrics> {
+    cells.iter().map(|(_, cfg)| cfg.run(trace)).collect()
+}
+
+/// Batched replay over the in-memory trace, chunked.
+fn batched(cells: &[(String, Config)], trace: &Trace) -> Vec<Metrics> {
+    let mut batch = ReplayBatch::new();
+    for (label, cfg) in cells {
+        batch.push(label.clone(), cfg);
+    }
+    batch.replay(trace)
+}
+
+/// Streamed replay: serialize to SACT bytes, then replay straight off the
+/// chunked reader without materializing the trace.
+fn streamed(cells: &[(String, Config)], trace: &Trace) -> Vec<Metrics> {
+    let mut bytes = Vec::new();
+    write_binary(trace, &mut bytes).expect("in-memory SACT write");
+    let mut reader = ChunkedReader::new(&bytes[..]).expect("valid SACT header");
+    let mut batch = ReplayBatch::new();
+    for (label, cfg) in cells {
+        batch.push(label.clone(), cfg);
+    }
+    batch.replay_reader(&mut reader).expect("valid SACT stream")
+}
+
+/// A small chunk size so even the 280-reference golden trace crosses
+/// several chunk boundaries.
+fn streamed_small_chunks(cells: &[(String, Config)], trace: &Trace) -> Vec<Metrics> {
+    let mut bytes = Vec::new();
+    write_binary(trace, &mut bytes).expect("in-memory SACT write");
+    let mut reader = ChunkedReader::with_chunk_size(&bytes[..], 7).expect("valid SACT header");
+    let mut batch = ReplayBatch::new();
+    for (label, cfg) in cells {
+        batch.push(label.clone(), cfg);
+    }
+    batch.replay_reader(&mut reader).expect("valid SACT stream")
+}
+
+#[test]
+fn golden_trace_replays_identically_on_all_paths() {
+    let trace = golden();
+    let cells = configs();
+    let solo = one_at_a_time(&cells, &trace);
+    assert_eq!(solo, batched(&cells, &trace), "batched vs solo");
+    assert_eq!(solo, streamed(&cells, &trace), "streamed vs solo");
+    assert_eq!(
+        solo,
+        streamed_small_chunks(&cells, &trace),
+        "7-entry chunks vs solo"
+    );
+}
+
+#[test]
+fn generated_suite_trace_replays_identically_on_all_paths() {
+    // One real generated workload trace (small scale keeps the test fast).
+    let suite = Suite::small();
+    let trace = suite.trace("MV").expect("MV in small suite").clone();
+    let cells = configs();
+    let solo = one_at_a_time(&cells, &trace);
+    assert_eq!(solo, batched(&cells, &trace), "batched vs solo");
+    assert_eq!(solo, streamed(&cells, &trace), "streamed vs solo");
+}
