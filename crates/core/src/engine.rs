@@ -3,6 +3,7 @@
 use crate::config::{Replacement, SoftCacheConfig};
 use crate::fillbuf::{FillBuffer, FillSlot};
 use crate::vline::virtual_block;
+use sac_obs::{Event, NoopProbe, Probe, Victim};
 use sac_simcache::{
     CacheGeometry, CacheSim, ChunkDelta, Clock, Entry, Metrics, TagArray, WriteBuffer,
     DIRTY_TRANSFER_CYCLES, MAIN_HIT_CYCLES, SWAP_LOCK_CYCLES,
@@ -23,8 +24,13 @@ const MAX_INFLIGHT: usize = 4;
 /// fills, backed by a bounce-back cache, optionally with software-biased
 /// replacement and progressive prefetching. See the crate docs for the
 /// mechanism summary and [`SoftCacheConfig`] for the presets.
+///
+/// The engine is generic over an observer probe (defaulting to the
+/// disabled [`NoopProbe`], which monomorphizes to the unprobed code —
+/// see [`Probe`]); attach one with [`SoftCache::with_probe`] to get
+/// typed miss/bounce/swap/prefetch/fill events.
 #[derive(Debug, Clone)]
-pub struct SoftCache {
+pub struct SoftCache<P: Probe = NoopProbe> {
     cfg: SoftCacheConfig,
     main: TagArray,
     bounce: Option<TagArray>,
@@ -40,6 +46,7 @@ pub struct SoftCache {
     // restored afterwards, keeping their capacity.
     needed_buf: Vec<u64>,
     fill_sets_buf: Vec<u64>,
+    probe: P,
 }
 
 impl SoftCache {
@@ -50,6 +57,18 @@ impl SoftCache {
     /// Panics if the configuration is inconsistent (see
     /// [`SoftCacheConfig::validate`]).
     pub fn new(cfg: SoftCacheConfig) -> Self {
+        SoftCache::with_probe(cfg, NoopProbe)
+    }
+}
+
+impl<P: Probe> SoftCache<P> {
+    /// Builds the engine with an attached observer probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SoftCacheConfig::validate`]).
+    pub fn with_probe(cfg: SoftCacheConfig, probe: P) -> Self {
         cfg.validate();
         let ls = cfg.geometry.line_bytes();
         let bounce = (cfg.bounce_lines > 0).then(|| {
@@ -77,6 +96,7 @@ impl SoftCache {
             fillbuf: FillBuffer::for_geometry(cfg.geometry, max_vline),
             needed_buf: Vec::new(),
             fill_sets_buf: Vec::new(),
+            probe,
         }
     }
 
@@ -91,6 +111,21 @@ impl SoftCache {
         &self.cfg
     }
 
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The attached probe, mutably.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the engine and returns the probe (for post-run export).
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
     fn main_victim_way(&self, line: u64) -> usize {
         match self.cfg.replacement {
             Replacement::Lru => self.main.victim_way(line),
@@ -102,6 +137,9 @@ impl SoftCache {
     fn discard(&mut self, entry: Entry) {
         if entry.valid && entry.dirty {
             self.metrics.writebacks += 1;
+            if P::ENABLED {
+                self.probe.on_event(&Event::Writeback { line: entry.line });
+            }
             let stall = self.wb.push(self.clock.now());
             self.metrics.stall_cycles += stall;
             self.metrics.mem_cycles += stall;
@@ -198,6 +236,18 @@ impl SoftCache {
         let line = evicted.line;
         let displaced = self.main.install(line, way, evicted);
         self.metrics.bounces += 1;
+        if P::ENABLED {
+            self.probe.on_event(&Event::BounceBack {
+                line,
+                set: dest_set,
+            });
+            if displaced.valid {
+                self.probe.on_event(&Event::MainEvict {
+                    line: displaced.line,
+                    dirty: displaced.dirty,
+                });
+            }
+        }
         self.discard(displaced);
     }
 
@@ -255,6 +305,9 @@ impl SoftCache {
                 self.inflight.remove(0);
             }
             self.metrics.prefetches += 1;
+            if P::ENABLED {
+                self.probe.on_event(&Event::PrefetchIssue { line: l });
+            }
             self.metrics.record_fetch(1, self.cfg.geometry.line_bytes());
             self.inflight.push(InflightPrefetch {
                 line: l,
@@ -278,9 +331,16 @@ impl SoftCache {
         let mut cost = self.cfg.bounce_hit_cycles;
         self.metrics.aux_hits += 1;
         self.metrics.swaps += 1;
+        if P::ENABLED {
+            self.probe.on_event(&Event::Swap { line: entry.line });
+        }
         let was_prefetched = entry.prefetched;
         if was_prefetched {
             self.metrics.useful_prefetches += 1;
+            if P::ENABLED {
+                self.probe
+                    .on_event(&Event::PrefetchUse { line: entry.line });
+            }
             self.prefetched_resident = self.prefetched_resident.saturating_sub(1);
             entry.prefetched = false;
             // Checking for the next prefetched line keeps the main cache
@@ -295,6 +355,12 @@ impl SoftCache {
         let way = self.main_victim_way(line);
         let displaced = self.main.install(line, way, entry);
         if displaced.valid {
+            if P::ENABLED {
+                self.probe.on_event(&Event::MainEvict {
+                    line: displaced.line,
+                    dirty: displaced.dirty,
+                });
+            }
             match (bbway, self.bounce.as_mut()) {
                 (Some(bway), Some(bb)) => {
                     // The swap puts the displaced main line in the way the
@@ -354,6 +420,13 @@ impl SoftCache {
             .fetch_cycles(needed.len() as u64, geom.line_bytes());
         self.metrics
             .record_fetch(needed.len() as u64, geom.line_bytes());
+        if P::ENABLED && block.end - block.start > 1 {
+            self.probe.on_event(&Event::VlineFill {
+                line: block.start,
+                span_lines: (block.end - block.start) as u32,
+                fetched_lines: needed.len() as u32,
+            });
+        }
 
         // §2.1 "Storing multiple lines": target slots are selected while
         // the requests go out and held in a FIFO; arrivals (in request
@@ -372,6 +445,28 @@ impl SoftCache {
             let way = slot.way;
             let dirty = l == line && a.kind().is_write();
             let displaced = self.main.fill(l, way, a.addr(), dirty);
+            if P::ENABLED {
+                self.probe.on_event(&Event::LineFill {
+                    line: l,
+                    demand: l == line,
+                });
+                if l == line {
+                    self.probe.on_event(&Event::Miss {
+                        line,
+                        set: geom.set_of_line(line),
+                        is_write: a.kind().is_write(),
+                        victim: displaced.valid.then_some(Victim {
+                            line: displaced.line,
+                            dirty: displaced.dirty,
+                        }),
+                    });
+                } else if displaced.valid {
+                    self.probe.on_event(&Event::MainEvict {
+                        line: displaced.line,
+                        dirty: displaced.dirty,
+                    });
+                }
+            }
             if l == line {
                 let idx = self.main.peek(line).expect("just filled");
                 Self::note_temporal(&self.cfg, self.main.entry_at_mut(idx), a);
@@ -391,7 +486,15 @@ impl SoftCache {
         if let Some(bb) = &self.bounce {
             for &l in &needed {
                 if l != line && bb.peek(l).is_some() {
-                    self.main.invalidate(l);
+                    let gone = self.main.invalidate(l);
+                    if P::ENABLED {
+                        if let Some(e) = gone {
+                            self.probe.on_event(&Event::MainEvict {
+                                line: e.line,
+                                dirty: e.dirty,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -459,7 +562,7 @@ impl SoftCache {
     }
 }
 
-impl CacheSim for SoftCache {
+impl<P: Probe> CacheSim for SoftCache<P> {
     fn access(&mut self, a: &Access) {
         self.metrics.record_ref(a.kind().is_write());
         let stall = self.clock.arrive(a.gap());
@@ -469,6 +572,9 @@ impl CacheSim for SoftCache {
         }
 
         let line = self.cfg.geometry.line_of(a.addr());
+        if P::ENABLED {
+            self.probe.on_ref(a.addr(), line, a.kind().is_write());
+        }
         if let Some(idx) = self.main.probe(line) {
             let entry = self.main.entry_at_mut(idx);
             if a.kind().is_write() {
@@ -482,10 +588,12 @@ impl CacheSim for SoftCache {
             let cost = stall + MAIN_HIT_CYCLES;
             self.metrics.mem_cycles += cost;
             self.clock.complete(cost);
+            self.metrics.debug_check_invariants();
             return;
         }
 
         self.access_noncached(line, stall, a);
+        self.metrics.debug_check_invariants();
     }
 
     fn run_chunk(&mut self, chunk: &[Access]) {
@@ -503,6 +611,9 @@ impl CacheSim for SoftCache {
                 self.settle_prefetch();
             }
             let line = self.cfg.geometry.line_of(a.addr());
+            if P::ENABLED {
+                self.probe.on_ref(a.addr(), line, a.kind().is_write());
+            }
             if let Some(idx) = self.main.probe(line) {
                 let entry = self.main.entry_at_mut(idx);
                 let is_write = a.kind().is_write();
@@ -523,12 +634,17 @@ impl CacheSim for SoftCache {
             }
         }
         self.metrics.apply_chunk(&delta);
+        self.metrics.debug_check_invariants();
     }
 
     fn invalidate_all(&mut self) {
-        self.metrics.writebacks += self.main.invalidate_all();
+        let mut wbs = self.main.invalidate_all();
         if let Some(bb) = &mut self.bounce {
-            self.metrics.writebacks += bb.invalidate_all();
+            wbs += bb.invalidate_all();
+        }
+        self.metrics.writebacks += wbs;
+        if P::ENABLED {
+            self.probe.on_event(&Event::Flush { writebacks: wbs });
         }
         self.inflight.clear();
         self.prefetched_resident = 0;
@@ -874,6 +990,82 @@ mod tests {
             chunked.run_chunk(chunk);
         }
         assert_eq!(per_access.metrics(), chunked.metrics());
+    }
+
+    fn soft_trace(len: u64) -> Trace {
+        (0..len)
+            .map(|i| {
+                let a = if i % 11 == 0 {
+                    Access::write((i % 900) * 8)
+                } else {
+                    Access::read((i % 700) * 8)
+                };
+                a.with_spatial(i % 3 != 0)
+                    .with_temporal(i % 7 == 0)
+                    .with_gap((i % 6) as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn metrics_invariants_hold_throughout_a_run() {
+        let mut cfg = SoftCacheConfig::soft();
+        cfg.prefetch = true;
+        let mut c = SoftCache::new(cfg);
+        let trace = soft_trace(5_000);
+        for chunk in trace.as_slice().chunks(256) {
+            c.run_chunk(chunk);
+            c.metrics().check_invariants().unwrap();
+        }
+        let m = c.metrics();
+        assert_eq!(m.refs, m.reads + m.writes);
+        assert_eq!(m.main_hits + m.aux_hits + m.misses + m.bypasses, m.refs);
+    }
+
+    #[test]
+    fn tracing_probe_counts_match_metrics_exactly() {
+        use sac_obs::{ObsConfig, TracingProbe};
+        let mut cfg = SoftCacheConfig::soft();
+        cfg.prefetch = true;
+        let geom = cfg.geometry;
+        let probe = TracingProbe::new(ObsConfig::for_cache(
+            geom.lines(),
+            geom.sets(),
+            geom.line_bytes(),
+        ));
+        let mut c = SoftCache::with_probe(cfg, probe);
+        let trace = soft_trace(20_000);
+        for chunk in trace.as_slice().chunks(512) {
+            c.run_chunk(chunk);
+        }
+        c.invalidate_all();
+        c.probe_mut().finish();
+        let m = *c.metrics();
+        let o = *c.into_probe().counts();
+        assert_eq!(o.refs, m.refs);
+        assert_eq!(o.reads, m.reads);
+        assert_eq!(o.writes, m.writes);
+        assert_eq!(o.misses, m.misses);
+        assert_eq!(o.bounces, m.bounces);
+        assert_eq!(o.swaps, m.swaps);
+        assert_eq!(o.prefetch_issues, m.prefetches);
+        assert_eq!(o.prefetch_uses, m.useful_prefetches);
+        assert_eq!(o.writebacks, m.writebacks);
+        assert_eq!(o.line_fills + o.prefetch_issues, m.lines_fetched);
+    }
+
+    #[test]
+    fn probed_run_leaves_metrics_untouched() {
+        use sac_obs::CountingProbe;
+        let mut cfg = SoftCacheConfig::soft();
+        cfg.prefetch = true;
+        let trace = soft_trace(10_000);
+        let mut plain = SoftCache::new(cfg);
+        plain.run(&trace);
+        let mut probed = SoftCache::with_probe(cfg, CountingProbe::default());
+        probed.run(&trace);
+        assert_eq!(plain.metrics(), probed.metrics());
+        assert_eq!(probed.probe().refs, probed.metrics().refs);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Explains one cache configuration's behavior from probe telemetry.
+//!
+//! ```text
+//! cargo run --release -p sac-experiments --bin explain
+//! cargo run --release -p sac-experiments --bin explain -- --config standard --trace miss
+//! cargo run --release -p sac-experiments --bin explain -- --obs-json obs.jsonl --sample 8
+//! cargo run --release -p sac-experiments --bin explain -- --bench-guard BENCH_replay.json
+//! ```
+//!
+//! Runs the chosen configuration over a deterministic trace with the full
+//! [`TracingProbe`] attached, prints the per-mechanism breakdown (miss
+//! causes, hot sets, bounce-back / virtual-line / prefetch attribution),
+//! and verifies that every event total reconciles exactly with the
+//! engine's `Metrics` counters.
+//!
+//! `--obs-json PATH` additionally writes the telemetry (summary,
+//! histograms, sampled events) as JSON Lines; the path is validated
+//! up front so a long run cannot die at the final write.
+//!
+//! `--bench-guard PATH` re-times unprobed (`NoopProbe`) replay of the
+//! shared hit-heavy / miss-heavy benchmark traces and compares against
+//! the `refs_per_sec` recorded in a `figures --bench-json` report from
+//! the same machine/job; the process exits non-zero if throughput
+//! regressed by more than `--bench-guard-pct` percent (default 5) —
+//! the CI tripwire proving the probe layer stays zero-cost when
+//! disabled.
+//!
+//! [`TracingProbe`]: sac_obs::TracingProbe
+
+use sac_experiments::explain::{
+    bench_refs_per_sec, explain_config, hit_heavy_trace, miss_heavy_trace, mixed_trace,
+};
+use sac_experiments::runner::ReplayBatch;
+use sac_experiments::Config;
+use sac_trace::Trace;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config_name = "soft".to_string();
+    let mut trace_name = "mixed".to_string();
+    let mut len = 500_000usize;
+    let mut obs_json: Option<String> = None;
+    let mut ring = 4096usize;
+    let mut sample = 1u64;
+    let mut top = 5usize;
+    let mut bench_guard: Option<String> = None;
+    let mut guard_pct = 5.0f64;
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--config" => config_name = value("--config"),
+            "--trace" => trace_name = value("--trace"),
+            "--len" => {
+                len = value("--len")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--len needs a positive integer"))
+            }
+            "--obs-json" => obs_json = Some(value("--obs-json")),
+            "--ring" => {
+                ring = value("--ring")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--ring needs a positive integer"))
+            }
+            "--sample" => {
+                sample = value("--sample")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--sample needs a positive integer"))
+            }
+            "--top" => {
+                top = value("--top")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--top needs a positive integer"))
+            }
+            "--bench-guard" => bench_guard = Some(value("--bench-guard")),
+            "--bench-guard-pct" => {
+                guard_pct = value("--bench-guard-pct")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--bench-guard-pct needs a number"))
+            }
+            "--small" => len = 50_000,
+            other => fail(&format!(
+                "unknown argument {other:?} (see the module docs for usage)"
+            )),
+        }
+    }
+
+    // Validate output paths up front: a long instrumented run must not
+    // die at the final write because the directory does not exist.
+    let obs_writer = obs_json.as_ref().map(|path| {
+        let f = File::create(path)
+            .unwrap_or_else(|e| fail(&format!("--obs-json: cannot write {path}: {e}")));
+        (path.clone(), BufWriter::new(f))
+    });
+
+    let config = match config_name.as_str() {
+        "standard" => Config::standard(),
+        "soft" => Config::soft(),
+        "soft-prefetch" => match Config::soft() {
+            Config::Soft(mut c) => {
+                c.prefetch = true;
+                Config::Soft(c)
+            }
+            _ => unreachable!(),
+        },
+        other => fail(&format!(
+            "--config {other:?} not supported (standard | soft | soft-prefetch)"
+        )),
+    };
+    let trace: Trace = match trace_name.as_str() {
+        "mixed" => mixed_trace(len),
+        "hit" => hit_heavy_trace(len),
+        "miss" => miss_heavy_trace(len),
+        other => fail(&format!(
+            "--trace {other:?} not supported (mixed | hit | miss)"
+        )),
+    };
+
+    let label = format!("explain/{trace_name}/{config_name}");
+    let start = Instant::now();
+    let explanation = match explain_config(&label, &config, &trace, ring, sample) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("explain failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", explanation.render(top));
+    eprintln!("instrumented run took {:.2?}", start.elapsed());
+
+    if let Some((path, mut w)) = obs_writer {
+        explanation
+            .probe
+            .write_jsonl(&label, &mut w)
+            .and_then(|()| w.flush())
+            .unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+        eprintln!("wrote telemetry JSONL to {path}");
+    }
+
+    if let Some(path) = bench_guard {
+        run_bench_guard(&path, guard_pct);
+    }
+}
+
+/// Re-times unprobed replay of the shared benchmark shapes and compares
+/// with the recorded rates; exits non-zero on a regression beyond `pct`.
+fn run_bench_guard(path: &str, pct: f64) {
+    const BENCH_LEN: usize = 2_000_000;
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("--bench-guard: cannot read {path}: {e}")));
+    let mut regressed = false;
+    for (name, trace) in [
+        ("hit_heavy", hit_heavy_trace(BENCH_LEN)),
+        ("miss_heavy", miss_heavy_trace(BENCH_LEN)),
+    ] {
+        let Some(baseline) = bench_refs_per_sec(&json, name) else {
+            fail(&format!(
+                "--bench-guard: no refs_per_sec for {name} in {path}"
+            ));
+        };
+        // Best of three: the replay walls are tens of milliseconds, so a
+        // single cold run is dominated by scheduling/frequency noise.
+        let mut rate = 0.0f64;
+        for round in 0..3 {
+            let start = Instant::now();
+            let mut batch = ReplayBatch::new();
+            batch.push(
+                format!("guard/{name}/standard/{round}"),
+                &Config::standard(),
+            );
+            batch.push(format!("guard/{name}/soft/{round}"), &Config::soft());
+            let engines = batch.len() as u64;
+            let metrics = batch.replay(&trace);
+            let wall = start.elapsed().as_secs_f64();
+            let refs: u64 = metrics.iter().map(|m| m.refs).sum();
+            assert_eq!(refs, trace.len() as u64 * engines);
+            rate = rate.max(refs as f64 / wall);
+        }
+        let delta = 100.0 * (rate - baseline) / baseline;
+        let verdict = if delta < -pct {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "bench-guard {name}: {rate:.0} refs/s vs baseline {baseline:.0} ({delta:+.1}%) {verdict}"
+        );
+    }
+    if regressed {
+        eprintln!("bench-guard: NoopProbe replay throughput regressed more than {pct}%");
+        std::process::exit(1);
+    }
+}

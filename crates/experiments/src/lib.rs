@@ -27,6 +27,7 @@ mod config;
 mod suite;
 mod table;
 
+pub mod explain;
 pub mod figures;
 pub mod runner;
 

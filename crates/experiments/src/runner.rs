@@ -191,6 +191,7 @@ struct BatchSlot {
     label: String,
     engine: Box<dyn CacheSim>,
     wall: Duration,
+    chunks: u64,
 }
 
 impl ReplayBatch {
@@ -207,6 +208,7 @@ impl ReplayBatch {
             label,
             engine: config.build(),
             wall: Duration::ZERO,
+            chunks: 0,
         });
     }
 
@@ -226,6 +228,7 @@ impl ReplayBatch {
             let start = Instant::now();
             slot.engine.run_chunk(chunk);
             slot.wall += start.elapsed();
+            slot.chunks += 1;
         }
     }
 
@@ -236,7 +239,7 @@ impl ReplayBatch {
             .into_iter()
             .map(|slot| {
                 let m = *slot.engine.metrics();
-                record_cell(slot.label, slot.wall, m);
+                record_cell_span(slot.label, slot.wall, slot.chunks, m);
                 m
             })
             .collect()
@@ -296,8 +299,24 @@ pub struct CellStat {
     pub label: String,
     /// Host wall time the cell took.
     pub wall: Duration,
+    /// Chunks the replay engine fed this cell (0 for per-access cells
+    /// and non-engine cells).
+    pub chunks: u64,
     /// The cell's simulation counters (zeroed for pure analysis cells).
     pub metrics: Metrics,
+}
+
+impl CellStat {
+    /// Engine references per wall second (0 when the wall time rounded
+    /// to zero).
+    pub fn refs_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.metrics.refs as f64 / s
+        } else {
+            0.0
+        }
+    }
 }
 
 fn ledger() -> &'static Mutex<Vec<CellStat>> {
@@ -307,9 +326,16 @@ fn ledger() -> &'static Mutex<Vec<CellStat>> {
 
 /// Appends one cell to the observability ledger.
 pub fn record_cell(label: String, wall: Duration, metrics: Metrics) {
+    record_cell_span(label, wall, 0, metrics);
+}
+
+/// Appends one cell with its chunk-span information (how many replay
+/// chunks the engine consumed) to the observability ledger.
+pub fn record_cell_span(label: String, wall: Duration, chunks: u64, metrics: Metrics) {
     ledger().lock().expect("ledger poisoned").push(CellStat {
         label,
         wall,
+        chunks,
         metrics,
     });
 }
@@ -323,6 +349,12 @@ pub fn reset_stats() {
 /// Cells recorded since the last [`reset_stats`].
 pub fn cells_done() -> usize {
     ledger().lock().expect("ledger poisoned").len()
+}
+
+/// A snapshot of the ledger, in recording order (the runner-level spans
+/// the `figures --bench-json` report folds in).
+pub fn cells() -> Vec<CellStat> {
+    ledger().lock().expect("ledger poisoned").clone()
 }
 
 /// Runs one engine cell under the ledger: builds the engine, drives the

@@ -45,3 +45,59 @@ fn report_emits_markdown_and_csv() {
     assert!(csvs >= 20, "expected one CSV per table, got {csvs}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn explain_renders_a_breakdown_and_writes_jsonl() {
+    let path = std::env::temp_dir().join(format!("sac-obs-{}.jsonl", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_explain"))
+        .args(["--small", "--config", "soft", "--sample", "4"])
+        .arg("--obs-json")
+        .arg(&path)
+        .output()
+        .expect("run explain");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("explain explain/mixed/soft"), "{text}");
+    assert!(
+        text.contains("events match metrics counters exactly"),
+        "{text}"
+    );
+    assert!(text.contains("miss causes"), "{text}");
+    let jsonl = std::fs::read_to_string(&path).expect("telemetry written");
+    assert!(jsonl.starts_with("{\"type\":\"summary\""), "{jsonl}");
+    assert!(jsonl.contains("\"type\":\"miss_causes\""));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explain_rejects_unwritable_obs_path_before_running() {
+    let out = Command::new(env!("CARGO_BIN_EXE_explain"))
+        .args(["--small", "--obs-json", "/no/such/dir/obs.jsonl"])
+        .output()
+        .expect("run explain");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot write"), "{err}");
+}
+
+#[test]
+fn figures_rejects_unwritable_bench_path_before_running() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args([
+            "--small",
+            "fig04b",
+            "--bench-json",
+            "/no/such/dir/bench.json",
+        ])
+        .output()
+        .expect("run figures");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot write"), "{err}");
+    // Failing fast means no figure work ran before the exit.
+    assert!(String::from_utf8_lossy(&out.stdout).is_empty());
+}

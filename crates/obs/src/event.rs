@@ -1,0 +1,170 @@
+//! Typed simulation events emitted by the probed cache engines.
+
+/// The entry a miss displaced from the main cache to make room for the
+/// demanded line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Line number of the displaced entry.
+    pub line: u64,
+    /// Whether the displaced entry was dirty (it will be written back or
+    /// carried to an auxiliary cache).
+    pub dirty: bool,
+}
+
+/// Why a miss happened, under the classical 3C model.
+///
+/// Classification is performed by the observer (see
+/// [`crate::ShadowClassifier`]), not by the engine: a shadow
+/// fully-associative LRU filter of the main cache's capacity is updated
+/// on every reference, so when a miss event arrives the observer knows
+/// whether an infinite cache (compulsory) or a fully-associative cache of
+/// the same size (capacity) would also have missed; everything else is a
+/// conflict of the set mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissCause {
+    /// First reference to the line: an infinite cache would miss too.
+    Compulsory,
+    /// A fully-associative LRU cache of the same capacity would miss too.
+    Capacity,
+    /// Only the actual set mapping misses.
+    Conflict,
+}
+
+impl MissCause {
+    /// Lower-case name, as used by the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissCause::Compulsory => "compulsory",
+            MissCause::Capacity => "capacity",
+            MissCause::Conflict => "conflict",
+        }
+    }
+}
+
+/// One mechanism-level event of a cache simulation.
+///
+/// Events mirror the engine `Metrics` counters one-for-one so an
+/// observer can reconcile exactly: one `Miss` per `misses`, one
+/// `BounceBack` per `bounces`, one `Swap` per `swaps`, one
+/// `PrefetchIssue` per `prefetches`, one `PrefetchUse` per
+/// `useful_prefetches`, and `Writeback` events plus `Flush` writeback
+/// counts summing to `writebacks`. `LineFill` plus `PrefetchIssue`
+/// events sum to `lines_fetched`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A reference went to memory. `victim` is the entry displaced by the
+    /// demanded line's fill (`None` when it landed in an invalid way).
+    Miss {
+        /// The demanded line.
+        line: u64,
+        /// The main-cache set it maps to.
+        set: u64,
+        /// Whether the missing reference was a store.
+        is_write: bool,
+        /// The entry the demanded line displaced, if any.
+        victim: Option<Victim>,
+    },
+    /// One physical line fetched from memory by the miss path. `demand`
+    /// is true for the missed line itself, false for the extra lines of a
+    /// virtual-line fill.
+    LineFill {
+        /// The fetched line.
+        line: u64,
+        /// Demand fetch (vs speculative virtual-line prefill).
+        demand: bool,
+    },
+    /// A virtual-line fill: a spatial-tagged miss pulled in the aligned
+    /// group of physical lines a large line would cover (§2.1).
+    VlineFill {
+        /// First line of the virtual line.
+        line: u64,
+        /// Physical lines the virtual line spans.
+        span_lines: u32,
+        /// Lines actually fetched (absent ones only).
+        fetched_lines: u32,
+    },
+    /// An entry left the main tag array other than as the demand victim
+    /// of a `Miss` (virtual-line prefill displacement, swap displacement,
+    /// bounce-back displacement, coherence invalidation).
+    MainEvict {
+        /// The displaced line.
+        line: u64,
+        /// Whether it was dirty.
+        dirty: bool,
+    },
+    /// A temporal line evicted from the bounce-back cache was re-injected
+    /// into its main-cache set (§2.2).
+    BounceBack {
+        /// The bounced line.
+        line: u64,
+        /// The main-cache set it returned to.
+        set: u64,
+    },
+    /// A bounce-back (or in-flight prefetch) hit swapped the line with
+    /// the conflicting main-cache entry.
+    Swap {
+        /// The line swapped into the main cache.
+        line: u64,
+    },
+    /// A software-assisted prefetch request went out (§4.4).
+    PrefetchIssue {
+        /// The prefetched line.
+        line: u64,
+    },
+    /// A prefetched line was demanded before eviction.
+    PrefetchUse {
+        /// The line that proved useful.
+        line: u64,
+    },
+    /// A dirty line was sent to the write buffer.
+    Writeback {
+        /// The written-back line.
+        line: u64,
+    },
+    /// All cached state was invalidated (context switch); `writebacks`
+    /// dirty lines were lost to memory in bulk.
+    Flush {
+        /// Dirty lines written back by the flush.
+        writebacks: u64,
+    },
+}
+
+impl Event {
+    /// Short kind name, as used by the JSONL export.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Miss { .. } => "miss",
+            Event::LineFill { .. } => "line_fill",
+            Event::VlineFill { .. } => "vline_fill",
+            Event::MainEvict { .. } => "main_evict",
+            Event::BounceBack { .. } => "bounce_back",
+            Event::Swap { .. } => "swap",
+            Event::PrefetchIssue { .. } => "prefetch_issue",
+            Event::PrefetchUse { .. } => "prefetch_use",
+            Event::Writeback { .. } => "writeback",
+            Event::Flush { .. } => "flush",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_cause_names_are_stable() {
+        assert_eq!(
+            Event::Miss {
+                line: 0,
+                set: 0,
+                is_write: false,
+                victim: None
+            }
+            .kind(),
+            "miss"
+        );
+        assert_eq!(Event::Flush { writebacks: 2 }.kind(), "flush");
+        assert_eq!(MissCause::Compulsory.name(), "compulsory");
+        assert_eq!(MissCause::Conflict.name(), "conflict");
+    }
+}

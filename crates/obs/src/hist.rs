@@ -1,0 +1,288 @@
+//! Behavior histograms: the aggregations the explainer reads.
+
+use std::collections::HashMap;
+
+/// A power-of-two bucketed histogram of `u64` samples: bucket `i` counts
+/// samples whose bit length is `i`, so bucket 0 is the value 0, bucket 1
+/// is 1, bucket 2 is 2–3, bucket 3 is 4–7, and so on (see
+/// [`Log2Histogram::bucket_of`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// The bucket index a value falls into (its bit length).
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive value range of a bucket, for rendering.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            1 => (1, 1),
+            i => (1 << (i - 1), (1u64 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if b >= self.buckets.len() {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The bucket counts, lowest bucket first (trailing zero buckets are
+    /// never stored).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Per-set miss counts: which sets of the main cache actually conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetHeatmap {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl SetHeatmap {
+    /// A heatmap over `sets` main-cache sets.
+    pub fn new(sets: u64) -> Self {
+        SetHeatmap {
+            counts: vec![0; sets as usize],
+            total: 0,
+        }
+    }
+
+    /// Records one miss in `set`.
+    pub fn record(&mut self, set: u64) {
+        if let Some(c) = self.counts.get_mut(set as usize) {
+            *c += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Total misses recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-set counts, set 0 first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `n` sets with the most misses, hottest first; ties break on
+    /// the lower set index (deterministic output).
+    pub fn top(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| (s as u64, c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+/// Word-utilization tracking for the speculative part of virtual-line
+/// fills: of the extra physical lines a spatial miss pulled in, which
+/// words were actually touched before the line left the main cache?
+///
+/// The histogram buckets are "words touched" (0 ..= words per line); a
+/// bucket-0 line was fetched and never used — pure wasted traffic.
+#[derive(Debug, Clone)]
+pub struct WordUse {
+    words_per_line: u32,
+    /// Speculatively filled lines still resident: line → touched-word
+    /// bitmask.
+    resident: HashMap<u64, u64>,
+    /// counts[w] = evicted speculative lines with exactly `w` words
+    /// touched.
+    counts: Vec<u64>,
+    touched_words: u64,
+}
+
+impl WordUse {
+    /// A tracker for lines of `line_bytes` bytes (`line_bytes /
+    /// WORD_BYTES` words each).
+    pub fn new(line_bytes: u64) -> Self {
+        let wpl = (line_bytes / sac_trace::WORD_BYTES).max(1) as u32;
+        WordUse {
+            words_per_line: wpl.min(64),
+            resident: HashMap::new(),
+            counts: vec![0; wpl.min(64) as usize + 1],
+            touched_words: 0,
+        }
+    }
+
+    /// Words per tracked line.
+    pub fn words_per_line(&self) -> u32 {
+        self.words_per_line
+    }
+
+    /// Registers a speculatively fetched line (no words touched yet). A
+    /// re-fetch of a line that is somehow still tracked restarts its
+    /// mask.
+    pub fn fill(&mut self, line: u64) {
+        self.resident.insert(line, 0);
+    }
+
+    /// Marks `word_in_line` of `line` as touched, if the line is tracked.
+    pub fn touch(&mut self, line: u64, word_in_line: u64) {
+        if let Some(mask) = self.resident.get_mut(&line) {
+            let bit = 1u64 << (word_in_line % u64::from(self.words_per_line)) as u32;
+            if *mask & bit == 0 {
+                *mask |= bit;
+                self.touched_words += 1;
+            }
+        }
+    }
+
+    /// Folds a tracked line into the histogram when it leaves the cache.
+    pub fn evict(&mut self, line: u64) {
+        if let Some(mask) = self.resident.remove(&line) {
+            self.counts[mask.count_ones() as usize] += 1;
+        }
+    }
+
+    /// Folds every still-resident tracked line (end of run).
+    pub fn finish(&mut self) {
+        let lines: Vec<u64> = self.resident.keys().copied().collect();
+        for l in lines {
+            self.evict(l);
+        }
+    }
+
+    /// Lines folded so far, per touched-word count (index = words
+    /// touched).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Speculative lines folded into the histogram.
+    pub fn lines(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Words touched across all tracked lines (resident included).
+    pub fn touched_words(&self) -> u64 {
+        self.touched_words
+    }
+
+    /// Words fetched speculatively and never touched, over the folded
+    /// lines.
+    pub fn wasted_words(&self) -> u64 {
+        let mut wasted = 0u64;
+        for (w, &n) in self.counts.iter().enumerate() {
+            wasted += n * (u64::from(self.words_per_line) - w as u64);
+        }
+        wasted
+    }
+
+    /// Fraction of speculatively fetched words that were touched, over
+    /// the folded lines (1.0 when nothing was tracked).
+    pub fn utilization(&self) -> f64 {
+        let fetched = self.lines() * u64::from(self.words_per_line);
+        if fetched == 0 {
+            1.0
+        } else {
+            (fetched - self.wasted_words()) as f64 / fetched as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_cover_the_ranges() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_range(3), (4, 7));
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert!((h.mean() - 21.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heatmap_top_breaks_ties_deterministically() {
+        let mut m = SetHeatmap::new(8);
+        m.record(3);
+        m.record(3);
+        m.record(5);
+        m.record(1);
+        m.record(5);
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.top(2), vec![(3, 2), (5, 2)]);
+        assert_eq!(m.top(10).len(), 3);
+    }
+
+    #[test]
+    fn word_use_tracks_touches_until_eviction() {
+        let mut w = WordUse::new(32); // 4 words
+        assert_eq!(w.words_per_line(), 4);
+        w.fill(10);
+        w.touch(10, 0);
+        w.touch(10, 0); // idempotent
+        w.touch(10, 3);
+        w.touch(99, 1); // untracked line: ignored
+        w.evict(10);
+        assert_eq!(w.counts()[2], 1);
+        assert_eq!(w.lines(), 1);
+        assert_eq!(w.touched_words(), 2);
+        assert_eq!(w.wasted_words(), 2);
+        assert!((w.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_use_finish_folds_residents() {
+        let mut w = WordUse::new(32);
+        w.fill(1);
+        w.fill(2);
+        w.touch(2, 1);
+        w.finish();
+        assert_eq!(w.lines(), 2);
+        assert_eq!(w.counts()[0], 1, "line 1 fetched for nothing");
+        assert_eq!(w.counts()[1], 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Probe-based simulation telemetry.
+//!
+//! This crate defines the observation layer of the simulator: a
+//! [`Probe`] trait the cache engines are generic over, the typed
+//! [`Event`]s they emit at exactly their `Metrics`-bump sites, and the
+//! aggregating [`TracingProbe`] that turns the event stream into
+//! *explanations* — 3C miss-cause splits ([`ShadowClassifier`]),
+//! per-set conflict heatmaps ([`SetHeatmap`]), virtual-line
+//! word-utilization ([`WordUse`]), bounce-back residency and reuse- and
+//! miss-interval histograms ([`Log2Histogram`]), plus a bounded
+//! sampling ring of raw events ([`EventRing`]) exported as JSONL.
+//!
+//! The default probe is [`NoopProbe`]: its hooks are empty
+//! `#[inline(always)]` bodies guarded by a `const ENABLED = false`
+//! flag, so an unprobed engine monomorphizes to exactly its pre-probe
+//! code — zero cost on the simulation fast path, byte-identical figure
+//! output.
+//!
+//! The crate deliberately depends only on `sac-trace` (for the word
+//! size): engines pass plain line/set/address numbers, so `sac-obs`
+//! sits below both engine crates without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod event;
+mod hist;
+mod probe;
+mod ring;
+mod tracing;
+
+pub use classify::{ShadowClassifier, ShadowOutcome};
+pub use event::{Event, MissCause, Victim};
+pub use hist::{Log2Histogram, SetHeatmap, WordUse};
+pub use probe::{CountingProbe, NoopProbe, Probe};
+pub use ring::{EventRing, TimedEvent};
+pub use tracing::{ObsConfig, ObsCounts, TracingProbe};

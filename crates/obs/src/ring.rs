@@ -1,0 +1,127 @@
+//! A bounded, sampling ring buffer of timestamped events.
+
+use crate::{Event, MissCause};
+use std::collections::VecDeque;
+
+/// One event as retained by the ring: the reference index it occurred
+/// at, the event itself, and — for misses — the 3C cause the shadow
+/// classifier assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// 1-based index of the reference being processed when the event
+    /// fired.
+    pub at_ref: u64,
+    /// The classified cause, for `Miss` events observed by a classifying
+    /// probe.
+    pub cause: Option<MissCause>,
+    /// The event.
+    pub event: Event,
+}
+
+/// A fixed-capacity ring of [`TimedEvent`]s with 1-in-`sample_every`
+/// systematic sampling: the ring keeps the *last* `capacity` sampled
+/// events, so a post-mortem export shows the run's tail at a bounded
+/// memory cost regardless of trace length.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    capacity: usize,
+    sample_every: u64,
+    seen: u64,
+    dropped: u64,
+    buf: VecDeque<TimedEvent>,
+}
+
+impl EventRing {
+    /// A ring holding `capacity` events, keeping every
+    /// `sample_every`-th one (`sample_every` is clamped to ≥ 1).
+    pub fn new(capacity: usize, sample_every: u64) -> Self {
+        EventRing {
+            capacity: capacity.max(1),
+            sample_every: sample_every.max(1),
+            seen: 0,
+            dropped: 0,
+            buf: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+        }
+    }
+
+    /// Offers an event; it is retained if it falls on the sampling
+    /// lattice, displacing the oldest retained event when full.
+    pub fn push(&mut self, e: TimedEvent) {
+        self.seen += 1;
+        if !self.seen.is_multiple_of(self.sample_every) {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(e);
+    }
+
+    /// Events offered (sampled or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Sampled events displaced by newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The sampling period.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> TimedEvent {
+        TimedEvent {
+            at_ref: at,
+            cause: None,
+            event: Event::Swap { line: at },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let mut r = EventRing::new(3, 1);
+        for i in 1..=5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.seen(), 5);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u64> = r.iter().map(|e| e.at_ref).collect();
+        assert_eq!(kept, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn sampling_keeps_every_kth() {
+        let mut r = EventRing::new(100, 3);
+        for i in 1..=9 {
+            r.push(ev(i));
+        }
+        let kept: Vec<u64> = r.iter().map(|e| e.at_ref).collect();
+        assert_eq!(kept, vec![3, 6, 9]);
+        assert!(!r.is_empty());
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -239,6 +239,50 @@ impl Metrics {
         self.stall_cycles += d.stall_cycles;
     }
 
+    /// Checks the counter conservation laws every engine must maintain
+    /// at reference boundaries: every reference is a read or a write
+    /// (`refs == reads + writes`), and every reference is serviced
+    /// exactly once (`main_hits + aux_hits + misses + bypasses ==
+    /// refs`).
+    ///
+    /// Engines call [`Metrics::debug_check_invariants`] (a
+    /// `debug_assert` wrapper) after every access and at every chunk
+    /// boundary; mid-reference and mid-chunk states legitimately
+    /// violate the laws (a [`ChunkDelta`] holds unfolded hits), so the
+    /// check only makes sense at those boundaries.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.refs != self.reads + self.writes {
+            return Err(format!(
+                "refs ({}) != reads ({}) + writes ({})",
+                self.refs, self.reads, self.writes
+            ));
+        }
+        let serviced = self.main_hits + self.aux_hits + self.misses + self.bypasses;
+        if serviced != self.refs {
+            return Err(format!(
+                "main_hits ({}) + aux_hits ({}) + misses ({}) + bypasses ({}) = {} != refs ({})",
+                self.main_hits, self.aux_hits, self.misses, self.bypasses, serviced, self.refs
+            ));
+        }
+        Ok(())
+    }
+
+    /// Debug-build assertion of [`Metrics::check_invariants`]; free in
+    /// release builds, so engines can call it on their per-access path.
+    #[inline]
+    pub fn debug_check_invariants(&self) {
+        debug_assert!(
+            {
+                let r = self.check_invariants();
+                if let Err(ref e) = r {
+                    eprintln!("metrics invariant violated: {e}");
+                }
+                r.is_ok()
+            },
+            "metrics invariant violated"
+        );
+    }
+
     /// Percentage of this configuration's misses removed relative to a
     /// baseline (Figure 9a), e.g.
     /// `soft.metrics().misses_removed_vs(&standard.metrics())`.
@@ -381,6 +425,37 @@ mod tests {
         assert!(!d.is_empty());
         folded.apply_chunk(&d);
         assert_eq!(folded, direct);
+    }
+
+    #[test]
+    fn invariants_accept_conserved_counters() {
+        let m = Metrics {
+            refs: 10,
+            reads: 6,
+            writes: 4,
+            main_hits: 5,
+            aux_hits: 2,
+            misses: 2,
+            bypasses: 1,
+            ..Metrics::default()
+        };
+        assert!(m.check_invariants().is_ok());
+        m.debug_check_invariants();
+    }
+
+    #[test]
+    fn invariants_reject_leaked_references() {
+        let mut m = Metrics {
+            refs: 10,
+            reads: 10,
+            main_hits: 9,
+            ..Metrics::default()
+        };
+        let err = m.check_invariants().unwrap_err();
+        assert!(err.contains("!= refs"), "{err}");
+        m.reads = 9; // refs != reads + writes now
+        let err = m.check_invariants().unwrap_err();
+        assert!(err.contains("reads"), "{err}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::{
     CacheGeometry, CacheSim, ChunkDelta, MemoryModel, Metrics, TagArray, WriteBuffer,
     MAIN_HIT_CYCLES,
 };
+use sac_obs::{Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 
 /// The paper's *Standard* cache (and, with other geometries, every plain
@@ -12,6 +13,10 @@ use sac_trace::Access;
 ///
 /// Write-back, write-allocate, LRU replacement, a write buffer for dirty
 /// victims. Ignores the software tags entirely.
+///
+/// The engine is generic over an observer probe (defaulting to the
+/// disabled [`NoopProbe`], which monomorphizes to the unprobed code —
+/// see [`Probe`]); attach one with [`StandardCache::with_probe`].
 ///
 /// ```
 /// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel, StandardCache};
@@ -23,18 +28,26 @@ use sac_trace::Access;
 /// assert_eq!(c.metrics().mem_cycles, 23);
 /// ```
 #[derive(Debug, Clone)]
-pub struct StandardCache {
+pub struct StandardCache<P: Probe = NoopProbe> {
     geom: CacheGeometry,
     mem: MemoryModel,
     tags: TagArray,
     wb: WriteBuffer,
     clock: Clock,
     metrics: Metrics,
+    probe: P,
 }
 
 impl StandardCache {
     /// Creates the cache with the standard 8-entry write buffer.
     pub fn new(geom: CacheGeometry, mem: MemoryModel) -> Self {
+        StandardCache::with_probe(geom, mem, NoopProbe)
+    }
+}
+
+impl<P: Probe> StandardCache<P> {
+    /// Creates the cache with an attached observer probe.
+    pub fn with_probe(geom: CacheGeometry, mem: MemoryModel, probe: P) -> Self {
         let wb = WriteBuffer::new(8, mem.transfer_cycles(geom.line_bytes()));
         StandardCache {
             geom,
@@ -43,6 +56,7 @@ impl StandardCache {
             wb,
             clock: Clock::new(),
             metrics: Metrics::new(),
+            probe,
         }
     }
 
@@ -56,6 +70,21 @@ impl StandardCache {
         self.mem
     }
 
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The attached probe, mutably.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the engine and returns the probe (for post-run export).
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
     /// Miss machinery shared by [`CacheSim::access`] and the chunked fast
     /// path: fetch, fill, write back a dirty victim. Returns the access
     /// cost beyond the arrival stall.
@@ -65,8 +94,24 @@ impl StandardCache {
         self.metrics.record_fetch(1, self.geom.line_bytes());
         let way = self.tags.victim_way(line);
         let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
+        if P::ENABLED {
+            let victim = old.valid.then_some(Victim {
+                line: old.line,
+                dirty: old.dirty,
+            });
+            self.probe.on_event(&Event::Miss {
+                line,
+                set: self.geom.set_of_line(line),
+                is_write: a.kind().is_write(),
+                victim,
+            });
+            self.probe.on_event(&Event::LineFill { line, demand: true });
+        }
         if old.valid && old.dirty {
             self.metrics.writebacks += 1;
+            if P::ENABLED {
+                self.probe.on_event(&Event::Writeback { line: old.line });
+            }
             // The 2-cycle transfer hides under the miss penalty; only
             // write-buffer pressure shows up as stall.
             let stall = self.wb.push(self.clock.now());
@@ -77,13 +122,16 @@ impl StandardCache {
     }
 }
 
-impl CacheSim for StandardCache {
+impl<P: Probe> CacheSim for StandardCache<P> {
     fn access(&mut self, a: &Access) {
         self.metrics.record_ref(a.kind().is_write());
         let stall = self.clock.arrive(a.gap());
         self.metrics.stall_cycles += stall;
 
         let line = self.geom.line_of(a.addr());
+        if P::ENABLED {
+            self.probe.on_ref(a.addr(), line, a.kind().is_write());
+        }
         let cost = if let Some(idx) = self.tags.probe(line) {
             if a.kind().is_write() {
                 self.tags.entry_at_mut(idx).dirty = true;
@@ -95,6 +143,7 @@ impl CacheSim for StandardCache {
         };
         self.metrics.mem_cycles += cost;
         self.clock.complete(cost);
+        self.metrics.debug_check_invariants();
     }
 
     fn run_chunk(&mut self, chunk: &[Access]) {
@@ -107,6 +156,9 @@ impl CacheSim for StandardCache {
         for a in chunk {
             let stall = self.clock.arrive(a.gap());
             let line = self.geom.line_of(a.addr());
+            if P::ENABLED {
+                self.probe.on_ref(a.addr(), line, a.kind().is_write());
+            }
             if let Some(idx) = self.tags.probe(line) {
                 let is_write = a.kind().is_write();
                 if is_write {
@@ -124,10 +176,15 @@ impl CacheSim for StandardCache {
             }
         }
         self.metrics.apply_chunk(&delta);
+        self.metrics.debug_check_invariants();
     }
 
     fn invalidate_all(&mut self) {
-        self.metrics.writebacks += self.tags.invalidate_all();
+        let wbs = self.tags.invalidate_all();
+        self.metrics.writebacks += wbs;
+        if P::ENABLED {
+            self.probe.on_event(&Event::Flush { writebacks: wbs });
+        }
     }
 
     fn metrics(&self) -> &Metrics {
@@ -247,6 +304,75 @@ mod tests {
         let mut c = small();
         c.access(&Access::read(0));
         assert_eq!(c.metrics().words_fetched, 4);
+    }
+
+    #[test]
+    fn metrics_invariants_hold_throughout_a_run() {
+        let mut c = small();
+        let trace: Trace = (0..500u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Access::write(i * 48)
+                } else {
+                    Access::read((i % 17) * 32)
+                }
+            })
+            .collect();
+        for chunk in trace.as_slice().chunks(64) {
+            c.run_chunk(chunk);
+            c.metrics().check_invariants().unwrap();
+        }
+        let m = c.metrics();
+        assert_eq!(m.refs, 500);
+        assert_eq!(m.refs, m.reads + m.writes);
+        assert_eq!(m.main_hits + m.aux_hits + m.misses + m.bypasses, m.refs);
+    }
+
+    #[test]
+    fn counting_probe_reconciles_with_metrics() {
+        use sac_obs::CountingProbe;
+        let geom = CacheGeometry::new(128, 32, 1);
+        let mut c =
+            StandardCache::with_probe(geom, MemoryModel::default(), CountingProbe::default());
+        let trace: Trace = (0..300u64).map(|i| Access::read((i % 29) * 24)).collect();
+        for chunk in trace.as_slice().chunks(64) {
+            c.run_chunk(chunk);
+        }
+        assert_eq!(c.probe().refs, c.metrics().refs);
+        // Every miss produces at least Miss + LineFill.
+        assert!(c.probe().events >= 2 * c.metrics().misses);
+    }
+
+    #[test]
+    fn tracing_probe_counts_match_metrics_exactly() {
+        use sac_obs::{ObsConfig, TracingProbe};
+        let geom = CacheGeometry::new(128, 32, 1);
+        let probe = TracingProbe::new(ObsConfig::for_cache(
+            geom.lines(),
+            geom.sets(),
+            geom.line_bytes(),
+        ));
+        let mut c = StandardCache::with_probe(geom, MemoryModel::default(), probe);
+        let trace: Trace = (0..400u64)
+            .map(|i| {
+                if i % 5 == 0 {
+                    Access::write(i * 64)
+                } else {
+                    Access::read((i % 23) * 32)
+                }
+            })
+            .collect();
+        c.run(&trace);
+        c.invalidate_all();
+        c.probe_mut().finish();
+        let m = *c.metrics();
+        let o = *c.into_probe().counts();
+        assert_eq!(o.refs, m.refs);
+        assert_eq!(o.reads, m.reads);
+        assert_eq!(o.writes, m.writes);
+        assert_eq!(o.misses, m.misses);
+        assert_eq!(o.line_fills, m.lines_fetched);
+        assert_eq!(o.writebacks, m.writebacks);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! subsystem crates so applications can depend on a single package.
 //!
 //! * [`trace`] — tagged reference traces and trace statistics,
+//! * [`obs`] — probe-based telemetry: typed engine events, behavior
+//!   histograms, 3C classification and JSONL export,
 //! * [`loopir`] — the loop-nest IR, the paper's locality analysis, and
 //!   the trace-emitting interpreter,
 //! * [`simcache`] — the cache-simulation substrate and the baseline
@@ -41,6 +43,7 @@
 pub use sac_core as core;
 pub use sac_experiments as experiments;
 pub use sac_loopir as loopir;
+pub use sac_obs as obs;
 pub use sac_simcache as simcache;
 pub use sac_trace as trace;
 pub use sac_workloads as workloads;

@@ -338,3 +338,90 @@ fn empty_trace_is_fine_everywhere() {
     assert_eq!(soft.metrics().refs, 0);
     assert_eq!(soft.metrics().amat(), 0.0);
 }
+
+/// Reconciliation contract between the telemetry probe and the engine
+/// counters, asserted per case: every event total must account for
+/// exactly one `Metrics` bump, the 3C causes must partition the misses,
+/// and the reuse / miss-interval sketches must cover every reference.
+fn check_probe_reconciles(
+    case: u64,
+    engine: &str,
+    m: &Metrics,
+    p: &software_assisted_caches::obs::TracingProbe,
+) {
+    let o = p.counts();
+    let pairs = [
+        ("refs", o.refs, m.refs),
+        ("reads", o.reads, m.reads),
+        ("writes", o.writes, m.writes),
+        ("misses", o.misses, m.misses),
+        ("bounces", o.bounces, m.bounces),
+        ("swaps", o.swaps, m.swaps),
+        ("prefetches", o.prefetch_issues, m.prefetches),
+        ("useful_prefetches", o.prefetch_uses, m.useful_prefetches),
+        ("writebacks", o.writebacks, m.writebacks),
+        (
+            "lines_fetched",
+            o.line_fills + o.prefetch_issues,
+            m.lines_fetched,
+        ),
+    ];
+    for (name, events, counter) in pairs {
+        assert_eq!(events, counter, "case {case} {engine}: {name}");
+    }
+    let (comp, cap, conf) = p.causes();
+    assert_eq!(comp + cap + conf, m.misses, "case {case} {engine}: causes");
+    assert_eq!(
+        p.reuse_cold() + p.reuse().total(),
+        m.refs,
+        "case {case} {engine}: reuse sketch coverage"
+    );
+    assert_eq!(
+        p.miss_intervals().total(),
+        m.misses,
+        "case {case} {engine}: miss intervals"
+    );
+}
+
+/// Property: the tracing probe reconciles exactly with the metrics of
+/// both probed engines on arbitrary tagged traces, random geometries and
+/// random soft-cache features, across chunk boundaries and a final flush.
+#[test]
+fn tracing_probe_reconciles_with_metrics_on_random_traces() {
+    use software_assisted_caches::obs::{ObsConfig, TracingProbe};
+    for_each_case(|case, rng| {
+        let trace = gen_trace(rng);
+        let geom = CacheGeometry::new(
+            [4096u64, 8192][rng.index(2)],
+            [32u64, 64][rng.index(2)],
+            [1u32, 2][rng.index(2)],
+        );
+        let mem = MemoryModel::new(5 + rng.below(30), [8u64, 16][rng.index(2)]);
+        let obs = ObsConfig::for_cache(geom.lines(), geom.sets(), geom.line_bytes())
+            .with_ring(64, 1 + rng.below(7));
+        let chunk = 13 + rng.below(80) as usize;
+
+        let mut std = StandardCache::with_probe(geom, mem, TracingProbe::new(obs));
+        for c in trace.as_slice().chunks(chunk) {
+            std.run_chunk(c);
+        }
+        std.invalidate_all(); // exercises the Flush event path
+        std.probe_mut().finish();
+        let m = *std.metrics();
+        check_probe_reconciles(case, "standard", &m, std.probe());
+
+        let cfg = SoftCacheConfig::soft()
+            .with_geometry(geom)
+            .with_memory(mem)
+            .with_virtual_line(geom.line_bytes() * (1 << rng.below(3)))
+            .with_prefetch(rng.chance(0.5));
+        let mut soft = SoftCache::with_probe(cfg, TracingProbe::new(obs));
+        for c in trace.as_slice().chunks(chunk) {
+            soft.run_chunk(c);
+        }
+        soft.invalidate_all();
+        soft.probe_mut().finish();
+        let m = *soft.metrics();
+        check_probe_reconciles(case, "soft", &m, soft.probe());
+    });
+}
