@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use sac_core::{SoftCache, SoftCacheConfig};
 use sac_experiments::explain::{hit_heavy_trace, miss_heavy_trace};
 use sac_obs::{CountingProbe, ObsConfig, Probe, TracingProbe};
-use sac_simcache::{CacheGeometry, CacheSim, MemoryModel, Metrics, StandardCache};
+use sac_simcache::{CacheGeometry, CacheSim, MemoryModel, Metrics, StandardCache, VictimCache};
 use sac_trace::Trace;
 use std::hint::black_box;
 
@@ -21,6 +21,12 @@ fn geom() -> CacheGeometry {
 
 fn run_standard<P: Probe>(probe: P, trace: &Trace) -> Metrics {
     let mut c = StandardCache::with_probe(geom(), MemoryModel::default(), probe);
+    c.run_chunk(trace.as_slice());
+    *c.metrics()
+}
+
+fn run_victim<P: Probe>(probe: P, trace: &Trace) -> Metrics {
+    let mut c = VictimCache::with_probe(geom(), MemoryModel::default(), 8, probe);
     c.run_chunk(trace.as_slice());
     *c.metrics()
 }
@@ -62,6 +68,22 @@ fn probe_overhead(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("standard/tracing", name), trace, |b, t| {
             b.iter(|| run_standard(tracing(), black_box(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("victim/plain", name), trace, |b, t| {
+            b.iter(|| {
+                let mut c = VictimCache::new(geom(), MemoryModel::default(), 8);
+                c.run_chunk(black_box(t.as_slice()));
+                *c.metrics()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("victim/noop", name), trace, |b, t| {
+            b.iter(|| run_victim(sac_obs::NoopProbe, black_box(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("victim/counting", name), trace, |b, t| {
+            b.iter(|| run_victim(CountingProbe::default(), black_box(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("victim/tracing", name), trace, |b, t| {
+            b.iter(|| run_victim(tracing(), black_box(t)))
         });
         group.bench_with_input(BenchmarkId::new("soft/noop", name), trace, |b, t| {
             b.iter(|| run_soft(sac_obs::NoopProbe, black_box(t)))

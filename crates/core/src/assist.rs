@@ -20,45 +20,34 @@
 //! per residency (no bouncing), and there is no virtual-line mechanism.
 
 use crate::config::SoftCacheConfig;
+use sac_obs::{Event, NoopProbe, Probe};
 use sac_simcache::{
-    CacheGeometry, CacheSim, Clock, Entry, Metrics, TagArray, WriteBuffer, MAIN_HIT_CYCLES,
+    CacheEngine, CacheGeometry, CachePolicy, CacheSim, Entry, MemorySystem, Metrics, TagArray,
+    MAIN_HIT_CYCLES,
 };
 use sac_trace::Access;
 
-/// The assist-cache organization.
-///
-/// ```
-/// use sac_core::AssistCache;
-/// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel};
-/// use sac_trace::Access;
-///
-/// let mut c = AssistCache::new(CacheGeometry::standard(), MemoryModel::default(), 16);
-/// c.access(&Access::read(0).with_temporal(true)); // fills the assist cache
-/// c.access(&Access::read(0));                     // assist hit: 1 cycle
-/// assert_eq!(c.metrics().aux_hits, 1);
-/// ```
+/// The assist-cache policy: a fully-associative FIFO filter probed in
+/// parallel with the main array, run by the shared [`CacheEngine`] via
+/// the [`AssistCache`] wrapper.
 #[derive(Debug, Clone)]
-pub struct AssistCache {
+pub struct AssistPolicy {
     geom: CacheGeometry,
-    mem: sac_simcache::MemoryModel,
     main: TagArray,
     assist: TagArray,
     /// FIFO order: insertion stamps (the LRU field is not touched on
     /// hits, making the replacement FIFO as in the HP design).
     fifo_clock: u64,
-    wb: WriteBuffer,
-    clock: Clock,
-    metrics: Metrics,
 }
 
-impl AssistCache {
-    /// Creates an assist cache of `assist_lines` fully-associative lines
-    /// in front of the main cache (the HP-7200 used 64).
+impl AssistPolicy {
+    /// Creates the policy state: `geom` main array plus `assist_lines`
+    /// fully-associative assist lines.
     ///
     /// # Panics
     ///
     /// Panics if `assist_lines` is zero.
-    pub fn new(geom: CacheGeometry, mem: sac_simcache::MemoryModel, assist_lines: u32) -> Self {
+    pub fn new(geom: CacheGeometry, assist_lines: u32) -> Self {
         assert!(assist_lines > 0, "assist cache needs at least one line");
         let ls = geom.line_bytes();
         let assist = TagArray::new(CacheGeometry::new(
@@ -66,30 +55,20 @@ impl AssistCache {
             ls,
             assist_lines,
         ));
-        let wb = WriteBuffer::new(8, mem.transfer_cycles(ls));
-        AssistCache {
+        AssistPolicy {
             geom,
-            mem,
             main: TagArray::new(geom),
             assist,
             fifo_clock: 0,
-            wb,
-            clock: Clock::new(),
-            metrics: Metrics::new(),
         }
     }
 
-    /// The paper-comparable configuration: standard geometry, 16 assist
-    /// lines (scaled to our 8 KB cache from the HP's 64 × 32 B).
-    pub fn comparable() -> Self {
-        let cfg = SoftCacheConfig::soft();
-        AssistCache::new(cfg.geometry, cfg.memory, 16)
-    }
-
-    fn discard(&mut self, entry: Entry) -> u64 {
+    fn discard<P: Probe>(&mut self, sys: &mut MemorySystem, probe: &mut P, entry: Entry) -> u64 {
         if entry.valid && entry.dirty {
-            self.metrics.writebacks += 1;
-            self.wb.push(self.clock.now())
+            if P::ENABLED {
+                probe.on_event(&Event::Writeback { line: entry.line });
+            }
+            sys.writeback()
         } else {
             0
         }
@@ -115,7 +94,12 @@ impl AssistCache {
     /// promoted to the main cache unless it is marked spatial-only (the
     /// `prefetched` field doubles as the HP spatial-only bit here).
     /// Returns any write-buffer stall.
-    fn assist_insert(&mut self, entry: Entry) -> u64 {
+    fn assist_insert<P: Probe>(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        entry: Entry,
+    ) -> u64 {
         let way = self.assist_victim_way();
         let line = entry.line;
         let evicted = self.assist.install(line, way, entry);
@@ -126,31 +110,45 @@ impl AssistCache {
             // Promote into the main cache (hidden under the miss).
             let way = self.main.victim_way(evicted.line);
             let displaced = self.main.install(evicted.line, way, evicted);
-            self.discard(displaced)
+            self.discard(sys, probe, displaced)
         } else {
-            self.discard(evicted)
+            self.discard(sys, probe, evicted)
         }
     }
 }
 
-impl CacheSim for AssistCache {
-    fn access(&mut self, a: &Access) {
-        self.metrics.record_ref(a.kind().is_write());
-        let mut cost = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += cost;
+impl<P: Probe> CachePolicy<P> for AssistPolicy {
+    #[inline]
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
 
-        let line = self.geom.line_of(a.addr());
-        if let Some(idx) = self.main.probe(line) {
-            let e = self.main.entry_at_mut(idx);
-            if a.kind().is_write() {
-                e.dirty = true;
-            }
-            if a.temporal() {
-                e.temporal = true;
-            }
-            self.metrics.main_hits += 1;
-            cost += MAIN_HIT_CYCLES;
-        } else if let Some(idx) = self.assist.peek(line) {
+    #[inline]
+    fn probe_main(&mut self, line: u64) -> Option<usize> {
+        self.main.probe(line)
+    }
+
+    #[inline]
+    fn touch_hit(&mut self, idx: usize, a: &Access) {
+        let e = self.main.entry_at_mut(idx);
+        if a.kind().is_write() {
+            e.dirty = true;
+        }
+        if a.temporal() {
+            e.temporal = true;
+        }
+    }
+
+    fn miss(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        stall: u64,
+        a: &Access,
+    ) -> (u64, u64) {
+        let mut cost = stall;
+        if let Some(idx) = self.assist.peek(line) {
             // Both arrays are probed in parallel: 1 cycle. FIFO
             // replacement: the hit does not refresh the stamp.
             let e = self.assist.entry_at_mut(idx);
@@ -161,42 +159,133 @@ impl CacheSim for AssistCache {
                 e.temporal = true;
                 e.prefetched = false; // temporal evidence clears the marker
             }
-            self.metrics.aux_hits += 1;
+            sys.metrics_mut().aux_hits += 1;
             cost += MAIN_HIT_CYCLES;
-        } else {
-            self.metrics.misses += 1;
-            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
-            self.metrics.record_fetch(1, self.geom.line_bytes());
-            self.fifo_clock += 1;
-            let entry = Entry {
-                line,
-                valid: true,
-                dirty: a.kind().is_write(),
-                temporal: a.temporal(),
-                // The HP spatial-only marker: tagged streaming data.
-                prefetched: a.spatial() && !a.temporal(),
-                lru: self.fifo_clock,
-            };
-            // install() refreshes lru; restore FIFO stamping by using the
-            // insertion order we just assigned.
-            let stall = self.assist_insert(entry);
-            if let Some(idx) = self.assist.peek(line) {
-                self.assist.entry_at_mut(idx).lru = self.fifo_clock;
-            }
-            self.metrics.stall_cycles += stall;
-            cost += stall;
+            return (cost, 0);
         }
-        self.metrics.mem_cycles += cost;
-        self.clock.complete(cost);
+        sys.metrics_mut().misses += 1;
+        cost += sys.fetch_lines(1);
+        if P::ENABLED {
+            probe.on_event(&Event::Miss {
+                line,
+                set: self.geom.set_of_line(line),
+                is_write: a.kind().is_write(),
+                victim: None,
+            });
+            probe.on_event(&Event::LineFill { line, demand: true });
+        }
+        self.fifo_clock += 1;
+        let entry = Entry {
+            line,
+            valid: true,
+            dirty: a.kind().is_write(),
+            temporal: a.temporal(),
+            // The HP spatial-only marker: tagged streaming data.
+            prefetched: a.spatial() && !a.temporal(),
+            lru: self.fifo_clock,
+        };
+        // install() refreshes lru; restore FIFO stamping by using the
+        // insertion order we just assigned.
+        let wb_stall = self.assist_insert(sys, probe, entry);
+        if let Some(idx) = self.assist.peek(line) {
+            self.assist.entry_at_mut(idx).lru = self.fifo_clock;
+        }
+        sys.metrics_mut().stall_cycles += wb_stall;
+        cost += wb_stall;
+        (cost, 0)
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.main.invalidate_all() + self.assist.invalidate_all()
+    }
+}
+
+/// The assist-cache organization: [`AssistPolicy`] run by the shared
+/// [`CacheEngine`] (wrapped because inherent constructors cannot be added
+/// to the engine type from outside `sac-simcache`).
+///
+/// ```
+/// use sac_core::AssistCache;
+/// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel};
+/// use sac_trace::Access;
+///
+/// let mut c = AssistCache::new(CacheGeometry::standard(), MemoryModel::default(), 16);
+/// c.access(&Access::read(0).with_temporal(true)); // fills the assist cache
+/// c.access(&Access::read(0));                     // assist hit: 1 cycle
+/// assert_eq!(c.metrics().aux_hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssistCache<P: Probe = NoopProbe> {
+    engine: CacheEngine<AssistPolicy, P>,
+}
+
+impl AssistCache {
+    /// Creates an assist cache of `assist_lines` fully-associative lines
+    /// in front of the main cache (the HP-7200 used 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assist_lines` is zero.
+    pub fn new(geom: CacheGeometry, mem: sac_simcache::MemoryModel, assist_lines: u32) -> Self {
+        AssistCache::with_probe(geom, mem, assist_lines, NoopProbe)
+    }
+
+    /// The paper-comparable configuration: standard geometry, 16 assist
+    /// lines (scaled to our 8 KB cache from the HP's 64 × 32 B).
+    pub fn comparable() -> Self {
+        let cfg = SoftCacheConfig::soft();
+        AssistCache::new(cfg.geometry, cfg.memory, 16)
+    }
+}
+
+impl<P: Probe> AssistCache<P> {
+    /// Creates the cache with an attached observer probe.
+    pub fn with_probe(
+        geom: CacheGeometry,
+        mem: sac_simcache::MemoryModel,
+        assist_lines: u32,
+        probe: P,
+    ) -> Self {
+        AssistCache {
+            engine: CacheEngine::from_parts(
+                AssistPolicy::new(geom, assist_lines),
+                MemorySystem::new(mem, geom.line_bytes()),
+                probe,
+            ),
+        }
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        self.engine.probe()
+    }
+
+    /// The attached probe, mutably.
+    pub fn probe_mut(&mut self) -> &mut P {
+        self.engine.probe_mut()
+    }
+
+    /// Consumes the engine and returns the probe (for post-run export).
+    pub fn into_probe(self) -> P {
+        self.engine.into_probe()
+    }
+}
+
+impl<P: Probe> CacheSim for AssistCache<P> {
+    fn access(&mut self, a: &Access) {
+        self.engine.access(a);
+    }
+
+    fn run_chunk(&mut self, chunk: &[Access]) {
+        self.engine.run_chunk(chunk);
     }
 
     fn invalidate_all(&mut self) {
-        self.metrics.writebacks += self.main.invalidate_all();
-        self.metrics.writebacks += self.assist.invalidate_all();
+        self.engine.invalidate_all();
     }
 
     fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.engine.metrics()
     }
 }
 

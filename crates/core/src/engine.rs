@@ -5,8 +5,8 @@ use crate::fillbuf::{FillBuffer, FillSlot};
 use crate::vline::virtual_block;
 use sac_obs::{Event, NoopProbe, Probe, Victim};
 use sac_simcache::{
-    CacheGeometry, CacheSim, ChunkDelta, Clock, Entry, Metrics, TagArray, WriteBuffer,
-    DIRTY_TRANSFER_CYCLES, MAIN_HIT_CYCLES, SWAP_LOCK_CYCLES,
+    CacheEngine, CacheGeometry, CachePolicy, CacheSim, Entry, MemorySystem, Metrics, TagArray,
+    DIRTY_TRANSFER_CYCLES, SWAP_LOCK_CYCLES,
 };
 use sac_trace::Access;
 
@@ -20,23 +20,15 @@ struct InflightPrefetch {
 /// At most this many prefetched lines can be in flight (degree ≤ 4).
 const MAX_INFLIGHT: usize = 4;
 
-/// The paper's software-assisted cache: a main cache with virtual-line
-/// fills, backed by a bounce-back cache, optionally with software-biased
-/// replacement and progressive prefetching. See the crate docs for the
-/// mechanism summary and [`SoftCacheConfig`] for the presets.
-///
-/// The engine is generic over an observer probe (defaulting to the
-/// disabled [`NoopProbe`], which monomorphizes to the unprobed code —
-/// see [`Probe`]); attach one with [`SoftCache::with_probe`] to get
-/// typed miss/bounce/swap/prefetch/fill events.
+/// The software-assisted policy: a main array with virtual-line fills,
+/// backed by a bounce-back cache, optionally with software-biased
+/// replacement and progressive prefetching. Run by the shared
+/// [`CacheEngine`] via the [`SoftCache`] wrapper.
 #[derive(Debug, Clone)]
-pub struct SoftCache<P: Probe = NoopProbe> {
+pub struct SoftPolicy {
     cfg: SoftCacheConfig,
     main: TagArray,
     bounce: Option<TagArray>,
-    wb: WriteBuffer,
-    clock: Clock,
-    metrics: Metrics,
     inflight: Vec<InflightPrefetch>,
     prefetched_resident: u32,
     fillbuf: FillBuffer,
@@ -46,36 +38,16 @@ pub struct SoftCache<P: Probe = NoopProbe> {
     // restored afterwards, keeping their capacity.
     needed_buf: Vec<u64>,
     fill_sets_buf: Vec<u64>,
-    probe: P,
 }
 
-impl SoftCache {
-    /// Builds the engine from a configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is inconsistent (see
-    /// [`SoftCacheConfig::validate`]).
-    pub fn new(cfg: SoftCacheConfig) -> Self {
-        SoftCache::with_probe(cfg, NoopProbe)
-    }
-}
-
-impl<P: Probe> SoftCache<P> {
-    /// Builds the engine with an attached observer probe.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is inconsistent (see
-    /// [`SoftCacheConfig::validate`]).
-    pub fn with_probe(cfg: SoftCacheConfig, probe: P) -> Self {
-        cfg.validate();
+impl SoftPolicy {
+    /// Builds the policy state from a validated configuration.
+    fn new(cfg: SoftCacheConfig) -> Self {
         let ls = cfg.geometry.line_bytes();
         let bounce = (cfg.bounce_lines > 0).then(|| {
             let ways = cfg.bounce_ways.unwrap_or(cfg.bounce_lines);
             TagArray::new(CacheGeometry::new(cfg.bounce_lines as u64 * ls, ls, ways))
         });
-        let wb = WriteBuffer::new(8, cfg.memory.transfer_cycles(ls));
         // The fill FIFO holds one virtual line's worth of in-flight
         // physical lines (8 when variable-length virtual lines can ask
         // for the maximum span).
@@ -84,46 +56,16 @@ impl<P: Probe> SoftCache<P> {
         } else {
             cfg.virtual_line_bytes
         };
-        SoftCache {
+        SoftPolicy {
             cfg,
             main: TagArray::new(cfg.geometry),
             bounce,
-            wb,
-            clock: Clock::new(),
-            metrics: Metrics::new(),
             inflight: Vec::with_capacity(MAX_INFLIGHT),
             prefetched_resident: 0,
             fillbuf: FillBuffer::for_geometry(cfg.geometry, max_vline),
             needed_buf: Vec::new(),
             fill_sets_buf: Vec::new(),
-            probe,
         }
-    }
-
-    /// Deepest occupancy the §2.1 fill FIFO reached: how many in-flight
-    /// line slots the hardware actually needed.
-    pub fn fill_buffer_peak(&self) -> usize {
-        self.fillbuf.peak()
-    }
-
-    /// The configuration this engine runs.
-    pub fn config(&self) -> &SoftCacheConfig {
-        &self.cfg
-    }
-
-    /// The attached probe.
-    pub fn probe(&self) -> &P {
-        &self.probe
-    }
-
-    /// The attached probe, mutably.
-    pub fn probe_mut(&mut self) -> &mut P {
-        &mut self.probe
-    }
-
-    /// Consumes the engine and returns the probe (for post-run export).
-    pub fn into_probe(self) -> P {
-        self.probe
     }
 
     fn main_victim_way(&self, line: u64) -> usize {
@@ -133,17 +75,18 @@ impl<P: Probe> SoftCache<P> {
         }
     }
 
-    /// Sends an entry to the write buffer if dirty, else drops it.
-    fn discard(&mut self, entry: Entry) {
+    /// Sends an entry to the write buffer if dirty, else drops it. The
+    /// stall is charged immediately (§2.2: bounce maintenance runs in the
+    /// shadow of the access but a full write buffer stalls the processor
+    /// on the spot).
+    fn discard<P: Probe>(&mut self, sys: &mut MemorySystem, probe: &mut P, entry: Entry) {
         if entry.valid && entry.dirty {
-            self.metrics.writebacks += 1;
             if P::ENABLED {
-                self.probe.on_event(&Event::Writeback { line: entry.line });
+                probe.on_event(&Event::Writeback { line: entry.line });
             }
-            let stall = self.wb.push(self.clock.now());
-            self.metrics.stall_cycles += stall;
-            self.metrics.mem_cycles += stall;
-            self.clock.complete(stall);
+            let stall = sys.writeback();
+            sys.metrics_mut().stall_cycles += stall;
+            sys.charge(stall);
         }
     }
 
@@ -178,14 +121,20 @@ impl<P: Probe> SoftCache<P> {
     /// cache. `fill_sets` holds the main-cache sets being filled by the
     /// current miss: bouncing into one of them would ping-pong with the
     /// incoming data, so such lines are discarded instead (§2.2).
-    fn bounce_insert(&mut self, mut entry: Entry, fill_sets: &[u64]) {
+    fn bounce_insert<P: Probe>(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        mut entry: Entry,
+        fill_sets: &[u64],
+    ) {
         if !self.cfg.admit_nontemporal && !entry.temporal && !entry.prefetched {
             // Temporal-only admission (ablation of §2.2).
-            self.discard(entry);
+            self.discard(sys, probe, entry);
             return;
         }
         let Some(mut bb) = self.bounce.take() else {
-            self.discard(entry);
+            self.discard(sys, probe, entry);
             return;
         };
         let over_cap = entry.prefetched && self.prefetched_resident >= self.cfg.max_prefetched;
@@ -206,28 +155,34 @@ impl<P: Probe> SoftCache<P> {
             self.prefetched_resident = self.prefetched_resident.saturating_sub(1);
         }
         if self.cfg.use_temporal && evicted.temporal {
-            self.bounce_back(evicted, fill_sets);
+            self.bounce_back(sys, probe, evicted, fill_sets);
         } else {
-            self.discard(evicted);
+            self.discard(sys, probe, evicted);
         }
     }
 
     /// Bounces a temporal line from the bounce-back cache into its
     /// main-cache slot, honoring the paper's corner cases.
-    fn bounce_back(&mut self, mut evicted: Entry, fill_sets: &[u64]) {
+    fn bounce_back<P: Probe>(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        mut evicted: Entry,
+        fill_sets: &[u64],
+    ) {
         let dest_set = self.cfg.geometry.set_of_line(evicted.line);
         // No ping-pong with the pending miss: a bounce aimed at a slot the
         // miss is filling is discarded (write-buffered when dirty).
         if fill_sets.contains(&dest_set) {
-            self.discard(evicted);
+            self.discard(sys, probe, evicted);
             return;
         }
         let way = self.main_victim_way(evicted.line);
         let displaced = *self.main.entry(evicted.line, way);
         // A bounce over a dirty line needs a write-buffer slot; when the
         // buffer is full the transfer is aborted (§2.2).
-        if displaced.valid && displaced.dirty && self.wb.is_full(self.clock.now()) {
-            self.discard(evicted);
+        if displaced.valid && displaced.dirty && sys.write_buffer_full() {
+            self.discard(sys, probe, evicted);
             return;
         }
         // Dynamic adjustment: the temporal bit resets on bounce-back.
@@ -235,25 +190,25 @@ impl<P: Probe> SoftCache<P> {
         evicted.prefetched = false;
         let line = evicted.line;
         let displaced = self.main.install(line, way, evicted);
-        self.metrics.bounces += 1;
+        sys.metrics_mut().bounces += 1;
         if P::ENABLED {
-            self.probe.on_event(&Event::BounceBack {
+            probe.on_event(&Event::BounceBack {
                 line,
                 set: dest_set,
             });
             if displaced.valid {
-                self.probe.on_event(&Event::MainEvict {
+                probe.on_event(&Event::MainEvict {
                     line: displaced.line,
                     dirty: displaced.dirty,
                 });
             }
         }
-        self.discard(displaced);
+        self.discard(sys, probe, displaced);
     }
 
     /// Delivers every in-flight prefetch that has arrived.
-    fn settle_prefetch(&mut self) {
-        let now = self.clock.now();
+    fn settle_prefetch<P: Probe>(&mut self, sys: &mut MemorySystem, probe: &mut P) {
+        let now = sys.now();
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].ready_at > now {
@@ -277,14 +232,20 @@ impl<P: Probe> SoftCache<P> {
                 prefetched: true,
                 lru: 0,
             };
-            self.bounce_insert(entry, &[]);
+            self.bounce_insert(sys, probe, entry, &[]);
         }
     }
 
     /// Issues prefetches for `degree` consecutive lines starting at
     /// `line` (§4.4; degree > 1 is the long-latency extension). Older
     /// undelivered prefetches are displaced first.
-    fn issue_prefetch(&mut self, line: u64, ready_at: u64) {
+    fn issue_prefetch<P: Probe>(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        ready_at: u64,
+    ) {
         if !self.cfg.prefetch || self.bounce.is_none() {
             return;
         }
@@ -304,11 +265,11 @@ impl<P: Probe> SoftCache<P> {
             if self.inflight.len() == MAX_INFLIGHT {
                 self.inflight.remove(0);
             }
-            self.metrics.prefetches += 1;
+            sys.metrics_mut().prefetches += 1;
             if P::ENABLED {
-                self.probe.on_event(&Event::PrefetchIssue { line: l });
+                probe.on_event(&Event::PrefetchIssue { line: l });
             }
-            self.metrics.record_fetch(1, self.cfg.geometry.line_bytes());
+            sys.record_fetch_traffic(1);
             self.inflight.push(InflightPrefetch {
                 line: l,
                 ready_at: ready_at + k * transfer,
@@ -327,19 +288,25 @@ impl<P: Probe> SoftCache<P> {
     /// Handles a hit in the bounce-back cache (or on the in-flight
     /// prefetch): swap with the conflicting main line. Returns the access
     /// cost.
-    fn bounce_hit(&mut self, mut entry: Entry, bbway: Option<usize>, a: &Access) -> u64 {
+    fn bounce_hit<P: Probe>(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        mut entry: Entry,
+        bbway: Option<usize>,
+        a: &Access,
+    ) -> u64 {
         let mut cost = self.cfg.bounce_hit_cycles;
-        self.metrics.aux_hits += 1;
-        self.metrics.swaps += 1;
+        sys.metrics_mut().aux_hits += 1;
+        sys.metrics_mut().swaps += 1;
         if P::ENABLED {
-            self.probe.on_event(&Event::Swap { line: entry.line });
+            probe.on_event(&Event::Swap { line: entry.line });
         }
         let was_prefetched = entry.prefetched;
         if was_prefetched {
-            self.metrics.useful_prefetches += 1;
+            sys.metrics_mut().useful_prefetches += 1;
             if P::ENABLED {
-                self.probe
-                    .on_event(&Event::PrefetchUse { line: entry.line });
+                probe.on_event(&Event::PrefetchUse { line: entry.line });
             }
             self.prefetched_resident = self.prefetched_resident.saturating_sub(1);
             entry.prefetched = false;
@@ -356,7 +323,7 @@ impl<P: Probe> SoftCache<P> {
         let displaced = self.main.install(line, way, entry);
         if displaced.valid {
             if P::ENABLED {
-                self.probe.on_event(&Event::MainEvict {
+                probe.on_event(&Event::MainEvict {
                     line: displaced.line,
                     dirty: displaced.dirty,
                 });
@@ -368,27 +335,33 @@ impl<P: Probe> SoftCache<P> {
                     let evicted = bb.install(displaced.line, bway, displaced);
                     debug_assert!(!evicted.valid, "swap target way was vacated");
                 }
-                _ => self.discard(displaced),
+                _ => self.discard(sys, probe, displaced),
             }
         }
         if was_prefetched {
             // Progressive prefetch: fetch the consecutive physical line.
-            let ready = self.clock.now()
+            let ready = sys.now()
                 + cost
                 + self
                     .cfg
                     .memory
                     .fetch_cycles(1, self.cfg.geometry.line_bytes());
-            self.issue_prefetch(line + 1, ready);
+            self.issue_prefetch(sys, probe, line + 1, ready);
         }
         cost
     }
 
-    /// Handles a miss: virtual-line fill plus bounce-back maintenance.
-    /// Returns the access cost.
-    fn miss(&mut self, line: u64, a: &Access) -> u64 {
+    /// Handles a full miss: virtual-line fill plus bounce-back
+    /// maintenance. Returns the access cost.
+    fn full_miss<P: Probe>(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        a: &Access,
+    ) -> u64 {
         let geom = self.cfg.geometry;
-        self.metrics.misses += 1;
+        sys.metrics_mut().misses += 1;
         let block = if self.cfg.use_spatial && a.spatial() {
             let vbytes = if self.cfg.variable_vlines && a.spatial_level() > 0 {
                 // §3.2 extension: the reference's own level picks the
@@ -403,7 +376,7 @@ impl<P: Probe> SoftCache<P> {
         };
         // Presence checks for the additional lines are overlapped with the
         // first request (§2.1): only absent lines are fetched. The scratch
-        // vectors are owned by the engine and reused across misses.
+        // vectors are owned by the policy and reused across misses.
         let mut needed = std::mem::take(&mut self.needed_buf);
         needed.clear();
         needed.extend(
@@ -418,10 +391,9 @@ impl<P: Probe> SoftCache<P> {
             .cfg
             .memory
             .fetch_cycles(needed.len() as u64, geom.line_bytes());
-        self.metrics
-            .record_fetch(needed.len() as u64, geom.line_bytes());
+        sys.record_fetch_traffic(needed.len() as u64);
         if P::ENABLED && block.end - block.start > 1 {
-            self.probe.on_event(&Event::VlineFill {
+            probe.on_event(&Event::VlineFill {
                 line: block.start,
                 span_lines: (block.end - block.start) as u32,
                 fetched_lines: needed.len() as u32,
@@ -446,12 +418,12 @@ impl<P: Probe> SoftCache<P> {
             let dirty = l == line && a.kind().is_write();
             let displaced = self.main.fill(l, way, a.addr(), dirty);
             if P::ENABLED {
-                self.probe.on_event(&Event::LineFill {
+                probe.on_event(&Event::LineFill {
                     line: l,
                     demand: l == line,
                 });
                 if l == line {
-                    self.probe.on_event(&Event::Miss {
+                    probe.on_event(&Event::Miss {
                         line,
                         set: geom.set_of_line(line),
                         is_write: a.kind().is_write(),
@@ -461,7 +433,7 @@ impl<P: Probe> SoftCache<P> {
                         }),
                     });
                 } else if displaced.valid {
-                    self.probe.on_event(&Event::MainEvict {
+                    probe.on_event(&Event::MainEvict {
                         line: displaced.line,
                         dirty: displaced.dirty,
                     });
@@ -475,7 +447,7 @@ impl<P: Probe> SoftCache<P> {
                 if displaced.dirty {
                     dirty_victims += 1;
                 }
-                self.bounce_insert(displaced, &fill_sets);
+                self.bounce_insert(sys, probe, displaced, &fill_sets);
             }
         }
 
@@ -489,7 +461,7 @@ impl<P: Probe> SoftCache<P> {
                     let gone = self.main.invalidate(l);
                     if P::ENABLED {
                         if let Some(e) = gone {
-                            self.probe.on_event(&Event::MainEvict {
+                            probe.on_event(&Event::MainEvict {
                                 line: e.line,
                                 dirty: e.dirty,
                             });
@@ -503,43 +475,75 @@ impl<P: Probe> SoftCache<P> {
         // shows up as stall (§2.1).
         let transfer = DIRTY_TRANSFER_CYCLES * dirty_victims;
         let residual = transfer.saturating_sub(penalty);
-        self.metrics.stall_cycles += residual;
+        sys.metrics_mut().stall_cycles += residual;
 
         // Software-assisted prefetch: also fetch the line following the
         // virtual line (§4.4).
         if self.cfg.use_spatial && a.spatial() {
-            let ready =
-                self.clock.now() + penalty + self.cfg.memory.transfer_cycles(geom.line_bytes());
-            self.issue_prefetch(block.end, ready);
+            let ready = sys.now() + penalty + self.cfg.memory.transfer_cycles(geom.line_bytes());
+            self.issue_prefetch(sys, probe, block.end, ready);
         }
         self.needed_buf = needed;
         self.fill_sets_buf = fill_sets;
         penalty + residual
     }
+}
 
-    /// Continuation of an access once the main-cache probe has missed
-    /// (the probe — and its LRU side effect — has already happened):
-    /// bounce-back hit, in-flight prefetch hit, or a full miss. `cost`
-    /// carries the arrival stall already charged to `stall_cycles`.
-    fn access_noncached(&mut self, line: u64, mut cost: u64, a: &Access) {
+impl<P: Probe> CachePolicy<P> for SoftPolicy {
+    #[inline]
+    fn geometry(&self) -> CacheGeometry {
+        self.cfg.geometry
+    }
+
+    #[inline]
+    fn before_access(&mut self, sys: &mut MemorySystem, probe: &mut P) {
+        if !self.inflight.is_empty() {
+            self.settle_prefetch(sys, probe);
+        }
+    }
+
+    #[inline]
+    fn probe_main(&mut self, line: u64) -> Option<usize> {
+        self.main.probe(line)
+    }
+
+    #[inline]
+    fn touch_hit(&mut self, idx: usize, a: &Access) {
+        let entry = self.main.entry_at_mut(idx);
+        if a.kind().is_write() {
+            entry.dirty = true;
+        }
+        if self.cfg.use_temporal && a.temporal() {
+            entry.temporal = true;
+        }
+        entry.prefetched = false;
+    }
+
+    fn miss(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        stall: u64,
+        a: &Access,
+    ) -> (u64, u64) {
+        let mut cost = stall;
+        // Bounce-back hit: swap with the conflicting main line.
         let bb_entry = self
             .bounce
             .as_mut()
             .and_then(|bb| bb.take(line))
             .map(|(way, e)| (Some(way), e));
         if let Some((way, entry)) = bb_entry {
-            cost += self.bounce_hit(entry, way, a);
-            self.metrics.mem_cycles += cost;
-            self.clock.complete(cost);
-            self.clock.lock_for(SWAP_LOCK_CYCLES);
-            return;
+            cost += self.bounce_hit(sys, probe, entry, way, a);
+            return (cost, SWAP_LOCK_CYCLES);
         }
 
         // Hit on an in-flight prefetched line: wait for it, then treat
         // it as a bounce-back hit without a vacated way.
         if let Some(pos) = self.inflight.iter().position(|p| p.line == line) {
             let p = self.inflight.remove(pos);
-            let wait = p.ready_at.saturating_sub(self.clock.now());
+            let wait = p.ready_at.saturating_sub(sys.now());
             let entry = Entry {
                 line,
                 valid: true,
@@ -549,116 +553,119 @@ impl<P: Probe> SoftCache<P> {
                 lru: 0,
             };
             self.prefetched_resident += 1; // bounce_hit will decrement
-            cost += self.bounce_hit(entry, None, a).max(wait);
-            self.metrics.mem_cycles += cost;
-            self.clock.complete(cost);
-            self.clock.lock_for(SWAP_LOCK_CYCLES);
-            return;
+            cost += self.bounce_hit(sys, probe, entry, None, a).max(wait);
+            return (cost, SWAP_LOCK_CYCLES);
         }
 
-        cost += self.miss(line, a);
-        self.metrics.mem_cycles += cost;
-        self.clock.complete(cost);
+        cost += self.full_miss(sys, probe, line, a);
+        (cost, 0)
+    }
+
+    fn flush(&mut self) -> u64 {
+        let mut wbs = self.main.invalidate_all();
+        if let Some(bb) = &mut self.bounce {
+            wbs += bb.invalidate_all();
+        }
+        self.inflight.clear();
+        self.prefetched_resident = 0;
+        wbs
+    }
+}
+
+/// The paper's software-assisted cache: a main cache with virtual-line
+/// fills, backed by a bounce-back cache, optionally with software-biased
+/// replacement and progressive prefetching. See the crate docs for the
+/// mechanism summary and [`SoftCacheConfig`] for the presets.
+///
+/// This is [`SoftPolicy`] run by the shared
+/// [`CacheEngine`](sac_simcache::CacheEngine); the thin wrapper exists
+/// because inherent constructors cannot be added to the engine type from
+/// outside `sac-simcache`.
+///
+/// The engine is generic over an observer probe (defaulting to the
+/// disabled [`NoopProbe`], which monomorphizes to the unprobed code —
+/// see [`Probe`]); attach one with [`SoftCache::with_probe`] to get
+/// typed miss/bounce/swap/prefetch/fill events.
+#[derive(Debug, Clone)]
+pub struct SoftCache<P: Probe = NoopProbe> {
+    engine: CacheEngine<SoftPolicy, P>,
+}
+
+impl SoftCache {
+    /// Builds the engine from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SoftCacheConfig::validate`]).
+    pub fn new(cfg: SoftCacheConfig) -> Self {
+        SoftCache::with_probe(cfg, NoopProbe)
+    }
+}
+
+impl<P: Probe> SoftCache<P> {
+    /// Builds the engine with an attached observer probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SoftCacheConfig::validate`]).
+    pub fn with_probe(cfg: SoftCacheConfig, probe: P) -> Self {
+        cfg.validate();
+        let sys = MemorySystem::new(cfg.memory, cfg.geometry.line_bytes());
+        SoftCache {
+            engine: CacheEngine::from_parts(SoftPolicy::new(cfg), sys, probe),
+        }
+    }
+
+    /// Deepest occupancy the §2.1 fill FIFO reached: how many in-flight
+    /// line slots the hardware actually needed.
+    pub fn fill_buffer_peak(&self) -> usize {
+        self.engine.policy().fillbuf.peak()
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> &SoftCacheConfig {
+        &self.engine.policy().cfg
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        self.engine.probe()
+    }
+
+    /// The attached probe, mutably.
+    pub fn probe_mut(&mut self) -> &mut P {
+        self.engine.probe_mut()
+    }
+
+    /// Consumes the engine and returns the probe (for post-run export).
+    pub fn into_probe(self) -> P {
+        self.engine.into_probe()
     }
 }
 
 impl<P: Probe> CacheSim for SoftCache<P> {
     fn access(&mut self, a: &Access) {
-        self.metrics.record_ref(a.kind().is_write());
-        let stall = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += stall;
-        if !self.inflight.is_empty() {
-            self.settle_prefetch();
-        }
-
-        let line = self.cfg.geometry.line_of(a.addr());
-        if P::ENABLED {
-            self.probe.on_ref(a.addr(), line, a.kind().is_write());
-        }
-        if let Some(idx) = self.main.probe(line) {
-            let entry = self.main.entry_at_mut(idx);
-            if a.kind().is_write() {
-                entry.dirty = true;
-            }
-            if self.cfg.use_temporal && a.temporal() {
-                entry.temporal = true;
-            }
-            entry.prefetched = false;
-            self.metrics.main_hits += 1;
-            let cost = stall + MAIN_HIT_CYCLES;
-            self.metrics.mem_cycles += cost;
-            self.clock.complete(cost);
-            self.metrics.debug_check_invariants();
-            return;
-        }
-
-        self.access_noncached(line, stall, a);
-        self.metrics.debug_check_invariants();
+        self.engine.access(a);
     }
 
     fn run_chunk(&mut self, chunk: &[Access]) {
-        // Hit fast path: arrival, direct set index + tag compare and the
-        // hint-bit updates, with counters bumped in a compact
-        // [`ChunkDelta`] folded into the metrics at the chunk boundary.
-        // Everything else (bounce-back, in-flight prefetch, miss) drops
-        // into the shared non-cached continuation. The per-access and
-        // chunked paths produce identical metrics: the counters are all
-        // additive and the probe/LRU sequence is the same.
-        let mut delta = ChunkDelta::new();
-        for a in chunk {
-            let stall = self.clock.arrive(a.gap());
-            if !self.inflight.is_empty() {
-                self.settle_prefetch();
-            }
-            let line = self.cfg.geometry.line_of(a.addr());
-            if P::ENABLED {
-                self.probe.on_ref(a.addr(), line, a.kind().is_write());
-            }
-            if let Some(idx) = self.main.probe(line) {
-                let entry = self.main.entry_at_mut(idx);
-                let is_write = a.kind().is_write();
-                if is_write {
-                    entry.dirty = true;
-                }
-                if self.cfg.use_temporal && a.temporal() {
-                    entry.temporal = true;
-                }
-                entry.prefetched = false;
-                let cost = stall + MAIN_HIT_CYCLES;
-                delta.record_hit(is_write, cost, stall);
-                self.clock.complete(cost);
-            } else {
-                self.metrics.record_ref(a.kind().is_write());
-                self.metrics.stall_cycles += stall;
-                self.access_noncached(line, stall, a);
-            }
-        }
-        self.metrics.apply_chunk(&delta);
-        self.metrics.debug_check_invariants();
+        self.engine.run_chunk(chunk);
     }
 
     fn invalidate_all(&mut self) {
-        let mut wbs = self.main.invalidate_all();
-        if let Some(bb) = &mut self.bounce {
-            wbs += bb.invalidate_all();
-        }
-        self.metrics.writebacks += wbs;
-        if P::ENABLED {
-            self.probe.on_event(&Event::Flush { writebacks: wbs });
-        }
-        self.inflight.clear();
-        self.prefetched_resident = 0;
+        self.engine.invalidate_all();
     }
 
     fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.engine.metrics()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sac_simcache::AUX_HIT_CYCLES;
     use sac_trace::Trace;
 
     /// 4-line direct-mapped main cache, 2-line bounce-back cache,
@@ -809,7 +816,10 @@ mod tests {
         c.access(&read(4));
         let before = c.metrics().mem_cycles;
         c.access(&read(0)); // BB hit: 3 cycles
-        assert_eq!(c.metrics().mem_cycles - before, AUX_HIT_CYCLES);
+        assert_eq!(
+            c.metrics().mem_cycles - before,
+            sac_simcache::AUX_HIT_CYCLES
+        );
         let before = c.metrics().mem_cycles;
         c.access(&read(0)); // arrives 1 cycle later: 1 stall + 1 hit
         assert_eq!(c.metrics().mem_cycles - before, 2);
@@ -880,7 +890,7 @@ mod tests {
         c.access(&read(0).with_spatial(true).with_gap(100));
         c.access(&read(8).with_spatial(true).with_gap(100));
         c.access(&read(16).with_spatial(true).with_gap(100));
-        assert!(c.prefetched_resident <= 1);
+        assert!(c.engine.policy().prefetched_resident <= 1);
     }
 
     #[test]

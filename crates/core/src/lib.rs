@@ -57,8 +57,8 @@ mod engine;
 mod fillbuf;
 mod vline;
 
-pub use assist::AssistCache;
+pub use assist::{AssistCache, AssistPolicy};
 pub use config::{Replacement, SoftCacheConfig};
-pub use engine::SoftCache;
+pub use engine::{SoftCache, SoftPolicy};
 pub use fillbuf::{FillBuffer, FillSlot};
 pub use vline::virtual_block;

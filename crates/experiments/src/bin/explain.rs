@@ -104,8 +104,33 @@ fn main() {
         (path.clone(), BufWriter::new(f))
     });
 
+    let geom = sac_simcache::CacheGeometry::standard();
+    let mem = sac_simcache::MemoryModel::default();
     let config = match config_name.as_str() {
         "standard" => Config::standard(),
+        "victim" => Config::standard_victim(),
+        "bypass" => Config::Bypass {
+            geom,
+            mem,
+            mode: sac_simcache::BypassMode::Buffered { lines: 4 },
+        },
+        "prefetch" => Config::HwPrefetch {
+            geom,
+            mem,
+            lines: 8,
+        },
+        "stream" => Config::StreamBuffer {
+            geom,
+            mem,
+            buffers: 4,
+            depth: 4,
+        },
+        "colassoc" => Config::ColumnAssoc { geom, mem },
+        "assist" => Config::Assist {
+            geom,
+            mem,
+            lines: 16,
+        },
         "soft" => Config::soft(),
         "soft-prefetch" => match Config::soft() {
             Config::Soft(mut c) => {
@@ -115,7 +140,8 @@ fn main() {
             _ => unreachable!(),
         },
         other => fail(&format!(
-            "--config {other:?} not supported (standard | soft | soft-prefetch)"
+            "--config {other:?} not supported (standard | victim | bypass | prefetch | \
+             stream | colassoc | assist | soft | soft-prefetch)"
         )),
     };
     let trace: Trace = match trace_name.as_str() {
@@ -171,6 +197,8 @@ fn run_bench_guard(path: &str, pct: f64) {
         };
         // Best of three: the replay walls are tens of milliseconds, so a
         // single cold run is dominated by scheduling/frequency noise.
+        // The batch composition must stay in lockstep with the
+        // `figures --bench-json` timer that recorded the baseline.
         let mut rate = 0.0f64;
         for round in 0..3 {
             let start = Instant::now();
@@ -178,6 +206,10 @@ fn run_bench_guard(path: &str, pct: f64) {
             batch.push(
                 format!("guard/{name}/standard/{round}"),
                 &Config::standard(),
+            );
+            batch.push(
+                format!("guard/{name}/victim/{round}"),
+                &Config::standard_victim(),
             );
             batch.push(format!("guard/{name}/soft/{round}"), &Config::soft());
             let engines = batch.len() as u64;

@@ -199,7 +199,7 @@ fn main() {
     }
 }
 
-/// The `--obs-json` pass: one instrumented standard and one soft cell
+/// The `--obs-json` pass: instrumented standard, victim and soft cells
 /// with the full `TracingProbe` over the shared mixed trace, telemetry
 /// appended as JSON Lines (one `summary`/histogram/event record per
 /// line, tagged with the cell label).
@@ -208,6 +208,7 @@ fn write_obs_jsonl(w: &mut impl Write) -> std::io::Result<()> {
     let trace = mixed_trace(OBS_LEN);
     for (label, config) in [
         ("obs/mixed/standard", Config::standard()),
+        ("obs/mixed/victim", Config::standard_victim()),
         ("obs/mixed/soft", Config::soft()),
     ] {
         let e = explain::explain_config(label, &config, &trace, 4096, 16)
@@ -217,11 +218,12 @@ fn write_obs_jsonl(w: &mut impl Write) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Replays `trace` through a Standard + Soft batch and reports engine
-/// references per second (each engine sees every reference once). Best
-/// of three rounds: single replays finish in tens of milliseconds, where
-/// one scheduling hiccup would skew the recorded baseline that the
-/// `explain --bench-guard` CI tripwire later compares against.
+/// Replays `trace` through a Standard + Victim + Soft batch and reports
+/// engine references per second (each engine sees every reference once).
+/// Best of three rounds: single replays finish in tens of milliseconds,
+/// where one scheduling hiccup would skew the recorded baseline that the
+/// `explain --bench-guard` CI tripwire later compares against. The batch
+/// composition must stay in lockstep with the guard's.
 fn time_replay(trace: &Trace) -> (u64, f64, f64) {
     let mut best: Option<(u64, f64, f64)> = None;
     for round in 0..3 {
@@ -230,6 +232,10 @@ fn time_replay(trace: &Trace) -> (u64, f64, f64) {
         batch.push(
             format!("bench/{}/standard/{round}", trace.name()),
             &Config::standard(),
+        );
+        batch.push(
+            format!("bench/{}/victim/{round}", trace.name()),
+            &Config::standard_victim(),
         );
         batch.push(
             format!("bench/{}/soft/{round}", trace.name()),

@@ -1,6 +1,7 @@
 //! Named cache configurations used across the figures.
 
 use sac_core::{AssistCache, SoftCache, SoftCacheConfig};
+use sac_obs::Probe;
 use sac_simcache::{
     BypassCache, BypassMode, CacheGeometry, CacheSim, ColumnAssociativeCache, MemoryModel, Metrics,
     NextLinePrefetchCache, StandardCache, StreamBufferCache, VictimCache,
@@ -112,6 +113,21 @@ impl Config {
         Config::Soft(SoftCacheConfig::soft())
     }
 
+    /// The main-cache geometry and memory model of this configuration —
+    /// the shape a baseline or an observer config is derived from.
+    pub fn shape(&self) -> (CacheGeometry, MemoryModel) {
+        match *self {
+            Config::Standard { geom, mem }
+            | Config::Victim { geom, mem, .. }
+            | Config::Bypass { geom, mem, .. }
+            | Config::HwPrefetch { geom, mem, .. }
+            | Config::StreamBuffer { geom, mem, .. }
+            | Config::ColumnAssoc { geom, mem }
+            | Config::Assist { geom, mem, .. } => (geom, mem),
+            Config::Soft(cfg) => (cfg.geometry, cfg.memory),
+        }
+    }
+
     /// Builds the configured engine, ready to replay a trace. The boxed
     /// engine is what a replay batch drives chunk by chunk; the virtual
     /// dispatch happens once per chunk ([`CacheSim::run_chunk`]), not per
@@ -133,6 +149,41 @@ impl Config {
             Config::ColumnAssoc { geom, mem } => Box::new(ColumnAssociativeCache::new(geom, mem)),
             Config::Assist { geom, mem, lines } => Box::new(AssistCache::new(geom, mem, lines)),
             Config::Soft(cfg) => Box::new(SoftCache::new(cfg)),
+        }
+    }
+
+    /// Builds the configured engine with an observer probe attached.
+    /// Every organization runs on the shared policy engine, so any
+    /// [`Probe`] composes with any configuration; the probed engine
+    /// replays exactly like its unprobed twin (same chunked fast path,
+    /// same metrics).
+    pub fn build_probed<P: Probe + 'static>(&self, probe: P) -> Box<dyn CacheSim> {
+        match *self {
+            Config::Standard { geom, mem } => Box::new(StandardCache::with_probe(geom, mem, probe)),
+            Config::Victim { geom, mem, lines } => {
+                Box::new(VictimCache::with_probe(geom, mem, lines, probe))
+            }
+            Config::Bypass { geom, mem, mode } => {
+                Box::new(BypassCache::with_probe(geom, mem, mode, probe))
+            }
+            Config::HwPrefetch { geom, mem, lines } => {
+                Box::new(NextLinePrefetchCache::with_probe(geom, mem, lines, probe))
+            }
+            Config::StreamBuffer {
+                geom,
+                mem,
+                buffers,
+                depth,
+            } => Box::new(StreamBufferCache::with_probe(
+                geom, mem, buffers, depth, probe,
+            )),
+            Config::ColumnAssoc { geom, mem } => {
+                Box::new(ColumnAssociativeCache::with_probe(geom, mem, probe))
+            }
+            Config::Assist { geom, mem, lines } => {
+                Box::new(AssistCache::with_probe(geom, mem, lines, probe))
+            }
+            Config::Soft(cfg) => Box::new(SoftCache::with_probe(cfg, probe)),
         }
     }
 
@@ -209,6 +260,23 @@ mod tests {
             let m = c.run(&t);
             assert_eq!(m.refs, 256, "{c}");
             assert!(m.amat() >= 1.0, "{c}");
+        }
+    }
+
+    #[test]
+    fn probed_build_matches_unprobed() {
+        use sac_obs::CountingProbe;
+        let t = trace();
+        for c in [
+            Config::standard(),
+            Config::standard_victim(),
+            Config::soft(),
+        ] {
+            let (geom, _) = c.shape();
+            assert_eq!(geom, CacheGeometry::standard(), "{c}");
+            let mut probed = c.build_probed(CountingProbe::default());
+            probed.run(&t);
+            assert_eq!(*probed.metrics(), c.run(&t), "{c}");
         }
     }
 

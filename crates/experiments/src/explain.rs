@@ -11,9 +11,12 @@
 
 use crate::runner::REPLAY_CHUNK;
 use crate::Config;
-use sac_core::SoftCache;
+use sac_core::{AssistCache, SoftCache};
 use sac_obs::{ObsConfig, TracingProbe};
-use sac_simcache::{CacheSim, MemoryModel, Metrics, StandardCache, AUX_HIT_CYCLES};
+use sac_simcache::{
+    BypassCache, CacheSim, ColumnAssociativeCache, MemoryModel, Metrics, NextLinePrefetchCache,
+    StandardCache, StreamBufferCache, VictimCache, AUX_HIT_CYCLES,
+};
 use sac_trace::{Access, Trace};
 
 /// A trace whose footprint fits the standard 8 KB cache: after the first
@@ -79,14 +82,14 @@ pub struct Explanation {
 /// Runs `config` over `trace` with a [`TracingProbe`] attached, plus an
 /// unprobed standard baseline with the same geometry and memory model.
 ///
-/// Only the two probed engines are supported (`Config::Standard` and
-/// `Config::Soft`); the other organizations report an error.
+/// Every organization is supported: all engines run on the shared policy
+/// engine, whose chunked replay feeds the probe on hits and misses
+/// alike.
 ///
 /// # Errors
 ///
-/// Returns a message naming the unsupported configuration, or the exact
-/// counter the telemetry failed to reconcile against (which would be an
-/// engine instrumentation bug, not a user error).
+/// Returns the exact counter the telemetry failed to reconcile against
+/// (which would be an engine instrumentation bug, not a user error).
 pub fn explain_config(
     label: &str,
     config: &Config,
@@ -94,36 +97,68 @@ pub fn explain_config(
     ring_capacity: usize,
     sample_every: u64,
 ) -> Result<Explanation, String> {
-    let (geom, mem) = match *config {
-        Config::Standard { geom, mem } => (geom, mem),
-        Config::Soft(cfg) => (cfg.geometry, cfg.memory),
-        ref other => {
-            return Err(format!(
-                "explain supports the probed engines (standard, soft); got: {other}"
-            ))
-        }
-    };
+    let (geom, mem) = config.shape();
     let obs = ObsConfig::for_cache(geom.lines(), geom.sets(), geom.line_bytes())
         .with_ring(ring_capacity, sample_every);
 
+    // Each arm builds the concrete probed engine so the finished probe
+    // can be taken back out (a `Box<dyn CacheSim>` would strand it).
+    macro_rules! traced {
+        ($engine:expr) => {{
+            let mut c = $engine;
+            for chunk in trace.as_slice().chunks(REPLAY_CHUNK) {
+                c.run_chunk(chunk);
+            }
+            c.probe_mut().finish();
+            (*c.metrics(), c.into_probe())
+        }};
+    }
     let (metrics, probe) = match *config {
         Config::Standard { geom, mem } => {
-            let mut c = StandardCache::with_probe(geom, mem, TracingProbe::new(obs));
-            for chunk in trace.as_slice().chunks(REPLAY_CHUNK) {
-                c.run_chunk(chunk);
-            }
-            c.probe_mut().finish();
-            (*c.metrics(), c.into_probe())
+            traced!(StandardCache::with_probe(geom, mem, TracingProbe::new(obs)))
         }
-        Config::Soft(cfg) => {
-            let mut c = SoftCache::with_probe(cfg, TracingProbe::new(obs));
-            for chunk in trace.as_slice().chunks(REPLAY_CHUNK) {
-                c.run_chunk(chunk);
-            }
-            c.probe_mut().finish();
-            (*c.metrics(), c.into_probe())
-        }
-        _ => unreachable!("filtered above"),
+        Config::Victim { geom, mem, lines } => traced!(VictimCache::with_probe(
+            geom,
+            mem,
+            lines,
+            TracingProbe::new(obs)
+        )),
+        Config::Bypass { geom, mem, mode } => traced!(BypassCache::with_probe(
+            geom,
+            mem,
+            mode,
+            TracingProbe::new(obs)
+        )),
+        Config::HwPrefetch { geom, mem, lines } => traced!(NextLinePrefetchCache::with_probe(
+            geom,
+            mem,
+            lines,
+            TracingProbe::new(obs)
+        )),
+        Config::StreamBuffer {
+            geom,
+            mem,
+            buffers,
+            depth,
+        } => traced!(StreamBufferCache::with_probe(
+            geom,
+            mem,
+            buffers,
+            depth,
+            TracingProbe::new(obs)
+        )),
+        Config::ColumnAssoc { geom, mem } => traced!(ColumnAssociativeCache::with_probe(
+            geom,
+            mem,
+            TracingProbe::new(obs)
+        )),
+        Config::Assist { geom, mem, lines } => traced!(AssistCache::with_probe(
+            geom,
+            mem,
+            lines,
+            TracingProbe::new(obs)
+        )),
+        Config::Soft(cfg) => traced!(SoftCache::with_probe(cfg, TracingProbe::new(obs))),
     };
 
     let mut base = StandardCache::new(geom, mem);
@@ -394,10 +429,45 @@ mod tests {
     }
 
     #[test]
-    fn explain_rejects_unprobed_engines() {
-        let trace = mixed_trace(100);
-        let err = explain_config("x", &Config::standard_victim(), &trace, 16, 1).unwrap_err();
-        assert!(err.contains("victim"), "{err}");
+    fn explain_covers_every_organization() {
+        use sac_simcache::{BypassMode, CacheGeometry};
+        let trace = mixed_trace(20_000);
+        let geom = CacheGeometry::standard();
+        let mem = MemoryModel::default();
+        let configs = [
+            Config::standard_victim(),
+            Config::Bypass {
+                geom,
+                mem,
+                mode: BypassMode::Buffered { lines: 4 },
+            },
+            Config::HwPrefetch {
+                geom,
+                mem,
+                lines: 8,
+            },
+            Config::StreamBuffer {
+                geom,
+                mem,
+                buffers: 4,
+                depth: 4,
+            },
+            Config::ColumnAssoc { geom, mem },
+            Config::Assist {
+                geom,
+                mem,
+                lines: 16,
+            },
+        ];
+        for cfg in configs {
+            // `explain_config` verifies the event↔counter reconciliation
+            // internally; the probed run must also match the unprobed one.
+            let e = explain_config("test/all", &cfg, &trace, 64, 8).unwrap_or_else(|err| {
+                panic!("{cfg}: {err}");
+            });
+            assert_eq!(e.metrics, cfg.run(&trace), "{cfg}");
+            assert!(e.render(2).contains("explain test/all"), "{cfg}");
+        }
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! small line buffer (in the spirit of the Intel i860's pipelined loads),
 //! recovering the spatial locality of bypassed streams.
 
-use crate::clock::Clock;
 use crate::{
-    CacheGeometry, CacheSim, MemoryModel, Metrics, TagArray, WriteBuffer, MAIN_HIT_CYCLES,
+    CacheEngine, CacheGeometry, CachePolicy, MemoryModel, MemorySystem, TagArray, MAIN_HIT_CYCLES,
 };
+use sac_obs::{Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 
 /// How non-temporal references bypass the cache.
@@ -27,12 +27,158 @@ pub enum BypassMode {
     },
 }
 
+/// The bypassing policy: temporal references allocate normally, everything
+/// else goes around the cache (optionally through a line buffer).
+///
+/// Both paths probe the main cache first, so the unified hit fast path of
+/// the [`CacheEngine`] applies to bypassed references too and coherence is
+/// preserved.
+#[derive(Debug, Clone)]
+pub struct BypassPolicy {
+    geom: CacheGeometry,
+    mode: BypassMode,
+    tags: TagArray,
+    buffer: Option<TagArray>,
+}
+
+impl BypassPolicy {
+    /// Creates the policy state for `geom` in `mode`.
+    pub fn new(geom: CacheGeometry, mode: BypassMode) -> Self {
+        let buffer = match mode {
+            BypassMode::Plain => None,
+            BypassMode::Buffered { lines } => {
+                assert!(lines > 0, "line buffer needs at least one line");
+                Some(TagArray::new(CacheGeometry::new(
+                    lines as u64 * geom.line_bytes(),
+                    geom.line_bytes(),
+                    lines,
+                )))
+            }
+        };
+        BypassPolicy {
+            geom,
+            mode,
+            tags: TagArray::new(geom),
+            buffer,
+        }
+    }
+
+    /// The bypass mode.
+    pub fn mode(&self) -> BypassMode {
+        self.mode
+    }
+}
+
+impl<P: Probe> CachePolicy<P> for BypassPolicy {
+    #[inline]
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    #[inline]
+    fn probe_main(&mut self, line: u64) -> Option<usize> {
+        // The main cache may still hold the line (a temporal reference
+        // brought it in): hits are served normally either way.
+        self.tags.probe(line)
+    }
+
+    #[inline]
+    fn touch_hit(&mut self, idx: usize, a: &Access) {
+        if a.kind().is_write() {
+            self.tags.entry_at_mut(idx).dirty = true;
+        }
+    }
+
+    fn miss(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        stall: u64,
+        a: &Access,
+    ) -> (u64, u64) {
+        let mut cost = stall;
+        if a.temporal() {
+            // Normal write-back write-allocate path.
+            sys.metrics_mut().misses += 1;
+            cost += sys.fetch_lines(1);
+            let way = self.tags.victim_way(line);
+            let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
+            if P::ENABLED {
+                let victim = old.valid.then_some(Victim {
+                    line: old.line,
+                    dirty: old.dirty,
+                });
+                probe.on_event(&Event::Miss {
+                    line,
+                    set: self.geom.set_of_line(line),
+                    is_write: a.kind().is_write(),
+                    victim,
+                });
+                probe.on_event(&Event::LineFill { line, demand: true });
+            }
+            if old.valid && old.dirty {
+                if P::ENABLED {
+                    probe.on_event(&Event::Writeback { line: old.line });
+                }
+                let wb_stall = sys.writeback();
+                sys.metrics_mut().stall_cycles += wb_stall;
+                cost += wb_stall;
+            }
+            return (cost, 0);
+        }
+        match (&mut self.buffer, a.kind().is_write()) {
+            (_, true) => {
+                // Stores bypass through the write buffer.
+                sys.metrics_mut().bypasses += 1;
+                cost += MAIN_HIT_CYCLES;
+                let wb_stall = sys.buffer_store();
+                sys.metrics_mut().stall_cycles += wb_stall;
+                cost += wb_stall;
+            }
+            (None, false) => {
+                // Plain bypass: a full memory round trip per word.
+                sys.metrics_mut().bypasses += 1;
+                cost +=
+                    sys.memory().latency() + sys.memory().transfer_cycles(sac_trace::WORD_BYTES);
+                sys.metrics_mut().words_fetched += 1;
+            }
+            (Some(buffer), false) => {
+                if buffer.probe(line).is_some() {
+                    // Spatial locality recovered by the line buffer.
+                    sys.metrics_mut().aux_hits += 1;
+                    cost += MAIN_HIT_CYCLES;
+                } else {
+                    sys.metrics_mut().bypasses += 1;
+                    cost += sys.fetch_lines(1);
+                    if P::ENABLED {
+                        probe.on_event(&Event::LineFill { line, demand: true });
+                    }
+                    let way = buffer.victim_way(line);
+                    buffer.fill(line, way, a.addr(), false);
+                }
+            }
+        }
+        (cost, 0)
+    }
+
+    fn flush(&mut self) -> u64 {
+        let mut wbs = self.tags.invalidate_all();
+        if let Some(buffer) = &mut self.buffer {
+            wbs += buffer.invalidate_all();
+        }
+        wbs
+    }
+}
+
 /// A standard cache in which references *without* the temporal tag bypass
 /// the cache instead of allocating.
 ///
 /// Temporal-tagged references use the normal write-back write-allocate
 /// path; all main-cache contents stay coherent because bypassed
-/// references still probe the main cache first.
+/// references still probe the main cache first. This is [`BypassPolicy`]
+/// run by the shared [`CacheEngine`]; attach an observer with
+/// [`BypassCache::with_probe`].
 ///
 /// ```
 /// use sac_simcache::{BypassCache, BypassMode, CacheGeometry, CacheSim, MemoryModel};
@@ -48,150 +194,35 @@ pub enum BypassMode {
 /// assert_eq!(c.metrics().bypasses, 2);
 /// assert_eq!(c.metrics().main_hits, 0);
 /// ```
-#[derive(Debug, Clone)]
-pub struct BypassCache {
-    geom: CacheGeometry,
-    mem: MemoryModel,
-    mode: BypassMode,
-    tags: TagArray,
-    buffer: Option<TagArray>,
-    wb: WriteBuffer,
-    clock: Clock,
-    metrics: Metrics,
-}
+pub type BypassCache<P = NoopProbe> = CacheEngine<BypassPolicy, P>;
 
 impl BypassCache {
     /// Creates a bypassing cache.
     pub fn new(geom: CacheGeometry, mem: MemoryModel, mode: BypassMode) -> Self {
-        let buffer = match mode {
-            BypassMode::Plain => None,
-            BypassMode::Buffered { lines } => {
-                assert!(lines > 0, "line buffer needs at least one line");
-                Some(TagArray::new(CacheGeometry::new(
-                    lines as u64 * geom.line_bytes(),
-                    geom.line_bytes(),
-                    lines,
-                )))
-            }
-        };
-        let wb = WriteBuffer::new(8, mem.transfer_cycles(geom.line_bytes()));
-        BypassCache {
-            geom,
-            mem,
-            mode,
-            tags: TagArray::new(geom),
-            buffer,
-            wb,
-            clock: Clock::new(),
-            metrics: Metrics::new(),
-        }
+        BypassCache::with_probe(geom, mem, mode, NoopProbe)
+    }
+}
+
+impl<P: Probe> BypassCache<P> {
+    /// Creates the cache with an attached observer probe.
+    pub fn with_probe(geom: CacheGeometry, mem: MemoryModel, mode: BypassMode, probe: P) -> Self {
+        CacheEngine::from_parts(
+            BypassPolicy::new(geom, mode),
+            MemorySystem::new(mem, geom.line_bytes()),
+            probe,
+        )
     }
 
     /// The bypass mode.
     pub fn mode(&self) -> BypassMode {
-        self.mode
-    }
-
-    fn cached_access(&mut self, a: &Access, mut cost: u64) {
-        let line = self.geom.line_of(a.addr());
-        if let Some(idx) = self.tags.probe(line) {
-            if a.kind().is_write() {
-                self.tags.entry_at_mut(idx).dirty = true;
-            }
-            self.metrics.main_hits += 1;
-            cost += MAIN_HIT_CYCLES;
-        } else {
-            self.metrics.misses += 1;
-            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
-            self.metrics.record_fetch(1, self.geom.line_bytes());
-            let way = self.tags.victim_way(line);
-            let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
-            if old.valid && old.dirty {
-                self.metrics.writebacks += 1;
-                let stall = self.wb.push(self.clock.now());
-                self.metrics.stall_cycles += stall;
-                cost += stall;
-            }
-        }
-        self.metrics.mem_cycles += cost;
-        self.clock.complete(cost);
-    }
-
-    fn bypassed_access(&mut self, a: &Access, mut cost: u64) {
-        let line = self.geom.line_of(a.addr());
-        // The main cache may still hold the line (a temporal reference
-        // brought it in): hits are served normally.
-        if let Some(idx) = self.tags.probe(line) {
-            if a.kind().is_write() {
-                self.tags.entry_at_mut(idx).dirty = true;
-            }
-            self.metrics.main_hits += 1;
-            cost += MAIN_HIT_CYCLES;
-            self.metrics.mem_cycles += cost;
-            self.clock.complete(cost);
-            return;
-        }
-        match (&mut self.buffer, a.kind().is_write()) {
-            (_, true) => {
-                // Stores bypass through the write buffer.
-                self.metrics.bypasses += 1;
-                cost += MAIN_HIT_CYCLES;
-                let stall = self.wb.push(self.clock.now());
-                self.metrics.stall_cycles += stall;
-                cost += stall;
-            }
-            (None, false) => {
-                // Plain bypass: a full memory round trip per word.
-                self.metrics.bypasses += 1;
-                cost += self.mem.latency() + self.mem.transfer_cycles(sac_trace::WORD_BYTES);
-                self.metrics.words_fetched += 1;
-            }
-            (Some(buffer), false) => {
-                if buffer.probe(line).is_some() {
-                    // Spatial locality recovered by the line buffer.
-                    self.metrics.aux_hits += 1;
-                    cost += MAIN_HIT_CYCLES;
-                } else {
-                    self.metrics.bypasses += 1;
-                    cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
-                    self.metrics.record_fetch(1, self.geom.line_bytes());
-                    let way = buffer.victim_way(line);
-                    buffer.fill(line, way, a.addr(), false);
-                }
-            }
-        }
-        self.metrics.mem_cycles += cost;
-        self.clock.complete(cost);
-    }
-}
-
-impl CacheSim for BypassCache {
-    fn access(&mut self, a: &Access) {
-        self.metrics.record_ref(a.kind().is_write());
-        let cost = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += cost;
-        if a.temporal() {
-            self.cached_access(a, cost);
-        } else {
-            self.bypassed_access(a, cost);
-        }
-    }
-
-    fn invalidate_all(&mut self) {
-        self.metrics.writebacks += self.tags.invalidate_all();
-        if let Some(buffer) = &mut self.buffer {
-            self.metrics.writebacks += buffer.invalidate_all();
-        }
-    }
-
-    fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.policy().mode()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CacheSim;
 
     fn plain() -> BypassCache {
         BypassCache::new(

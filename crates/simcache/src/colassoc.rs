@@ -16,57 +16,39 @@
 //! slot's occupant. (A block's "rehash bit" is equivalent to its home
 //! set differing from the set it sits in, so no extra state is stored.)
 
-use crate::clock::Clock;
 use crate::{
-    CacheGeometry, CacheSim, MemoryModel, Metrics, TagArray, WriteBuffer, MAIN_HIT_CYCLES,
+    CacheEngine, CacheGeometry, CachePolicy, MemoryModel, MemorySystem, TagArray, MAIN_HIT_CYCLES,
 };
+use sac_obs::{Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 
-/// A column-associative (rehash) cache.
-///
-/// ```
-/// use sac_simcache::{CacheGeometry, CacheSim, ColumnAssociativeCache, MemoryModel};
-/// use sac_trace::Access;
-///
-/// let mut c = ColumnAssociativeCache::new(CacheGeometry::standard(), MemoryModel::default());
-/// c.access(&Access::read(0));
-/// c.access(&Access::read(8192));  // conflicts; goes to the rehash slot
-/// c.access(&Access::read(0));     // rehash hit: 2 cycles, swap
-/// assert_eq!(c.metrics().aux_hits, 1);
-/// assert_eq!(c.metrics().misses, 2);
-/// ```
+/// The column-associative (rehash) policy, run by the shared
+/// [`CacheEngine`]. A rehash-probe hit is the auxiliary path of the
+/// generic miss hook: one extra probe cycle, then a swap so the hot line
+/// sits in its primary slot.
 #[derive(Debug, Clone)]
-pub struct ColumnAssociativeCache {
+pub struct ColAssocPolicy {
     geom: CacheGeometry,
-    mem: MemoryModel,
     tags: TagArray,
-    wb: WriteBuffer,
-    clock: Clock,
-    metrics: Metrics,
 }
 
-impl ColumnAssociativeCache {
-    /// Creates the cache.
+impl ColAssocPolicy {
+    /// Creates the policy state for `geom`.
     ///
     /// # Panics
     ///
     /// Panics unless the geometry is direct-mapped with at least two sets
     /// (the rehash function flips the top index bit).
-    pub fn new(geom: CacheGeometry, mem: MemoryModel) -> Self {
+    pub fn new(geom: CacheGeometry) -> Self {
         assert_eq!(
             geom.ways(),
             1,
             "column associativity needs a direct-mapped array"
         );
         assert!(geom.sets() >= 2, "need at least two sets to rehash");
-        let wb = WriteBuffer::new(8, mem.transfer_cycles(geom.line_bytes()));
-        ColumnAssociativeCache {
+        ColAssocPolicy {
             geom,
-            mem,
             tags: TagArray::new(geom),
-            wb,
-            clock: Clock::new(),
-            metrics: Metrics::new(),
         }
     }
 
@@ -80,25 +62,42 @@ impl ColumnAssociativeCache {
     }
 }
 
-impl CacheSim for ColumnAssociativeCache {
-    fn access(&mut self, a: &Access) {
-        self.metrics.record_ref(a.kind().is_write());
-        let mut cost = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += cost;
+impl<P: Probe> CachePolicy<P> for ColAssocPolicy {
+    #[inline]
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
 
-        let line = self.geom.line_of(a.addr());
+    #[inline]
+    fn probe_main(&mut self, line: u64) -> Option<usize> {
+        self.tags.probe(line)
+    }
+
+    #[inline]
+    fn touch_hit(&mut self, idx: usize, a: &Access) {
+        if a.kind().is_write() {
+            self.tags.entry_at_mut(idx).dirty = true;
+        }
+    }
+
+    fn miss(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        stall: u64,
+        a: &Access,
+    ) -> (u64, u64) {
+        let mut cost = stall;
         let alt = self.rehash_line(line);
-        if let Some(idx) = self.tags.probe(line) {
-            if a.kind().is_write() {
-                self.tags.entry_at_mut(idx).dirty = true;
-            }
-            self.metrics.main_hits += 1;
-            cost += MAIN_HIT_CYCLES;
-        } else if self.tags.peek_as(alt, line).is_some() {
+        if self.tags.peek_as(alt, line).is_some() {
             // Rehash hit: one extra probe cycle, then swap the slots so
             // the hot line moves to its primary location.
-            self.metrics.aux_hits += 1;
-            self.metrics.swaps += 1;
+            sys.metrics_mut().aux_hits += 1;
+            sys.metrics_mut().swaps += 1;
+            if P::ENABLED {
+                probe.on_event(&Event::Swap { line });
+            }
             cost += MAIN_HIT_CYCLES + 1;
             let (_, mut hot) = self.tags.take_as(alt, line).expect("peeked");
             if a.kind().is_write() {
@@ -109,52 +108,102 @@ impl CacheSim for ColumnAssociativeCache {
                 // The old primary occupant retreats to the rehash slot.
                 self.tags.install_as(alt, displaced.line, 0, displaced);
             }
-        } else {
-            self.metrics.misses += 1;
-            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
-            self.metrics.record_fetch(1, self.geom.line_bytes());
-            // Agarwal & Pudar's placement, one eviction per miss: a
-            // rehashed occupant of the primary slot (the pair's
-            // second-choice block) is replaced in place; otherwise the
-            // new block takes the primary slot and the old occupant
-            // retreats to the rehash slot, evicting what lived there.
-            let primary = *self.tags.entry(line, 0);
-            let primary_is_rehashed =
-                primary.valid && self.geom.set_of_line(primary.line) != self.geom.set_of_line(line);
-            let evicted = if !primary.valid || primary_is_rehashed {
-                self.tags.fill(line, 0, a.addr(), a.kind().is_write())
-            } else {
-                let old_primary = self.tags.fill(line, 0, a.addr(), a.kind().is_write());
-                self.tags.install_as(
-                    self.rehash_line(old_primary.line),
-                    old_primary.line,
-                    0,
-                    old_primary,
-                )
-            };
-            if evicted.valid && evicted.dirty {
-                self.metrics.writebacks += 1;
-                let stall = self.wb.push(self.clock.now());
-                self.metrics.stall_cycles += stall;
-                cost += stall;
-            }
+            return (cost, 0);
         }
-        self.metrics.mem_cycles += cost;
-        self.clock.complete(cost);
+        sys.metrics_mut().misses += 1;
+        cost += sys.fetch_lines(1);
+        // Agarwal & Pudar's placement, one eviction per miss: a
+        // rehashed occupant of the primary slot (the pair's
+        // second-choice block) is replaced in place; otherwise the
+        // new block takes the primary slot and the old occupant
+        // retreats to the rehash slot, evicting what lived there.
+        let primary = *self.tags.entry(line, 0);
+        let primary_is_rehashed =
+            primary.valid && self.geom.set_of_line(primary.line) != self.geom.set_of_line(line);
+        let evicted = if !primary.valid || primary_is_rehashed {
+            self.tags.fill(line, 0, a.addr(), a.kind().is_write())
+        } else {
+            let old_primary = self.tags.fill(line, 0, a.addr(), a.kind().is_write());
+            self.tags.install_as(
+                self.rehash_line(old_primary.line),
+                old_primary.line,
+                0,
+                old_primary,
+            )
+        };
+        if P::ENABLED {
+            let victim = evicted.valid.then_some(Victim {
+                line: evicted.line,
+                dirty: evicted.dirty,
+            });
+            probe.on_event(&Event::Miss {
+                line,
+                set: self.geom.set_of_line(line),
+                is_write: a.kind().is_write(),
+                victim,
+            });
+            probe.on_event(&Event::LineFill { line, demand: true });
+        }
+        if evicted.valid && evicted.dirty {
+            if P::ENABLED {
+                probe.on_event(&Event::Writeback { line: evicted.line });
+            }
+            let wb_stall = sys.writeback();
+            sys.metrics_mut().stall_cycles += wb_stall;
+            cost += wb_stall;
+        }
+        (cost, 0)
     }
 
-    fn invalidate_all(&mut self) {
-        self.metrics.writebacks += self.tags.invalidate_all();
+    fn flush(&mut self) -> u64 {
+        self.tags.invalidate_all()
     }
+}
 
-    fn metrics(&self) -> &Metrics {
-        &self.metrics
+/// A column-associative (rehash) cache: [`ColAssocPolicy`] run by the
+/// shared [`CacheEngine`]. Attach an observer with
+/// [`ColumnAssociativeCache::with_probe`].
+///
+/// ```
+/// use sac_simcache::{CacheGeometry, CacheSim, ColumnAssociativeCache, MemoryModel};
+/// use sac_trace::Access;
+///
+/// let mut c = ColumnAssociativeCache::new(CacheGeometry::standard(), MemoryModel::default());
+/// c.access(&Access::read(0));
+/// c.access(&Access::read(8192));  // conflicts; goes to the rehash slot
+/// c.access(&Access::read(0));     // rehash hit: 2 cycles, swap
+/// assert_eq!(c.metrics().aux_hits, 1);
+/// assert_eq!(c.metrics().misses, 2);
+/// ```
+pub type ColumnAssociativeCache<P = NoopProbe> = CacheEngine<ColAssocPolicy, P>;
+
+impl ColumnAssociativeCache {
+    /// Creates the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry is direct-mapped with at least two sets
+    /// (the rehash function flips the top index bit).
+    pub fn new(geom: CacheGeometry, mem: MemoryModel) -> Self {
+        ColumnAssociativeCache::with_probe(geom, mem, NoopProbe)
+    }
+}
+
+impl<P: Probe> ColumnAssociativeCache<P> {
+    /// Creates the cache with an attached observer probe.
+    pub fn with_probe(geom: CacheGeometry, mem: MemoryModel, probe: P) -> Self {
+        CacheEngine::from_parts(
+            ColAssocPolicy::new(geom),
+            MemorySystem::new(mem, geom.line_bytes()),
+            probe,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CacheSim;
 
     fn small() -> ColumnAssociativeCache {
         // 8 sets of 32 B.

@@ -51,6 +51,7 @@ mod clock;
 mod colassoc;
 mod config;
 mod engine;
+mod memsys;
 mod metrics;
 mod prefetch;
 mod standard;
@@ -59,18 +60,19 @@ mod tagarray;
 mod victim;
 mod writebuf;
 
-pub use bypass::{BypassCache, BypassMode};
+pub use bypass::{BypassCache, BypassMode, BypassPolicy};
 pub use classify::{classify_misses, MissClasses};
 pub use clock::Clock;
-pub use colassoc::ColumnAssociativeCache;
+pub use colassoc::{ColAssocPolicy, ColumnAssociativeCache};
 pub use config::{CacheGeometry, MemoryModel};
 pub use engine::CacheSim;
+pub use memsys::{CacheEngine, CachePolicy, MemorySystem};
 pub use metrics::{ChunkDelta, Metrics};
-pub use prefetch::NextLinePrefetchCache;
-pub use standard::StandardCache;
-pub use stream::StreamBufferCache;
+pub use prefetch::{NextLinePrefetchCache, PrefetchPolicy};
+pub use standard::{StandardCache, StandardPolicy};
+pub use stream::{StreamBufferCache, StreamPolicy};
 pub use tagarray::{Entry, TagArray};
-pub use victim::VictimCache;
+pub use victim::{VictimCache, VictimPolicy};
 pub use writebuf::WriteBuffer;
 
 /// Access cost of a main-cache hit, in cycles.

@@ -1,11 +1,10 @@
 //! A classic hardware next-line prefetcher (the Figure 12
 //! `Stand.+Prefetching` baseline).
 
-use crate::clock::Clock;
 use crate::{
-    CacheGeometry, CacheSim, MemoryModel, Metrics, TagArray, WriteBuffer, AUX_HIT_CYCLES,
-    MAIN_HIT_CYCLES,
+    CacheEngine, CacheGeometry, CachePolicy, MemoryModel, MemorySystem, TagArray, AUX_HIT_CYCLES,
 };
+use sac_obs::{Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 
 #[derive(Debug, Clone, Copy)]
@@ -16,53 +15,28 @@ struct PrefetchSlot {
     valid: bool,
 }
 
-/// A standard cache plus an N-entry prefetch buffer: every demand miss on
-/// line `L` also fetches `L+1` into the buffer (prefetch-on-miss); a
-/// buffer hit promotes the line into the main cache. Prefetches that
-/// arrive after they are demanded stall for the residual latency.
-///
-/// The paper cites the two flaws of such tag-blind hardware prefetching:
-/// wrong predictions and additional memory traffic — both are visible in
-/// this engine's [`Metrics`] (`prefetches` vs `useful_prefetches`,
-/// `words_fetched`).
-///
-/// ```
-/// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel, NextLinePrefetchCache};
-/// use sac_trace::Access;
-///
-/// let mut c = NextLinePrefetchCache::new(
-///     CacheGeometry::standard(),
-///     MemoryModel::default(),
-///     8,
-/// );
-/// c.access(&Access::read(0));                 // miss, prefetches line 1
-/// c.access(&Access::read(32).with_gap(100));  // prefetch-buffer hit
-/// assert_eq!(c.metrics().useful_prefetches, 1);
-/// ```
+/// The next-line prefetch policy: a standard LRU array plus an N-entry
+/// prefetch buffer, run by the shared [`CacheEngine`]. Every demand miss
+/// on line `L` also fetches `L+1` into the buffer (prefetch-on-miss); a
+/// buffer hit promotes the line into the main cache.
 #[derive(Debug, Clone)]
-pub struct NextLinePrefetchCache {
+pub struct PrefetchPolicy {
     geom: CacheGeometry,
-    mem: MemoryModel,
     tags: TagArray,
     buffer: Vec<PrefetchSlot>,
-    wb: WriteBuffer,
-    clock: Clock,
     lru_clock: u64,
-    metrics: Metrics,
 }
 
-impl NextLinePrefetchCache {
-    /// Creates the cache with a `buffer_lines`-entry prefetch buffer.
+impl PrefetchPolicy {
+    /// Creates the policy state with a `buffer_lines`-entry buffer.
     ///
     /// # Panics
     ///
     /// Panics if `buffer_lines` is zero.
-    pub fn new(geom: CacheGeometry, mem: MemoryModel, buffer_lines: u32) -> Self {
+    pub fn new(geom: CacheGeometry, buffer_lines: u32) -> Self {
         assert!(buffer_lines > 0, "prefetch buffer needs at least one line");
-        let wb = WriteBuffer::new(8, mem.transfer_cycles(geom.line_bytes()));
-        NextLinePrefetchCache {
+        PrefetchPolicy {
             geom,
-            mem,
             tags: TagArray::new(geom),
             buffer: vec![
                 PrefetchSlot {
@@ -73,10 +47,7 @@ impl NextLinePrefetchCache {
                 };
                 buffer_lines as usize
             ],
-            wb,
-            clock: Clock::new(),
             lru_clock: 0,
-            metrics: Metrics::new(),
         }
     }
 
@@ -84,12 +55,21 @@ impl NextLinePrefetchCache {
         self.buffer.iter().position(|s| s.valid && s.line == line)
     }
 
-    fn issue_prefetch(&mut self, line: u64, ready_at: u64) {
+    fn issue_prefetch<P: Probe>(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        ready_at: u64,
+    ) {
         if self.tags.peek(line).is_some() || self.buffer_find(line).is_some() {
             return;
         }
-        self.metrics.prefetches += 1;
-        self.metrics.record_fetch(1, self.geom.line_bytes());
+        sys.metrics_mut().prefetches += 1;
+        sys.record_fetch_traffic(1);
+        if P::ENABLED {
+            probe.on_event(&Event::PrefetchIssue { line });
+        }
         self.lru_clock += 1;
         let slot = self
             .buffer
@@ -111,79 +91,163 @@ impl NextLinePrefetchCache {
         };
     }
 
-    fn promote(&mut self, slot: usize, a: &Access) -> u64 {
+    fn promote<P: Probe>(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        slot: usize,
+        a: &Access,
+    ) -> u64 {
         let line = self.buffer[slot].line;
         let ready_at = self.buffer[slot].ready_at;
         self.buffer[slot].valid = false;
-        let now = self.clock.now();
+        let now = sys.now();
         // 3 cycles to access the buffer, plus any residual fetch latency.
         let cost = AUX_HIT_CYCLES.max(ready_at.saturating_sub(now));
         let way = self.tags.victim_way(line);
         let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
         let mut extra = 0;
         if old.valid && old.dirty {
-            self.metrics.writebacks += 1;
-            extra += self.wb.push(now);
+            if P::ENABLED {
+                probe.on_event(&Event::Writeback { line: old.line });
+            }
+            extra += sys.writeback();
         }
         cost + extra
     }
 }
 
-impl CacheSim for NextLinePrefetchCache {
-    fn access(&mut self, a: &Access) {
-        self.metrics.record_ref(a.kind().is_write());
-        let mut cost = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += cost;
+impl<P: Probe> CachePolicy<P> for PrefetchPolicy {
+    #[inline]
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
 
-        let line = self.geom.line_of(a.addr());
-        if let Some(idx) = self.tags.probe(line) {
-            if a.kind().is_write() {
-                self.tags.entry_at_mut(idx).dirty = true;
+    #[inline]
+    fn probe_main(&mut self, line: u64) -> Option<usize> {
+        self.tags.probe(line)
+    }
+
+    #[inline]
+    fn touch_hit(&mut self, idx: usize, a: &Access) {
+        if a.kind().is_write() {
+            self.tags.entry_at_mut(idx).dirty = true;
+        }
+    }
+
+    fn miss(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        stall: u64,
+        a: &Access,
+    ) -> (u64, u64) {
+        let mut cost = stall;
+        if let Some(slot) = self.buffer_find(line) {
+            sys.metrics_mut().aux_hits += 1;
+            sys.metrics_mut().useful_prefetches += 1;
+            if P::ENABLED {
+                probe.on_event(&Event::PrefetchUse { line });
             }
-            self.metrics.main_hits += 1;
-            cost += MAIN_HIT_CYCLES;
-        } else if let Some(slot) = self.buffer_find(line) {
-            self.metrics.aux_hits += 1;
-            self.metrics.useful_prefetches += 1;
-            cost += self.promote(slot, a);
+            cost += self.promote(sys, probe, slot, a);
             // Classic prefetch-on-miss: buffer hits do not re-arm the
             // prefetcher (the software-assisted design's *progressive*
             // prefetch, which does re-arm, is its advantage — §4.4).
-        } else {
-            self.metrics.misses += 1;
-            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
-            self.metrics.record_fetch(1, self.geom.line_bytes());
-            let way = self.tags.victim_way(line);
-            let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
-            if old.valid && old.dirty {
-                self.metrics.writebacks += 1;
-                let stall = self.wb.push(self.clock.now());
-                self.metrics.stall_cycles += stall;
-                cost += stall;
-            }
-            // Prefetch the next line, queued behind the demand fetch.
-            let ready = self.clock.now() + cost + self.mem.transfer_cycles(self.geom.line_bytes());
-            self.issue_prefetch(line + 1, ready);
+            return (cost, 0);
         }
-        self.metrics.mem_cycles += cost;
-        self.clock.complete(cost);
+        sys.metrics_mut().misses += 1;
+        cost += sys.fetch_lines(1);
+        let way = self.tags.victim_way(line);
+        let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
+        if P::ENABLED {
+            let victim = old.valid.then_some(Victim {
+                line: old.line,
+                dirty: old.dirty,
+            });
+            probe.on_event(&Event::Miss {
+                line,
+                set: self.geom.set_of_line(line),
+                is_write: a.kind().is_write(),
+                victim,
+            });
+            probe.on_event(&Event::LineFill { line, demand: true });
+        }
+        if old.valid && old.dirty {
+            if P::ENABLED {
+                probe.on_event(&Event::Writeback { line: old.line });
+            }
+            let wb_stall = sys.writeback();
+            sys.metrics_mut().stall_cycles += wb_stall;
+            cost += wb_stall;
+        }
+        // Prefetch the next line, queued behind the demand fetch.
+        let ready = sys.now() + cost + sys.line_transfer_cycles();
+        self.issue_prefetch(sys, probe, line + 1, ready);
+        (cost, 0)
     }
 
-    fn invalidate_all(&mut self) {
-        self.metrics.writebacks += self.tags.invalidate_all();
+    fn flush(&mut self) -> u64 {
         for slot in &mut self.buffer {
             slot.valid = false;
         }
+        self.tags.invalidate_all()
     }
+}
 
-    fn metrics(&self) -> &Metrics {
-        &self.metrics
+/// A standard cache plus an N-entry prefetch buffer: every demand miss on
+/// line `L` also fetches `L+1` into the buffer (prefetch-on-miss); a
+/// buffer hit promotes the line into the main cache. Prefetches that
+/// arrive after they are demanded stall for the residual latency.
+///
+/// The paper cites the two flaws of such tag-blind hardware prefetching:
+/// wrong predictions and additional memory traffic — both are visible in
+/// this engine's [`crate::Metrics`] (`prefetches` vs `useful_prefetches`,
+/// `words_fetched`). This is [`PrefetchPolicy`] run by the shared
+/// [`CacheEngine`]; attach an observer with
+/// [`NextLinePrefetchCache::with_probe`].
+///
+/// ```
+/// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel, NextLinePrefetchCache};
+/// use sac_trace::Access;
+///
+/// let mut c = NextLinePrefetchCache::new(
+///     CacheGeometry::standard(),
+///     MemoryModel::default(),
+///     8,
+/// );
+/// c.access(&Access::read(0));                 // miss, prefetches line 1
+/// c.access(&Access::read(32).with_gap(100));  // prefetch-buffer hit
+/// assert_eq!(c.metrics().useful_prefetches, 1);
+/// ```
+pub type NextLinePrefetchCache<P = NoopProbe> = CacheEngine<PrefetchPolicy, P>;
+
+impl NextLinePrefetchCache {
+    /// Creates the cache with a `buffer_lines`-entry prefetch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_lines` is zero.
+    pub fn new(geom: CacheGeometry, mem: MemoryModel, buffer_lines: u32) -> Self {
+        NextLinePrefetchCache::with_probe(geom, mem, buffer_lines, NoopProbe)
+    }
+}
+
+impl<P: Probe> NextLinePrefetchCache<P> {
+    /// Creates the cache with an attached observer probe.
+    pub fn with_probe(geom: CacheGeometry, mem: MemoryModel, buffer_lines: u32, probe: P) -> Self {
+        CacheEngine::from_parts(
+            PrefetchPolicy::new(geom, buffer_lines),
+            MemorySystem::new(mem, geom.line_bytes()),
+            probe,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CacheSim;
     use sac_trace::Trace;
 
     fn small() -> NextLinePrefetchCache {

@@ -1,18 +1,95 @@
 //! The Standard baseline: a plain write-back, write-allocate LRU cache.
 
-use crate::clock::Clock;
-use crate::{
-    CacheGeometry, CacheSim, ChunkDelta, MemoryModel, Metrics, TagArray, WriteBuffer,
-    MAIN_HIT_CYCLES,
-};
+use crate::{CacheEngine, CacheGeometry, CachePolicy, MemoryModel, MemorySystem, TagArray};
 use sac_obs::{Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
+
+/// The policy of the paper's *Standard* cache: a bare LRU tag array over
+/// the shared memory system. On a miss it fetches one line, fills it and
+/// writes back the dirty victim.
+#[derive(Debug, Clone)]
+pub struct StandardPolicy {
+    geom: CacheGeometry,
+    tags: TagArray,
+}
+
+impl StandardPolicy {
+    /// Creates the policy state for `geom`.
+    pub fn new(geom: CacheGeometry) -> Self {
+        StandardPolicy {
+            geom,
+            tags: TagArray::new(geom),
+        }
+    }
+}
+
+impl<P: Probe> CachePolicy<P> for StandardPolicy {
+    #[inline]
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    #[inline]
+    fn probe_main(&mut self, line: u64) -> Option<usize> {
+        self.tags.probe(line)
+    }
+
+    #[inline]
+    fn touch_hit(&mut self, idx: usize, a: &Access) {
+        if a.kind().is_write() {
+            self.tags.entry_at_mut(idx).dirty = true;
+        }
+    }
+
+    fn miss(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        stall: u64,
+        a: &Access,
+    ) -> (u64, u64) {
+        sys.metrics_mut().misses += 1;
+        let mut cost = stall + sys.fetch_lines(1);
+        let way = self.tags.victim_way(line);
+        let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
+        if P::ENABLED {
+            let victim = old.valid.then_some(Victim {
+                line: old.line,
+                dirty: old.dirty,
+            });
+            probe.on_event(&Event::Miss {
+                line,
+                set: self.geom.set_of_line(line),
+                is_write: a.kind().is_write(),
+                victim,
+            });
+            probe.on_event(&Event::LineFill { line, demand: true });
+        }
+        if old.valid && old.dirty {
+            if P::ENABLED {
+                probe.on_event(&Event::Writeback { line: old.line });
+            }
+            // The 2-cycle transfer hides under the miss penalty; only
+            // write-buffer pressure shows up as stall.
+            let wb_stall = sys.writeback();
+            sys.metrics_mut().stall_cycles += wb_stall;
+            cost += wb_stall;
+        }
+        (cost, 0)
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.tags.invalidate_all()
+    }
+}
 
 /// The paper's *Standard* cache (and, with other geometries, every plain
 /// set-associative configuration of Figures 8b, 9a and 9b).
 ///
 /// Write-back, write-allocate, LRU replacement, a write buffer for dirty
-/// victims. Ignores the software tags entirely.
+/// victims. Ignores the software tags entirely. This is
+/// [`StandardPolicy`] run by the shared [`CacheEngine`].
 ///
 /// The engine is generic over an observer probe (defaulting to the
 /// disabled [`NoopProbe`], which monomorphizes to the unprobed code —
@@ -27,16 +104,7 @@ use sac_trace::Access;
 /// c.access(&Access::read(8));        // hit in the same line: 1 cycle
 /// assert_eq!(c.metrics().mem_cycles, 23);
 /// ```
-#[derive(Debug, Clone)]
-pub struct StandardCache<P: Probe = NoopProbe> {
-    geom: CacheGeometry,
-    mem: MemoryModel,
-    tags: TagArray,
-    wb: WriteBuffer,
-    clock: Clock,
-    metrics: Metrics,
-    probe: P,
-}
+pub type StandardCache<P = NoopProbe> = CacheEngine<StandardPolicy, P>;
 
 impl StandardCache {
     /// Creates the cache with the standard 8-entry write buffer.
@@ -48,153 +116,18 @@ impl StandardCache {
 impl<P: Probe> StandardCache<P> {
     /// Creates the cache with an attached observer probe.
     pub fn with_probe(geom: CacheGeometry, mem: MemoryModel, probe: P) -> Self {
-        let wb = WriteBuffer::new(8, mem.transfer_cycles(geom.line_bytes()));
-        StandardCache {
-            geom,
-            mem,
-            tags: TagArray::new(geom),
-            wb,
-            clock: Clock::new(),
-            metrics: Metrics::new(),
+        CacheEngine::from_parts(
+            StandardPolicy::new(geom),
+            MemorySystem::new(mem, geom.line_bytes()),
             probe,
-        }
-    }
-
-    /// The cache geometry.
-    pub fn geometry(&self) -> CacheGeometry {
-        self.geom
-    }
-
-    /// The memory model.
-    pub fn memory(&self) -> MemoryModel {
-        self.mem
-    }
-
-    /// The attached probe.
-    pub fn probe(&self) -> &P {
-        &self.probe
-    }
-
-    /// The attached probe, mutably.
-    pub fn probe_mut(&mut self) -> &mut P {
-        &mut self.probe
-    }
-
-    /// Consumes the engine and returns the probe (for post-run export).
-    pub fn into_probe(self) -> P {
-        self.probe
-    }
-
-    /// Miss machinery shared by [`CacheSim::access`] and the chunked fast
-    /// path: fetch, fill, write back a dirty victim. Returns the access
-    /// cost beyond the arrival stall.
-    fn miss(&mut self, a: &Access, line: u64) -> u64 {
-        self.metrics.misses += 1;
-        let mut cost = self.mem.fetch_cycles(1, self.geom.line_bytes());
-        self.metrics.record_fetch(1, self.geom.line_bytes());
-        let way = self.tags.victim_way(line);
-        let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
-        if P::ENABLED {
-            let victim = old.valid.then_some(Victim {
-                line: old.line,
-                dirty: old.dirty,
-            });
-            self.probe.on_event(&Event::Miss {
-                line,
-                set: self.geom.set_of_line(line),
-                is_write: a.kind().is_write(),
-                victim,
-            });
-            self.probe.on_event(&Event::LineFill { line, demand: true });
-        }
-        if old.valid && old.dirty {
-            self.metrics.writebacks += 1;
-            if P::ENABLED {
-                self.probe.on_event(&Event::Writeback { line: old.line });
-            }
-            // The 2-cycle transfer hides under the miss penalty; only
-            // write-buffer pressure shows up as stall.
-            let stall = self.wb.push(self.clock.now());
-            self.metrics.stall_cycles += stall;
-            cost += stall;
-        }
-        cost
-    }
-}
-
-impl<P: Probe> CacheSim for StandardCache<P> {
-    fn access(&mut self, a: &Access) {
-        self.metrics.record_ref(a.kind().is_write());
-        let stall = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += stall;
-
-        let line = self.geom.line_of(a.addr());
-        if P::ENABLED {
-            self.probe.on_ref(a.addr(), line, a.kind().is_write());
-        }
-        let cost = if let Some(idx) = self.tags.probe(line) {
-            if a.kind().is_write() {
-                self.tags.entry_at_mut(idx).dirty = true;
-            }
-            self.metrics.main_hits += 1;
-            stall + MAIN_HIT_CYCLES
-        } else {
-            stall + self.miss(a, line)
-        };
-        self.metrics.mem_cycles += cost;
-        self.clock.complete(cost);
-        self.metrics.debug_check_invariants();
-    }
-
-    fn run_chunk(&mut self, chunk: &[Access]) {
-        // Hit fast path: a direct index + tag compare bumping a compact
-        // [`ChunkDelta`] instead of the full metrics block; the miss
-        // machinery only runs on actual misses. All counters are
-        // additive, so folding the delta at the chunk boundary yields
-        // exactly the per-access counters.
-        let mut delta = ChunkDelta::new();
-        for a in chunk {
-            let stall = self.clock.arrive(a.gap());
-            let line = self.geom.line_of(a.addr());
-            if P::ENABLED {
-                self.probe.on_ref(a.addr(), line, a.kind().is_write());
-            }
-            if let Some(idx) = self.tags.probe(line) {
-                let is_write = a.kind().is_write();
-                if is_write {
-                    self.tags.entry_at_mut(idx).dirty = true;
-                }
-                let cost = stall + MAIN_HIT_CYCLES;
-                delta.record_hit(is_write, cost, stall);
-                self.clock.complete(cost);
-            } else {
-                self.metrics.record_ref(a.kind().is_write());
-                self.metrics.stall_cycles += stall;
-                let cost = stall + self.miss(a, line);
-                self.metrics.mem_cycles += cost;
-                self.clock.complete(cost);
-            }
-        }
-        self.metrics.apply_chunk(&delta);
-        self.metrics.debug_check_invariants();
-    }
-
-    fn invalidate_all(&mut self) {
-        let wbs = self.tags.invalidate_all();
-        self.metrics.writebacks += wbs;
-        if P::ENABLED {
-            self.probe.on_event(&Event::Flush { writebacks: wbs });
-        }
-    }
-
-    fn metrics(&self) -> &Metrics {
-        &self.metrics
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CacheSim;
     use sac_trace::Trace;
 
     fn small() -> StandardCache {

@@ -8,10 +8,11 @@
 //! more streams than there are buffers — visible in this model by
 //! comparing `useful_prefetches` across buffer counts.
 
-use crate::clock::Clock;
 use crate::{
-    CacheGeometry, CacheSim, MemoryModel, Metrics, TagArray, WriteBuffer, MAIN_HIT_CYCLES,
+    CacheEngine, CacheGeometry, CachePolicy, Entry, MemoryModel, MemorySystem, TagArray,
+    MAIN_HIT_CYCLES,
 };
+use sac_obs::{Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 use std::collections::VecDeque;
 
@@ -24,7 +25,180 @@ struct StreamBuf {
     lru: u64,
 }
 
-/// A standard cache backed by `N` stream buffers of `K` entries.
+/// The stream-buffer policy: a standard LRU array beside `N` FIFO stream
+/// buffers of `K` entries, run by the shared [`CacheEngine`].
+#[derive(Debug, Clone)]
+pub struct StreamPolicy {
+    geom: CacheGeometry,
+    tags: TagArray,
+    buffers: Vec<StreamBuf>,
+    depth: usize,
+    lru_clock: u64,
+}
+
+impl StreamPolicy {
+    /// Creates the policy state with `buffers` stream buffers of `depth`
+    /// lines each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffers` or `depth` is zero.
+    pub fn new(geom: CacheGeometry, buffers: u32, depth: u32) -> Self {
+        assert!(buffers > 0 && depth > 0, "need at least one buffer entry");
+        StreamPolicy {
+            geom,
+            tags: TagArray::new(geom),
+            buffers: (0..buffers)
+                .map(|_| StreamBuf {
+                    entries: VecDeque::new(),
+                    next_line: 0,
+                    lru: 0,
+                })
+                .collect(),
+            depth: depth as usize,
+            lru_clock: 0,
+        }
+    }
+
+    /// Fills `line` into the main array; returns the displaced entry and
+    /// any write-buffer stall for its writeback. The stall folds into the
+    /// access cost only — it hides under the fetch, so it is not counted
+    /// as processor stall.
+    fn fill_main<P: Probe>(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        a: &Access,
+    ) -> (Entry, u64) {
+        let way = self.tags.victim_way(line);
+        let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
+        let stall = if old.valid && old.dirty {
+            if P::ENABLED {
+                probe.on_event(&Event::Writeback { line: old.line });
+            }
+            sys.writeback()
+        } else {
+            0
+        };
+        (old, stall)
+    }
+
+    /// Starts a fresh stream at `line + 1` in the LRU buffer.
+    fn allocate_stream<P: Probe>(&mut self, sys: &mut MemorySystem, probe: &mut P, line: u64) {
+        self.lru_clock += 1;
+        let lru_clock = self.lru_clock;
+        let fetch = sys.memory().fetch_cycles(1, self.geom.line_bytes());
+        let transfer = sys.line_transfer_cycles();
+        let now = sys.now();
+        let depth = self.depth;
+        let buf = self
+            .buffers
+            .iter_mut()
+            .min_by_key(|b| b.lru)
+            .expect("at least one buffer");
+        buf.lru = lru_clock;
+        buf.entries.clear();
+        for k in 0..depth as u64 {
+            buf.entries
+                .push_back((line + 1 + k, now + fetch + k * transfer));
+            if P::ENABLED {
+                probe.on_event(&Event::PrefetchIssue { line: line + 1 + k });
+            }
+        }
+        buf.next_line = line + 1 + depth as u64;
+        sys.metrics_mut().prefetches += depth as u64;
+        sys.record_fetch_traffic(depth as u64);
+    }
+}
+
+impl<P: Probe> CachePolicy<P> for StreamPolicy {
+    #[inline]
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    #[inline]
+    fn probe_main(&mut self, line: u64) -> Option<usize> {
+        self.tags.probe(line)
+    }
+
+    #[inline]
+    fn touch_hit(&mut self, idx: usize, a: &Access) {
+        if a.kind().is_write() {
+            self.tags.entry_at_mut(idx).dirty = true;
+        }
+    }
+
+    fn miss(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        stall: u64,
+        a: &Access,
+    ) -> (u64, u64) {
+        let mut cost = stall;
+        if let Some(bi) = self
+            .buffers
+            .iter()
+            .position(|b| b.entries.front().is_some_and(|&(l, _)| l == line))
+        {
+            // Head hit: pop into the main cache, advance the stream.
+            sys.metrics_mut().aux_hits += 1;
+            sys.metrics_mut().useful_prefetches += 1;
+            if P::ENABLED {
+                probe.on_event(&Event::PrefetchUse { line });
+            }
+            self.lru_clock += 1;
+            self.buffers[bi].lru = self.lru_clock;
+            let (_, ready) = self.buffers[bi].entries.pop_front().expect("head checked");
+            cost += MAIN_HIT_CYCLES.max(ready.saturating_sub(sys.now()));
+            let next = self.buffers[bi].next_line;
+            self.buffers[bi].next_line += 1;
+            let arrive = sys.now() + cost + sys.memory().fetch_cycles(1, self.geom.line_bytes());
+            self.buffers[bi].entries.push_back((next, arrive));
+            sys.metrics_mut().prefetches += 1;
+            sys.record_fetch_traffic(1);
+            if P::ENABLED {
+                probe.on_event(&Event::PrefetchIssue { line: next });
+            }
+            let (_, wb_stall) = self.fill_main(sys, probe, line, a);
+            cost += wb_stall;
+            return (cost, 0);
+        }
+        sys.metrics_mut().misses += 1;
+        cost += sys.fetch_lines(1);
+        let (old, wb_stall) = self.fill_main(sys, probe, line, a);
+        cost += wb_stall;
+        if P::ENABLED {
+            let victim = old.valid.then_some(Victim {
+                line: old.line,
+                dirty: old.dirty,
+            });
+            probe.on_event(&Event::Miss {
+                line,
+                set: self.geom.set_of_line(line),
+                is_write: a.kind().is_write(),
+                victim,
+            });
+            probe.on_event(&Event::LineFill { line, demand: true });
+        }
+        self.allocate_stream(sys, probe, line);
+        (cost, 0)
+    }
+
+    fn flush(&mut self) -> u64 {
+        for b in &mut self.buffers {
+            b.entries.clear();
+        }
+        self.tags.invalidate_all()
+    }
+}
+
+/// A standard cache backed by `N` stream buffers of `K` entries: this is
+/// [`StreamPolicy`] run by the shared [`CacheEngine`]. Attach an observer
+/// with [`StreamBufferCache::with_probe`].
 ///
 /// ```
 /// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel, StreamBufferCache};
@@ -40,18 +214,7 @@ struct StreamBuf {
 /// c.access(&Access::read(32).with_gap(200));   // head hit
 /// assert_eq!(c.metrics().aux_hits, 1);
 /// ```
-#[derive(Debug, Clone)]
-pub struct StreamBufferCache {
-    geom: CacheGeometry,
-    mem: MemoryModel,
-    tags: TagArray,
-    buffers: Vec<StreamBuf>,
-    depth: usize,
-    wb: WriteBuffer,
-    clock: Clock,
-    lru_clock: u64,
-    metrics: Metrics,
-}
+pub type StreamBufferCache<P = NoopProbe> = CacheEngine<StreamPolicy, P>;
 
 impl StreamBufferCache {
     /// Creates the cache with `buffers` stream buffers of `depth` lines.
@@ -60,122 +223,31 @@ impl StreamBufferCache {
     ///
     /// Panics if `buffers` or `depth` is zero.
     pub fn new(geom: CacheGeometry, mem: MemoryModel, buffers: u32, depth: u32) -> Self {
-        assert!(buffers > 0 && depth > 0, "need at least one buffer entry");
-        let wb = WriteBuffer::new(8, mem.transfer_cycles(geom.line_bytes()));
-        StreamBufferCache {
-            geom,
-            mem,
-            tags: TagArray::new(geom),
-            buffers: (0..buffers)
-                .map(|_| StreamBuf {
-                    entries: VecDeque::new(),
-                    next_line: 0,
-                    lru: 0,
-                })
-                .collect(),
-            depth: depth as usize,
-            wb,
-            clock: Clock::new(),
-            lru_clock: 0,
-            metrics: Metrics::new(),
-        }
-    }
-
-    fn fill_main(&mut self, line: u64, a: &Access) -> u64 {
-        let way = self.tags.victim_way(line);
-        let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
-        if old.valid && old.dirty {
-            self.metrics.writebacks += 1;
-            self.wb.push(self.clock.now())
-        } else {
-            0
-        }
-    }
-
-    /// Starts a fresh stream at `line + 1` in the LRU buffer.
-    fn allocate_stream(&mut self, line: u64) {
-        self.lru_clock += 1;
-        let lru_clock = self.lru_clock;
-        let fetch = self.mem.fetch_cycles(1, self.geom.line_bytes());
-        let transfer = self.mem.transfer_cycles(self.geom.line_bytes());
-        let now = self.clock.now();
-        let depth = self.depth;
-        let buf = self
-            .buffers
-            .iter_mut()
-            .min_by_key(|b| b.lru)
-            .expect("at least one buffer");
-        buf.lru = lru_clock;
-        buf.entries.clear();
-        for k in 0..depth as u64 {
-            buf.entries
-                .push_back((line + 1 + k, now + fetch + k * transfer));
-        }
-        buf.next_line = line + 1 + depth as u64;
-        self.metrics.prefetches += depth as u64;
-        self.metrics
-            .record_fetch(depth as u64, self.geom.line_bytes());
+        StreamBufferCache::with_probe(geom, mem, buffers, depth, NoopProbe)
     }
 }
 
-impl CacheSim for StreamBufferCache {
-    fn access(&mut self, a: &Access) {
-        self.metrics.record_ref(a.kind().is_write());
-        let mut cost = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += cost;
-
-        let line = self.geom.line_of(a.addr());
-        if let Some(idx) = self.tags.probe(line) {
-            if a.kind().is_write() {
-                self.tags.entry_at_mut(idx).dirty = true;
-            }
-            self.metrics.main_hits += 1;
-            cost += MAIN_HIT_CYCLES;
-        } else if let Some(bi) = self
-            .buffers
-            .iter()
-            .position(|b| b.entries.front().is_some_and(|&(l, _)| l == line))
-        {
-            // Head hit: pop into the main cache, advance the stream.
-            self.metrics.aux_hits += 1;
-            self.metrics.useful_prefetches += 1;
-            self.lru_clock += 1;
-            self.buffers[bi].lru = self.lru_clock;
-            let (_, ready) = self.buffers[bi].entries.pop_front().expect("head checked");
-            cost += MAIN_HIT_CYCLES.max(ready.saturating_sub(self.clock.now()));
-            let next = self.buffers[bi].next_line;
-            self.buffers[bi].next_line += 1;
-            let arrive = self.clock.now() + cost + self.mem.fetch_cycles(1, self.geom.line_bytes());
-            self.buffers[bi].entries.push_back((next, arrive));
-            self.metrics.prefetches += 1;
-            self.metrics.record_fetch(1, self.geom.line_bytes());
-            cost += self.fill_main(line, a);
-        } else {
-            self.metrics.misses += 1;
-            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
-            self.metrics.record_fetch(1, self.geom.line_bytes());
-            cost += self.fill_main(line, a);
-            self.allocate_stream(line);
-        }
-        self.metrics.mem_cycles += cost;
-        self.clock.complete(cost);
-    }
-
-    fn invalidate_all(&mut self) {
-        self.metrics.writebacks += self.tags.invalidate_all();
-        for b in &mut self.buffers {
-            b.entries.clear();
-        }
-    }
-
-    fn metrics(&self) -> &Metrics {
-        &self.metrics
+impl<P: Probe> StreamBufferCache<P> {
+    /// Creates the cache with an attached observer probe.
+    pub fn with_probe(
+        geom: CacheGeometry,
+        mem: MemoryModel,
+        buffers: u32,
+        depth: u32,
+        probe: P,
+    ) -> Self {
+        CacheEngine::from_parts(
+            StreamPolicy::new(geom, buffers, depth),
+            MemorySystem::new(mem, geom.line_bytes()),
+            probe,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CacheSim;
     use sac_trace::Trace;
 
     fn cache(buffers: u32) -> StreamBufferCache {

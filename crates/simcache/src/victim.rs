@@ -1,11 +1,128 @@
 //! Jouppi's victim cache (the Figure 3b baseline).
 
-use crate::clock::Clock;
 use crate::{
-    CacheGeometry, CacheSim, MemoryModel, Metrics, TagArray, WriteBuffer, AUX_HIT_CYCLES,
-    MAIN_HIT_CYCLES, SWAP_LOCK_CYCLES,
+    CacheEngine, CacheGeometry, CachePolicy, MemoryModel, MemorySystem, TagArray, AUX_HIT_CYCLES,
+    SWAP_LOCK_CYCLES,
 };
+use sac_obs::{Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
+
+/// The victim-cache policy: an LRU main array backed by a small
+/// fully-associative victim array, run by the shared [`CacheEngine`].
+///
+/// A victim-cache hit is the auxiliary path of the generic miss hook: it
+/// costs [`AUX_HIT_CYCLES`] and swaps the line with the conflicting main
+/// line, locking both arrays [`SWAP_LOCK_CYCLES`] further cycles.
+#[derive(Debug, Clone)]
+pub struct VictimPolicy {
+    geom: CacheGeometry,
+    main: TagArray,
+    victim: TagArray,
+}
+
+impl VictimPolicy {
+    /// Creates the policy state: `geom` main array plus `victim_lines`
+    /// fully-associative victim lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim_lines` is zero.
+    pub fn new(geom: CacheGeometry, victim_lines: u32) -> Self {
+        assert!(victim_lines > 0, "victim cache needs at least one line");
+        let vgeom = CacheGeometry::new(
+            victim_lines as u64 * geom.line_bytes(),
+            geom.line_bytes(),
+            victim_lines,
+        );
+        VictimPolicy {
+            geom,
+            main: TagArray::new(geom),
+            victim: TagArray::new(vgeom),
+        }
+    }
+}
+
+impl<P: Probe> CachePolicy<P> for VictimPolicy {
+    #[inline]
+    fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    #[inline]
+    fn probe_main(&mut self, line: u64) -> Option<usize> {
+        self.main.probe(line)
+    }
+
+    #[inline]
+    fn touch_hit(&mut self, idx: usize, a: &Access) {
+        if a.kind().is_write() {
+            self.main.entry_at_mut(idx).dirty = true;
+        }
+    }
+
+    fn miss(
+        &mut self,
+        sys: &mut MemorySystem,
+        probe: &mut P,
+        line: u64,
+        stall: u64,
+        a: &Access,
+    ) -> (u64, u64) {
+        if let Some((vway, mut ventry)) = self.victim.take(line) {
+            // Victim-cache hit: swap with the conflicting main line.
+            sys.metrics_mut().aux_hits += 1;
+            sys.metrics_mut().swaps += 1;
+            if P::ENABLED {
+                probe.on_event(&Event::Swap { line });
+            }
+            if a.kind().is_write() {
+                ventry.dirty = true;
+            }
+            let way = self.main.victim_way(line);
+            let displaced = self.main.install(line, way, ventry);
+            if displaced.valid {
+                self.victim.install(displaced.line, vway, displaced);
+            }
+            return (stall + AUX_HIT_CYCLES, SWAP_LOCK_CYCLES);
+        }
+        // Miss in both: fetch from memory; the main victim moves to the
+        // victim cache while the request is in flight.
+        sys.metrics_mut().misses += 1;
+        let mut cost = stall + sys.fetch_lines(1);
+        let way = self.main.victim_way(line);
+        let displaced = self.main.fill(line, way, a.addr(), a.kind().is_write());
+        if P::ENABLED {
+            let victim = displaced.valid.then_some(Victim {
+                line: displaced.line,
+                dirty: displaced.dirty,
+            });
+            probe.on_event(&Event::Miss {
+                line,
+                set: self.geom.set_of_line(line),
+                is_write: a.kind().is_write(),
+                victim,
+            });
+            probe.on_event(&Event::LineFill { line, demand: true });
+        }
+        if displaced.valid {
+            let vway = self.victim.victim_way(displaced.line);
+            let evicted = self.victim.install(displaced.line, vway, displaced);
+            if evicted.valid && evicted.dirty {
+                if P::ENABLED {
+                    probe.on_event(&Event::Writeback { line: evicted.line });
+                }
+                let wb_stall = sys.writeback();
+                sys.metrics_mut().stall_cycles += wb_stall;
+                cost += wb_stall;
+            }
+        }
+        (cost, 0)
+    }
+
+    fn flush(&mut self) -> u64 {
+        self.main.invalidate_all() + self.victim.invalidate_all()
+    }
+}
 
 /// A direct-mapped (or set-associative) main cache backed by a small
 /// fully-associative victim cache.
@@ -15,7 +132,8 @@ use sac_trace::Access;
 /// locking both arrays 2 further cycles (§2.2). Lines evicted from the
 /// victim cache are discarded (written back first when dirty) — the
 /// bounce-back mechanism of `sac-core` is exactly this design plus the
-/// temporal-bit-driven bounce.
+/// temporal-bit-driven bounce. This is [`VictimPolicy`] run by the shared
+/// [`CacheEngine`]; attach an observer with [`VictimCache::with_probe`].
 ///
 /// ```
 /// use sac_simcache::{CacheGeometry, CacheSim, MemoryModel, VictimCache};
@@ -27,16 +145,7 @@ use sac_trace::Access;
 /// c.access(&Access::read(0));      // victim-cache hit (3 cycles), swap
 /// assert_eq!(c.metrics().aux_hits, 1);
 /// ```
-#[derive(Debug, Clone)]
-pub struct VictimCache {
-    geom: CacheGeometry,
-    mem: MemoryModel,
-    main: TagArray,
-    victim: TagArray,
-    wb: WriteBuffer,
-    clock: Clock,
-    metrics: Metrics,
-}
+pub type VictimCache<P = NoopProbe> = CacheEngine<VictimPolicy, P>;
 
 impl VictimCache {
     /// Creates a victim cache of `victim_lines` fully-associative lines
@@ -46,98 +155,25 @@ impl VictimCache {
     ///
     /// Panics if `victim_lines` is zero.
     pub fn new(geom: CacheGeometry, mem: MemoryModel, victim_lines: u32) -> Self {
-        assert!(victim_lines > 0, "victim cache needs at least one line");
-        let vgeom = CacheGeometry::new(
-            victim_lines as u64 * geom.line_bytes(),
-            geom.line_bytes(),
-            victim_lines,
-        );
-        let wb = WriteBuffer::new(8, mem.transfer_cycles(geom.line_bytes()));
-        VictimCache {
-            geom,
-            mem,
-            main: TagArray::new(geom),
-            victim: TagArray::new(vgeom),
-            wb,
-            clock: Clock::new(),
-            metrics: Metrics::new(),
-        }
-    }
-
-    fn discard(entry: crate::Entry, wb: &mut WriteBuffer, metrics: &mut Metrics, now: u64) -> u64 {
-        if entry.valid && entry.dirty {
-            metrics.writebacks += 1;
-            wb.push(now)
-        } else {
-            0
-        }
+        VictimCache::with_probe(geom, mem, victim_lines, NoopProbe)
     }
 }
 
-impl CacheSim for VictimCache {
-    fn access(&mut self, a: &Access) {
-        self.metrics.record_ref(a.kind().is_write());
-        let mut cost = self.clock.arrive(a.gap());
-        self.metrics.stall_cycles += cost;
-
-        let line = self.geom.line_of(a.addr());
-        if let Some(idx) = self.main.probe(line) {
-            if a.kind().is_write() {
-                self.main.entry_at_mut(idx).dirty = true;
-            }
-            self.metrics.main_hits += 1;
-            cost += MAIN_HIT_CYCLES;
-        } else if let Some((vway, mut ventry)) = self.victim.take(line) {
-            // Victim-cache hit: swap with the conflicting main line.
-            self.metrics.aux_hits += 1;
-            self.metrics.swaps += 1;
-            cost += AUX_HIT_CYCLES;
-            if a.kind().is_write() {
-                ventry.dirty = true;
-            }
-            let way = self.main.victim_way(line);
-            let displaced = self.main.install(line, way, ventry);
-            if displaced.valid {
-                self.victim.install(displaced.line, vway, displaced);
-            }
-            self.clock.complete(cost);
-            self.clock.lock_for(SWAP_LOCK_CYCLES);
-            self.metrics.mem_cycles += cost;
-            return;
-        } else {
-            // Miss in both: fetch from memory; the main victim moves to
-            // the victim cache while the request is in flight.
-            self.metrics.misses += 1;
-            cost += self.mem.fetch_cycles(1, self.geom.line_bytes());
-            self.metrics.record_fetch(1, self.geom.line_bytes());
-            let way = self.main.victim_way(line);
-            let displaced = self.main.fill(line, way, a.addr(), a.kind().is_write());
-            if displaced.valid {
-                let vway = self.victim.victim_way(displaced.line);
-                let evicted = self.victim.install(displaced.line, vway, displaced);
-                let stall =
-                    Self::discard(evicted, &mut self.wb, &mut self.metrics, self.clock.now());
-                self.metrics.stall_cycles += stall;
-                cost += stall;
-            }
-        }
-        self.metrics.mem_cycles += cost;
-        self.clock.complete(cost);
-    }
-
-    fn invalidate_all(&mut self) {
-        self.metrics.writebacks += self.main.invalidate_all();
-        self.metrics.writebacks += self.victim.invalidate_all();
-    }
-
-    fn metrics(&self) -> &Metrics {
-        &self.metrics
+impl<P: Probe> VictimCache<P> {
+    /// Creates the cache with an attached observer probe.
+    pub fn with_probe(geom: CacheGeometry, mem: MemoryModel, victim_lines: u32, probe: P) -> Self {
+        CacheEngine::from_parts(
+            VictimPolicy::new(geom, victim_lines),
+            MemorySystem::new(mem, geom.line_bytes()),
+            probe,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CacheSim, MAIN_HIT_CYCLES};
 
     fn small() -> VictimCache {
         // 4-line direct-mapped main + 2-line victim cache.

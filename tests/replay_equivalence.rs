@@ -4,12 +4,11 @@
 //! must produce identical [`Metrics`] — the figure suite's byte-identical
 //! output rests on this.
 
-use software_assisted_caches::core::SoftCache;
 use software_assisted_caches::experiments::explain::explain_config;
 use software_assisted_caches::experiments::runner::ReplayBatch;
 use software_assisted_caches::experiments::{Config, Suite};
 use software_assisted_caches::obs::{CountingProbe, ObsConfig, TracingProbe};
-use software_assisted_caches::simcache::{CacheSim, Metrics, StandardCache};
+use software_assisted_caches::simcache::{BypassMode, CacheGeometry, MemoryModel, Metrics};
 use software_assisted_caches::trace::io::{read_text, write_binary, ChunkedReader};
 use software_assisted_caches::trace::Trace;
 
@@ -20,10 +19,51 @@ fn golden() -> Trace {
     trace
 }
 
+/// Every organization in the study — all of them run on the shared
+/// policy engine, so all of them must replay identically on every path.
 fn configs() -> Vec<(String, Config)> {
+    let geom = CacheGeometry::standard();
+    let mem = MemoryModel::default();
     vec![
         ("equiv/standard".to_string(), Config::standard()),
         ("equiv/victim".to_string(), Config::standard_victim()),
+        (
+            "equiv/bypass".to_string(),
+            Config::Bypass {
+                geom,
+                mem,
+                mode: BypassMode::Buffered { lines: 4 },
+            },
+        ),
+        (
+            "equiv/prefetch".to_string(),
+            Config::HwPrefetch {
+                geom,
+                mem,
+                lines: 8,
+            },
+        ),
+        (
+            "equiv/stream".to_string(),
+            Config::StreamBuffer {
+                geom,
+                mem,
+                buffers: 4,
+                depth: 4,
+            },
+        ),
+        (
+            "equiv/colassoc".to_string(),
+            Config::ColumnAssoc { geom, mem },
+        ),
+        (
+            "equiv/assist".to_string(),
+            Config::Assist {
+                geom,
+                mem,
+                lines: 16,
+            },
+        ),
         ("equiv/soft".to_string(), Config::soft()),
     ]
 }
@@ -86,7 +126,11 @@ fn golden_trace_replays_identically_on_all_paths() {
 /// Drives `engine` over `trace`, either materialized (one `run_chunk`
 /// over the whole slice) or chunked (7-entry chunks, so the 280-entry
 /// golden trace crosses many chunk boundaries).
-fn drive(engine: &mut dyn CacheSim, trace: &Trace, chunked: bool) -> Metrics {
+fn drive(
+    engine: &mut dyn software_assisted_caches::simcache::CacheSim,
+    trace: &Trace,
+    chunked: bool,
+) -> Metrics {
     if chunked {
         for chunk in trace.as_slice().chunks(7) {
             engine.run_chunk(chunk);
@@ -98,67 +142,41 @@ fn drive(engine: &mut dyn CacheSim, trace: &Trace, chunked: bool) -> Metrics {
 }
 
 /// Attaching a probe must not change a single counter: the probe layer
-/// observes the engines, it never steers them. Checked for both probed
-/// engines, with both the full `TracingProbe` and the tiny
+/// observes the engines, it never steers them. Checked for every
+/// organization, with both the full `TracingProbe` and the tiny
 /// `CountingProbe`, in materialized and chunked modes.
 #[test]
 fn probed_replay_is_metric_identical_to_unprobed() {
     let trace = golden();
-    let (geom, mem) = match Config::standard() {
-        Config::Standard { geom, mem } => (geom, mem),
-        _ => unreachable!(),
-    };
-    let soft_cfg = match Config::soft() {
-        Config::Soft(c) => c,
-        _ => unreachable!(),
-    };
-    let obs = || ObsConfig::for_cache(geom.lines(), geom.sets(), geom.line_bytes());
-
-    for chunked in [false, true] {
-        let std_plain = drive(&mut StandardCache::new(geom, mem), &trace, chunked);
-        let std_counting = drive(
-            &mut StandardCache::with_probe(geom, mem, CountingProbe::default()),
-            &trace,
-            chunked,
-        );
-        let std_tracing = drive(
-            &mut StandardCache::with_probe(geom, mem, TracingProbe::new(obs())),
-            &trace,
-            chunked,
-        );
-        assert_eq!(
-            std_plain, std_counting,
-            "standard+counting chunked={chunked}"
-        );
-        assert_eq!(std_plain, std_tracing, "standard+tracing chunked={chunked}");
-
-        let soft_plain = drive(&mut SoftCache::new(soft_cfg), &trace, chunked);
-        let soft_counting = drive(
-            &mut SoftCache::with_probe(soft_cfg, CountingProbe::default()),
-            &trace,
-            chunked,
-        );
-        let soft_tracing = drive(
-            &mut SoftCache::with_probe(soft_cfg, TracingProbe::new(obs())),
-            &trace,
-            chunked,
-        );
-        assert_eq!(soft_plain, soft_counting, "soft+counting chunked={chunked}");
-        assert_eq!(soft_plain, soft_tracing, "soft+tracing chunked={chunked}");
+    for (label, config) in configs() {
+        let (geom, _) = config.shape();
+        let obs = || ObsConfig::for_cache(geom.lines(), geom.sets(), geom.line_bytes());
+        for chunked in [false, true] {
+            let plain = drive(&mut *config.build(), &trace, chunked);
+            let counting = drive(
+                &mut *config.build_probed(CountingProbe::default()),
+                &trace,
+                chunked,
+            );
+            let tracing = drive(
+                &mut *config.build_probed(TracingProbe::new(obs())),
+                &trace,
+                chunked,
+            );
+            assert_eq!(plain, counting, "{label}+counting chunked={chunked}");
+            assert_eq!(plain, tracing, "{label}+tracing chunked={chunked}");
+        }
     }
 }
 
 /// The explainer's telemetry reconciles exactly with the engine counters
 /// on the golden trace, and its instrumented run reproduces the same
-/// metrics as the plain replay path.
+/// metrics as the plain replay path — for every organization.
 #[test]
 fn golden_trace_explain_reconciles_exactly() {
     let trace = golden();
-    for (label, config) in [
-        ("golden/standard", Config::standard()),
-        ("golden/soft", Config::soft()),
-    ] {
-        let e = explain_config(label, &config, &trace, 64, 1)
+    for (label, config) in configs() {
+        let e = explain_config(&label, &config, &trace, 64, 1)
             .expect("golden trace telemetry reconciles");
         assert_eq!(e.metrics, config.run(&trace), "{label}");
         e.verify().expect("explicit re-verification holds");
