@@ -129,6 +129,16 @@ impl<P: Probe> CachePolicy<P> for AssistPolicy {
     }
 
     #[inline]
+    fn probe_main_soa(&mut self, line: u64) -> Option<usize> {
+        self.main.probe_soa(line)
+    }
+
+    #[inline]
+    fn before_access_inert(&self) -> bool {
+        true
+    }
+
+    #[inline]
     fn touch_hit(&mut self, idx: usize, a: &Access) {
         let e = self.main.entry_at_mut(idx);
         if a.kind().is_write() {
@@ -137,6 +147,13 @@ impl<P: Probe> CachePolicy<P> for AssistPolicy {
         if a.temporal() {
             e.temporal = true;
         }
+    }
+
+    #[inline]
+    fn touch_hit_run(&mut self, idx: usize, _run: &[Access], any_write: bool, any_temporal: bool) {
+        let e = self.main.entry_at_mut(idx);
+        e.dirty |= any_write;
+        e.temporal |= any_temporal;
     }
 
     fn miss(
@@ -278,6 +295,10 @@ impl<P: Probe> CacheSim for AssistCache<P> {
 
     fn run_chunk(&mut self, chunk: &[Access]) {
         self.engine.run_chunk(chunk);
+    }
+
+    fn run_chunk_soa(&mut self, chunk: &[Access]) {
+        self.engine.run_chunk_soa(chunk);
     }
 
     fn invalidate_all(&mut self) {

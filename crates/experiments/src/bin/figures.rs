@@ -17,10 +17,14 @@
 //! Replay runs chunked by default (every configuration of a sweep row
 //! advances through the trace in one pass); `--materialized` replays one
 //! configuration at a time over the whole trace instead — the output is
-//! bit-identical, the flag exists so CI can diff the two paths.
+//! bit-identical, the flag exists so CI can diff the two paths. Batch
+//! replay probes tag arrays as structure-of-arrays by default; `--scalar`
+//! selects the per-entry reference probe instead — again bit-identical,
+//! again a flag so CI can diff the fast path against its twin.
 //! `--bench-json PATH` additionally times raw / hit-heavy / miss-heavy
-//! replay micro-benchmarks and writes a JSON report (refs/sec, peak RSS
-//! estimate, per-figure wall-clock, runner-level cell spans) to PATH.
+//! replay micro-benchmarks in both probe modes and writes a JSON report
+//! (SoA and scalar refs/sec, speedup, peak RSS estimate, per-figure
+//! wall-clock, runner-level cell spans) to PATH.
 //! `--obs-json PATH` runs one instrumented standard + soft cell with the
 //! full `TracingProbe` and writes the telemetry as JSON Lines to PATH.
 //! Both output paths are validated (created) up front, so a long run
@@ -30,7 +34,6 @@ use sac_experiments::explain::{self, hit_heavy_trace, miss_heavy_trace, mixed_tr
 use sac_experiments::runner::ReplayBatch;
 use sac_experiments::{figures, runner, Config, Suite, Table};
 use sac_trace::{Access, Trace};
-use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::time::Instant;
 
@@ -72,6 +75,7 @@ fn main() {
             "--small" => {}
             "--sequential" => runner::set_jobs(1),
             "--materialized" => runner::set_replay_mode(runner::ReplayMode::Materialized),
+            "--scalar" => runner::set_probe_mode(runner::ProbeMode::Scalar),
             "--bench-json" => {
                 bench_json = Some(iter.next().unwrap_or_else(|| {
                     eprintln!("--bench-json needs an output path");
@@ -112,17 +116,17 @@ fn main() {
     // Validate output paths up front (satellite of the telemetry work):
     // a full `figures all` run takes minutes, and discovering a typo'd
     // directory only at the final write would throw all of it away.
-    let mut bench_writer = bench_json.map(|path| match File::create(&path) {
+    let mut bench_writer = bench_json.map(|path| match sac_trace::io::create_output(&path) {
         Ok(f) => (path, f),
         Err(e) => {
-            eprintln!("--bench-json: cannot write {path}: {e}");
+            eprintln!("--bench-json: {e}");
             std::process::exit(2);
         }
     });
-    let mut obs_writer = obs_json.map(|path| match File::create(&path) {
+    let mut obs_writer = obs_json.map(|path| match sac_trace::io::create_output(&path) {
         Ok(f) => (path, BufWriter::new(f)),
         Err(e) => {
-            eprintln!("--obs-json: cannot write {path}: {e}");
+            eprintln!("--obs-json: {e}");
             std::process::exit(2);
         }
     });
@@ -295,7 +299,7 @@ fn bench_report(suite: Option<&Suite>, figure_walls: &[(String, f64)], total_wal
         ("hit_heavy", hit_heavy_trace(BENCH_LEN)),
         ("miss_heavy", miss_heavy_trace(BENCH_LEN)),
     ];
-    let mut out = String::from("{\n  \"schema\": \"sac-bench-replay-v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"sac-bench-replay-v2\",\n");
     out.push_str(&format!("  \"jobs\": {},\n", runner::jobs()));
     out.push_str(&format!(
         "  \"replay_mode\": \"{}\",\n",
@@ -305,13 +309,24 @@ fn bench_report(suite: Option<&Suite>, figure_walls: &[(String, f64)], total_wal
         }
     ));
     out.push_str("  \"replay\": {\n");
+    // Time every shape in both probe modes: `refs_per_sec` is the SoA
+    // fast path (what the CI bench-guard re-times), the scalar rate and
+    // the derived speedup are committed alongside so the snapshot itself
+    // documents the fast path's win — and a portable, machine-relative
+    // ratio the guard can check across hosts.
+    let entry_mode = runner::probe_mode();
     for (i, (name, trace)) in shapes.iter().enumerate() {
+        runner::set_probe_mode(runner::ProbeMode::Scalar);
+        let (_, _, scalar_rate) = time_replay(trace);
+        runner::set_probe_mode(runner::ProbeMode::Soa);
         let (engine_refs, wall, rate) = time_replay(trace);
+        let speedup = rate / scalar_rate;
         out.push_str(&format!(
-            "    \"{name}\": {{\"engine_refs\": {engine_refs}, \"wall_s\": {wall:.6}, \"refs_per_sec\": {rate:.0}}}{}\n",
+            "    \"{name}\": {{\"engine_refs\": {engine_refs}, \"wall_s\": {wall:.6}, \"refs_per_sec\": {rate:.0}, \"scalar_refs_per_sec\": {scalar_rate:.0}, \"speedup\": {speedup:.3}}}{}\n",
             if i + 1 < shapes.len() { "," } else { "" }
         ));
     }
+    runner::set_probe_mode(entry_mode);
     out.push_str("  },\n");
     out.push_str(&format!("  \"peak_rss_bytes\": {},\n", peak_rss_bytes()));
     out.push_str(&format!("  \"total_wall_s\": {total_wall:.3},\n"));

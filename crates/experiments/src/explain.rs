@@ -370,13 +370,23 @@ impl Explanation {
 }
 
 /// Extracts `"refs_per_sec"` for one replay shape from a
-/// `sac-bench-replay-v1` JSON report (hand-rolled scan: the build is
+/// `sac-bench-replay` JSON report (hand-rolled scan: the build is
 /// offline, no serde). Returns `None` when the shape is absent.
 pub fn bench_refs_per_sec(json: &str, shape: &str) -> Option<f64> {
+    bench_field(json, shape, "\"refs_per_sec\":")
+}
+
+/// Extracts the SoA-vs-scalar `"speedup"` ratio for one replay shape
+/// from a `sac-bench-replay-v2` report. Returns `None` for v1 reports
+/// (the field did not exist yet) or an absent shape.
+pub fn bench_speedup(json: &str, shape: &str) -> Option<f64> {
+    bench_field(json, shape, "\"speedup\":")
+}
+
+fn bench_field(json: &str, shape: &str, field: &str) -> Option<f64> {
     let key = format!("\"{shape}\"");
     let obj = &json[json.find(&key)? + key.len()..];
     let obj = &obj[..obj.find('}')?];
-    let field = "\"refs_per_sec\":";
     let rest = &obj[obj.find(field)? + field.len()..];
     let num: String = rest
         .trim_start()

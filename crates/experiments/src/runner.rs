@@ -28,9 +28,8 @@
 //! binaries.
 
 use sac_simcache::{CacheSim, Metrics};
-use sac_trace::io::{ChunkedReader, ReadError};
+use sac_trace::io::{ChunkSource, ReadError};
 use sac_trace::{Access, Trace};
-use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -160,6 +159,38 @@ pub fn replay_mode() -> ReplayMode {
     }
 }
 
+/// How a [`ReplayBatch`] probes the engines' tag arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeMode {
+    /// Structure-of-arrays fast path: packed u64 tag lanes, way
+    /// memoization and same-line hit-run batching (the default).
+    Soa,
+    /// The scalar per-entry probe — the reference implementation the SoA
+    /// path is diffed against (`--scalar`).
+    Scalar,
+}
+
+/// 0 = SoA, 1 = scalar.
+static PROBE_MODE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the probe mode for subsequent batch replays (the `--scalar`
+/// flag stores [`ProbeMode::Scalar`]).
+pub fn set_probe_mode(mode: ProbeMode) {
+    let v = match mode {
+        ProbeMode::Soa => 0,
+        ProbeMode::Scalar => 1,
+    };
+    PROBE_MODE.store(v, Ordering::SeqCst);
+}
+
+/// The probe mode batch replays will use.
+pub fn probe_mode() -> ProbeMode {
+    match PROBE_MODE.load(Ordering::SeqCst) {
+        0 => ProbeMode::Soa,
+        _ => ProbeMode::Scalar,
+    }
+}
+
 /// A batch of independent engines replaying one trace in a single pass.
 ///
 /// Each decoded chunk is fed to every engine in push order before the
@@ -222,11 +253,18 @@ impl ReplayBatch {
         self.engines.is_empty()
     }
 
-    /// Drives every engine over one decoded chunk (in push order).
+    /// Drives every engine over one decoded chunk (in push order),
+    /// through the SoA fast path or the scalar reference path per the
+    /// global [`ProbeMode`].
     pub fn feed(&mut self, chunk: &[Access]) {
+        let soa = probe_mode() == ProbeMode::Soa;
         for slot in &mut self.engines {
             let start = Instant::now();
-            slot.engine.run_chunk(chunk);
+            if soa {
+                slot.engine.run_chunk_soa(chunk);
+            } else {
+                slot.engine.run_chunk(chunk);
+            }
             slot.wall += start.elapsed();
             slot.chunks += 1;
         }
@@ -253,17 +291,20 @@ impl ReplayBatch {
         self.finish()
     }
 
-    /// Streams a SACT trace through the batch without materializing it:
-    /// each decoded chunk is consumed by every engine, then overwritten
-    /// by the next one.
+    /// Streams a serialized trace through the batch without
+    /// materializing it: each decoded chunk is consumed by every engine,
+    /// then overwritten by the next one. Accepts any [`ChunkSource`] —
+    /// a `SACT` [`sac_trace::io::ChunkedReader`], a `SAC2`
+    /// [`sac_trace::io::Sact2Reader`], or the format-sniffing
+    /// [`sac_trace::io::TraceReader`].
     ///
     /// # Errors
     ///
     /// Propagates decode errors; engines keep the references replayed so
     /// far but no cells are recorded.
-    pub fn replay_reader<R: Read>(
+    pub fn replay_reader<S: ChunkSource>(
         mut self,
-        reader: &mut ChunkedReader<R>,
+        reader: &mut S,
     ) -> Result<Vec<Metrics>, ReadError> {
         while let Some(chunk) = reader.next_chunk()? {
             self.feed(chunk);
@@ -458,6 +499,7 @@ pub fn summary(elapsed: Duration) -> RunSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sac_trace::io::ChunkedReader;
     use sac_trace::Access;
 
     #[test]

@@ -48,6 +48,16 @@ pub trait CacheSim {
         }
     }
 
+    /// The raw-speed twin of [`CacheSim::run_chunk`]: same counters,
+    /// probing the main array as structure-of-arrays where the engine
+    /// supports it (packed u64 tag lanes, way memoization, same-line
+    /// hit-run batching). The scalar [`CacheSim::run_chunk`] is the
+    /// reference implementation; this default falls back to it, and the
+    /// replay harness diffs the two byte-for-byte.
+    fn run_chunk_soa(&mut self, chunk: &[Access]) {
+        self.run_chunk(chunk);
+    }
+
     /// Drives an entire trace through the simulator.
     fn run(&mut self, trace: &Trace) {
         self.run_chunk(trace.as_slice());

@@ -182,9 +182,46 @@ pub trait CachePolicy<P: Probe> {
     /// hit.
     fn probe_main(&mut self, line: u64) -> Option<usize>;
 
+    /// The SoA fast-path twin of [`CachePolicy::probe_main`]: policies
+    /// whose main probe is a plain [`crate::TagArray::probe`] route it
+    /// through [`crate::TagArray::probe_soa`] (packed tag lanes + way
+    /// memo) instead. Must give the same hit/miss answer and leave the
+    /// array in a state with identical future victim choices. Defaults
+    /// to the scalar probe.
+    #[inline]
+    fn probe_main_soa(&mut self, line: u64) -> Option<usize> {
+        self.probe_main(line)
+    }
+
+    /// Whether [`CachePolicy::before_access`] is *currently* a no-op.
+    /// The SoA replay path batches runs of same-line hits only while
+    /// this holds, because batching elides the per-access hook. The
+    /// conservative default (`false`) disables batching; policies whose
+    /// hook never does anything return `true`, and policies with a
+    /// conditional hook (in-flight prefetch delivery) return whether it
+    /// would fire now.
+    #[inline]
+    fn before_access_inert(&self) -> bool {
+        false
+    }
+
     /// Finishes a main-array hit: hint-bit updates on the hit entry
     /// (dirty on a store, temporal tag notes, …).
     fn touch_hit(&mut self, idx: usize, a: &Access);
+
+    /// Folds the [`CachePolicy::touch_hit`] updates of a whole run of
+    /// same-line hits on the entry at `idx`. `any_write` and
+    /// `any_temporal` summarize the run's flag bits. The default replays
+    /// `touch_hit` per access, which is always exact; policies whose
+    /// `touch_hit` is an OR-monotone function of the write/temporal bits
+    /// (all of the study's are) override with a constant-time fold.
+    #[inline]
+    fn touch_hit_run(&mut self, idx: usize, run: &[Access], any_write: bool, any_temporal: bool) {
+        let _ = (any_write, any_temporal);
+        for a in run {
+            self.touch_hit(idx, a);
+        }
+    }
 
     /// Everything past a main-array miss — auxiliary hit, bypass or a
     /// full miss. `stall` is the already-recorded arrival stall. Returns
@@ -264,6 +301,101 @@ impl<Pol: CachePolicy<P>, P: Probe> CacheEngine<Pol, P> {
     pub fn geometry(&self) -> CacheGeometry {
         self.policy.geometry()
     }
+
+    /// The full miss arm, deliberately `inline(never)`: keeping the miss
+    /// machinery out of `run_chunk_soa`'s loop body keeps the hit fast
+    /// path small enough to stay in registers (policies with small miss
+    /// bodies otherwise get them inlined into the loop, which measurably
+    /// slows the hit path *and* the miss path).
+    /// Streaming hit mode of the SoA replay path: starting right after a
+    /// completed, inert hit on `line`/`idx`, consumes accesses for as
+    /// long as every probe hits, folding the per-access bookkeeping.
+    /// Returns how many accesses of `rest` were consumed.
+    ///
+    /// *Clock*: after a completed hit, `now` sits at or past any lock,
+    /// and hits never lock, so every streamed access has stall 0 by
+    /// construction; the issue gaps fold into one `complete` at the end.
+    /// *Hooks*: `before_access` stays inert for the whole stream (only
+    /// misses and the hook itself can change that, and neither runs
+    /// here); `touch_hit` folds per same-line sub-run through
+    /// [`CachePolicy::touch_hit_run`].
+    /// *Probes*: one probe per line change; a probe that misses ends the
+    /// stream *before* its access, which the caller then reprocesses in
+    /// full (the extra probe is behaviorally invisible — a failed probe
+    /// mutates nothing but the LRU clock, and a uniform clock skip
+    /// reorders no stamps).
+    ///
+    /// Outlined (like [`CacheEngine::miss_access`]) so the dispatch loop
+    /// in `run_chunk_soa` stays small.
+    #[inline(never)]
+    fn stream_hits(
+        &mut self,
+        rest: &[Access],
+        line: u64,
+        idx: usize,
+        delta: &mut ChunkDelta,
+    ) -> usize {
+        let geom = self.policy.geometry();
+        let mut cur_line = line;
+        let mut cur_idx = idx;
+        let mut run_start = 0usize;
+        let mut hits: u32 = 0;
+        let mut writes: u32 = 0;
+        let mut gaps: u64 = 0;
+        let mut line_write = false;
+        let mut line_temporal = false;
+        let mut consumed = 0usize;
+        for (k, b) in rest.iter().enumerate() {
+            let bl = geom.line_of(b.addr());
+            if bl != cur_line {
+                let Some(bidx) = self.policy.probe_main_soa(bl) else {
+                    break;
+                };
+                self.policy
+                    .touch_hit_run(cur_idx, &rest[run_start..k], line_write, line_temporal);
+                cur_line = bl;
+                cur_idx = bidx;
+                run_start = k;
+                line_write = false;
+                line_temporal = false;
+            }
+            let w = b.kind().is_write();
+            if P::ENABLED {
+                self.probe.on_ref(b.addr(), bl, w);
+            }
+            hits += 1;
+            writes += u32::from(w);
+            gaps += b.gap() as u64;
+            line_write |= w;
+            line_temporal |= b.temporal();
+            consumed = k + 1;
+        }
+        if hits > 0 {
+            self.policy.touch_hit_run(
+                cur_idx,
+                &rest[run_start..consumed],
+                line_write,
+                line_temporal,
+            );
+            let cycles = u64::from(hits) * MAIN_HIT_CYCLES;
+            delta.record_hit_run(hits, writes, cycles);
+            self.sys.complete(gaps + cycles);
+        }
+        consumed
+    }
+
+    #[inline(never)]
+    fn miss_access(&mut self, a: &Access, line: u64, stall: u64) {
+        self.sys.metrics_mut().record_ref(a.kind().is_write());
+        self.sys.metrics_mut().stall_cycles += stall;
+        let (cost, lock) = self
+            .policy
+            .miss(&mut self.sys, &mut self.probe, line, stall, a);
+        self.sys.charge(cost);
+        if lock > 0 {
+            self.sys.lock_for(lock);
+        }
+    }
 }
 
 impl<Pol: CachePolicy<P>, P: Probe> CacheSim for CacheEngine<Pol, P> {
@@ -326,6 +458,50 @@ impl<Pol: CachePolicy<P>, P: Probe> CacheSim for CacheEngine<Pol, P> {
                     self.sys.lock_for(lock);
                 }
             }
+        }
+        self.sys.metrics_mut().apply_chunk(&delta);
+        self.sys.metrics().debug_check_invariants();
+    }
+
+    fn run_chunk_soa(&mut self, chunk: &[Access]) {
+        // The SoA replay path. Three speed levers over the scalar
+        // `run_chunk`, none of which may change a single counter:
+        //
+        // 1. the main probe goes through the policy's SoA twin
+        //    (packed tag lanes + way memo, see `TagArray::probe_soa`);
+        // 2. the geometry is hoisted out of the loop;
+        // 3. a *hit run* — consecutive accesses to the very line that
+        //    just hit, while `before_access` is provably inert — is
+        //    folded without re-probing: after a completed access the
+        //    clock sits at or past any lock, so every access in the run
+        //    is a stall-free 1-cycle hit by construction, and skipping
+        //    the LRU restamp is safe for the same reason the way memo's
+        //    skip is (the line already holds the maximal stamp).
+        let geom = self.policy.geometry();
+        let mut delta = ChunkDelta::new();
+        let mut rest = chunk;
+        while let Some((a, tail)) = rest.split_first() {
+            rest = tail;
+            let stall = self.sys.arrive(a.gap());
+            self.policy.before_access(&mut self.sys, &mut self.probe);
+            let line = geom.line_of(a.addr());
+            if P::ENABLED {
+                self.probe.on_ref(a.addr(), line, a.kind().is_write());
+            }
+            let Some(idx) = self.policy.probe_main_soa(line) else {
+                self.miss_access(a, line, stall);
+                continue;
+            };
+            let is_write = a.kind().is_write();
+            self.policy.touch_hit(idx, a);
+            let cost = stall + MAIN_HIT_CYCLES;
+            delta.record_hit(is_write, cost, stall);
+            self.sys.complete(cost);
+            if !self.policy.before_access_inert() {
+                continue;
+            }
+            let consumed = self.stream_hits(rest, line, idx, &mut delta);
+            rest = &rest[consumed..];
         }
         self.sys.metrics_mut().apply_chunk(&delta);
         self.sys.metrics().debug_check_invariants();

@@ -19,6 +19,39 @@
 //!                           bit2 spatial), pad u8 = 0
 //! ```
 //!
+//! # Compact binary format (`SAC2` v1)
+//!
+//! Real address traces are deeply redundant — nearby addresses, tiny
+//! issue gaps, long stretches of identical hint flags — so the delta
+//! format stores runs of same-flag entries with varint-coded deltas:
+//!
+//! ```text
+//! magic   4 bytes  b"SAC2"
+//! version u32 LE   1
+//! namelen u32 LE   n
+//! name    n bytes  UTF-8
+//! count   u64 LE   number of entries
+//! runs    until count entries have been coded:
+//!   op     1 byte   the flag byte shared by every entry of the run
+//!                   (bit0 write, bit1 temporal, bit2 spatial,
+//!                    bits 3-4 spatial level; bits 5-7 must be 0)
+//!   runlen varint   entries in this run (1 ..= 65536)
+//!   entry  runlen × (addr zigzag-varint delta from the previous
+//!                    entry's address (first entry deltas from 0),
+//!                    gap varint (≤ 65535),
+//!                    instr zigzag-varint delta from the previous
+//!                    entry's instr (first entry deltas from 0))
+//! ```
+//!
+//! Varints are LEB128 (7 data bits per byte, high bit = continue, at
+//! most 10 bytes); zigzag maps signed deltas to unsigned as
+//! `(v << 1) ^ (v >> 63)`. Deltas use wrapping arithmetic, so every
+//! `u64` address round-trips. Decoders reject varints past 10 bytes,
+//! flag bytes with the reserved bits set, gaps above `u16::MAX`,
+//! instr deltas outside `i32`, zero-length runs, and runs overflowing
+//! the announced entry count — malformed input yields a [`ReadError`],
+//! never a panic or a silent wrap.
+//!
 //! # Text format
 //!
 //! One entry per line: `R|W <hex addr> <t> <s> <gap> <instr>`, with `#`
@@ -28,7 +61,13 @@ use crate::{Access, AccessKind, Trace};
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 const MAGIC: &[u8; 4] = b"SACT";
+const MAGIC2: &[u8; 4] = b"SAC2";
 const VERSION: u32 = 1;
+
+/// Longest run one `SAC2` op byte may cover: bounds the writer's pending
+/// run buffer without measurably costing density (one extra op byte and
+/// length varint per 64 Ki entries).
+const MAX_RUN: u64 = 1 << 16;
 
 /// Errors raised while reading a serialized trace.
 #[derive(Debug)]
@@ -73,24 +112,136 @@ impl From<io::Error> for ReadError {
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
-    w.write_all(MAGIC)?;
+pub fn write_binary<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    let mut w = SactWriter::new(w, trace.name(), trace.len() as u64)?;
+    for a in trace {
+        w.push(a)?;
+    }
+    w.finish().map(|_| ())
+}
+
+/// An incremental `SACT` encoder — the fixed-width sibling of
+/// [`Sact2Writer`], so `sact-convert` can stream in either direction
+/// without materializing the trace.
+pub struct SactWriter<W: Write> {
+    w: W,
+    announced: u64,
+    pushed: u64,
+}
+
+impl<W: Write> SactWriter<W> {
+    /// Writes the header and readies the encoder for exactly `count`
+    /// accesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new(mut w: W, name: &str, count: u64) -> io::Result<Self> {
+        write_header(&mut w, MAGIC, name, count)?;
+        Ok(SactWriter {
+            w,
+            announced: count,
+            pushed: 0,
+        })
+    }
+
+    /// Encodes one access as a fixed 16-byte entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` when pushed past the announced count;
+    /// propagates I/O errors.
+    pub fn push(&mut self, a: &Access) -> io::Result<()> {
+        if self.pushed == self.announced {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("more than the announced {} entries", self.announced),
+            ));
+        }
+        self.pushed += 1;
+        self.w.write_all(&a.addr().to_le_bytes())?;
+        self.w.write_all(&a.instr().to_le_bytes())?;
+        self.w.write_all(&(a.gap() as u16).to_le_bytes())?;
+        self.w.write_all(&[flags_byte(a), 0])
+    }
+
+    /// Returns the writer after checking the announced count was met.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` when fewer accesses than announced were
+    /// pushed.
+    pub fn finish(self) -> io::Result<W> {
+        if self.pushed != self.announced {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{} entries pushed, {} announced",
+                    self.pushed, self.announced
+                ),
+            ));
+        }
+        Ok(self.w)
+    }
+}
+
+/// Writes the common `magic/version/namelen/name/count` header shared by
+/// both binary formats.
+fn write_header<W: Write>(w: &mut W, magic: &[u8; 4], name: &str, count: u64) -> io::Result<()> {
+    w.write_all(magic)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    let name = trace.name().as_bytes();
+    let name = name.as_bytes();
     w.write_all(&(name.len() as u32).to_le_bytes())?;
     w.write_all(name)?;
-    w.write_all(&(trace.len() as u64).to_le_bytes())?;
-    for a in trace {
-        w.write_all(&a.addr().to_le_bytes())?;
-        w.write_all(&a.instr().to_le_bytes())?;
-        w.write_all(&(a.gap() as u16).to_le_bytes())?;
-        let flags: u8 = u8::from(a.kind().is_write())
-            | (u8::from(a.temporal()) << 1)
-            | (u8::from(a.spatial()) << 2)
-            | (a.spatial_level() << 3);
-        w.write_all(&[flags, 0])?;
+    w.write_all(&count.to_le_bytes())
+}
+
+/// The packed on-disk flag byte of an access (both binary formats use
+/// the same layout).
+#[inline]
+fn flags_byte(a: &Access) -> u8 {
+    u8::from(a.kind().is_write())
+        | (u8::from(a.temporal()) << 1)
+        | (u8::from(a.spatial()) << 2)
+        | (a.spatial_level() << 3)
+}
+
+/// Rebuilds an [`Access`] from its on-disk parts.
+#[inline]
+fn access_from_parts(addr: u64, instr: u32, gap: u16, flags: u8) -> Access {
+    let kind = if flags & 1 != 0 {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+    Access::new(addr, kind)
+        .with_temporal(flags & 2 != 0)
+        .with_spatial(flags & 4 != 0)
+        .with_spatial_level((flags >> 3) & 0b11)
+        .with_gap(gap as u32)
+        .with_instr(instr)
+}
+
+/// Zigzag encoding: maps small-magnitude signed values to small
+/// unsigned varints.
+#[inline]
+const fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+const fn zigzag_decode(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Appends a LEB128 varint.
+#[inline]
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
     }
-    Ok(())
+    buf.push(v as u8);
 }
 
 /// Size of one SACT entry on disk, in bytes.
@@ -109,18 +260,7 @@ fn decode_entry(buf: &[u8]) -> Access {
     let addr = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
     let instr = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
     let gap = u16::from_le_bytes(buf[12..14].try_into().expect("2 bytes"));
-    let flags = buf[14];
-    let kind = if flags & 1 != 0 {
-        AccessKind::Write
-    } else {
-        AccessKind::Read
-    };
-    Access::new(addr, kind)
-        .with_temporal(flags & 2 != 0)
-        .with_spatial(flags & 4 != 0)
-        .with_spatial_level((flags >> 3) & 0b11)
-        .with_gap(gap as u32)
-        .with_instr(instr)
+    access_from_parts(addr, instr, gap, buf[14])
 }
 
 /// A streaming SACT decoder: parses the header eagerly, then yields the
@@ -183,26 +323,7 @@ impl<R: Read> ChunkedReader<R> {
     pub fn with_chunk_size(r: R, chunk_entries: usize) -> Result<Self, ReadError> {
         assert!(chunk_entries > 0, "chunk size must be positive");
         let mut r = BufReader::new(r);
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(ReadError::BadHeader(format!("magic {magic:?}")));
-        }
-        let version = read_u32(&mut r)?;
-        if version != VERSION {
-            return Err(ReadError::BadHeader(format!(
-                "unsupported version {version}"
-            )));
-        }
-        let namelen = read_u32(&mut r)? as usize;
-        if namelen > 1 << 20 {
-            return Err(ReadError::BadHeader(format!("name length {namelen}")));
-        }
-        let mut name = vec![0u8; namelen];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| ReadError::BadHeader(format!("name not UTF-8: {e}")))?;
-        let count = read_u64(&mut r)?;
+        let (name, count) = read_header(&mut r, MAGIC)?;
         // A count whose byte size cannot be represented is malformed by
         // construction; reject it before any size computation can wrap.
         if count.checked_mul(ENTRY_BYTES as u64).is_none() {
@@ -274,11 +395,509 @@ impl<R: Read> ChunkedReader<R> {
 /// truncated entry section.
 pub fn read_binary<R: Read>(r: R) -> Result<Trace, ReadError> {
     let mut reader = ChunkedReader::new(r)?;
+    drain_to_trace(&mut reader)
+}
+
+/// Drives any [`ChunkSource`] to completion into a materialized trace.
+fn drain_to_trace<S: ChunkSource>(reader: &mut S) -> Result<Trace, ReadError> {
     let mut trace = Trace::with_capacity(reader.name(), reader.total().min(1 << 24) as usize);
     while let Some(chunk) = reader.next_chunk()? {
         trace.extend(chunk.iter().copied());
     }
     Ok(trace)
+}
+
+/// An incremental `SAC2` encoder: announce the entry count up front,
+/// [`Sact2Writer::push`] each access, then [`Sact2Writer::finish`].
+/// Buffers at most one run ([`MAX_RUN`] entries), so converting a trace
+/// never materializes it.
+pub struct Sact2Writer<W: Write> {
+    w: W,
+    announced: u64,
+    pushed: u64,
+    prev_addr: u64,
+    prev_instr: u32,
+    run_flags: u8,
+    run_len: u64,
+    run: Vec<u8>,
+}
+
+impl<W: Write> Sact2Writer<W> {
+    /// Writes the header and readies the encoder for exactly `count`
+    /// accesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new(mut w: W, name: &str, count: u64) -> io::Result<Self> {
+        write_header(&mut w, MAGIC2, name, count)?;
+        Ok(Sact2Writer {
+            w,
+            announced: count,
+            pushed: 0,
+            prev_addr: 0,
+            prev_instr: 0,
+            run_flags: 0,
+            run_len: 0,
+            run: Vec::new(),
+        })
+    }
+
+    /// Encodes one access.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` when pushed past the announced count;
+    /// propagates I/O errors.
+    pub fn push(&mut self, a: &Access) -> io::Result<()> {
+        if self.pushed == self.announced {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("more than the announced {} entries", self.announced),
+            ));
+        }
+        let flags = flags_byte(a);
+        if self.run_len > 0 && (flags != self.run_flags || self.run_len == MAX_RUN) {
+            self.flush_run()?;
+        }
+        self.run_flags = flags;
+        self.run_len += 1;
+        self.pushed += 1;
+        let addr = a.addr();
+        push_varint(
+            &mut self.run,
+            zigzag_encode(addr.wrapping_sub(self.prev_addr) as i64),
+        );
+        self.prev_addr = addr;
+        push_varint(&mut self.run, a.gap() as u64);
+        let instr = a.instr();
+        push_varint(
+            &mut self.run,
+            zigzag_encode(instr.wrapping_sub(self.prev_instr) as i32 as i64),
+        );
+        self.prev_instr = instr;
+        Ok(())
+    }
+
+    fn flush_run(&mut self) -> io::Result<()> {
+        if self.run_len == 0 {
+            return Ok(());
+        }
+        let mut head = Vec::with_capacity(11);
+        head.push(self.run_flags);
+        push_varint(&mut head, self.run_len);
+        self.w.write_all(&head)?;
+        self.w.write_all(&self.run)?;
+        self.run.clear();
+        self.run_len = 0;
+        Ok(())
+    }
+
+    /// Flushes the pending run and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` when fewer accesses than announced were
+    /// pushed (the stream would be undecodable); propagates I/O errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.pushed != self.announced {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{} entries pushed, {} announced",
+                    self.pushed, self.announced
+                ),
+            ));
+        }
+        self.flush_run()?;
+        Ok(self.w)
+    }
+}
+
+/// Writes a trace in the compact `SAC2` delta format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_binary2<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    let mut w = Sact2Writer::new(w, trace.name(), trace.len() as u64)?;
+    for a in trace {
+        w.push(a)?;
+    }
+    w.finish().map(|_| ())
+}
+
+/// A streaming `SAC2` decoder with the same chunked interface as
+/// [`ChunkedReader`]: run state (current flags, previous address/instr)
+/// persists across chunk boundaries, and both the refill buffer and the
+/// decoded buffer are reused, so steady-state decoding allocates
+/// nothing.
+pub struct Sact2Reader<R: Read> {
+    r: R,
+    /// Refill buffer: valid bytes are `buf[start..end]`.
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    eof: bool,
+    name: String,
+    total: u64,
+    remaining: u64,
+    chunk_entries: usize,
+    decoded: Vec<Access>,
+    /// Entries left in the currently open run (0 = at a run boundary).
+    run_left: u64,
+    run_flags: u8,
+    prev_addr: u64,
+    prev_instr: u32,
+}
+
+/// Refill buffer size for [`Sact2Reader`]; any value past the longest
+/// possible entry (31 bytes) works, 64 KB keeps syscalls rare.
+const SACT2_BUF: usize = 64 * 1024;
+
+impl<R: Read> Sact2Reader<R> {
+    /// Opens a `SAC2` stream, parsing and validating the header, with
+    /// the default chunk size ([`DEFAULT_CHUNK`] entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] on I/O failure or a bad header.
+    pub fn new(r: R) -> Result<Self, ReadError> {
+        Sact2Reader::with_chunk_size(r, DEFAULT_CHUNK)
+    }
+
+    /// Opens a `SAC2` stream decoding `chunk_entries` entries per chunk.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Sact2Reader::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_entries` is zero.
+    pub fn with_chunk_size(mut r: R, chunk_entries: usize) -> Result<Self, ReadError> {
+        assert!(chunk_entries > 0, "chunk size must be positive");
+        let (name, count) = read_header(&mut r, MAGIC2)?;
+        Ok(Sact2Reader {
+            r,
+            buf: vec![0; SACT2_BUF],
+            start: 0,
+            end: 0,
+            eof: false,
+            name,
+            total: count,
+            remaining: count,
+            chunk_entries,
+            decoded: Vec::new(),
+            run_left: 0,
+            run_flags: 0,
+            prev_addr: 0,
+            prev_instr: 0,
+        })
+    }
+
+    /// The trace name from the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of entries announced by the header.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Entries not yet yielded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Reads one byte, refilling the buffer as needed.
+    #[inline]
+    fn read_byte(&mut self) -> Result<u8, ReadError> {
+        if self.start == self.end {
+            self.refill()?;
+            if self.start == self.end {
+                return Err(ReadError::BadEntry("unexpected end of stream".into()));
+            }
+        }
+        let b = self.buf[self.start];
+        self.start += 1;
+        Ok(b)
+    }
+
+    /// Slides leftover bytes to the front and reads more. Post: either
+    /// `start < end` or `eof` holds.
+    fn refill(&mut self) -> Result<(), ReadError> {
+        self.buf.copy_within(self.start..self.end, 0);
+        self.end -= self.start;
+        self.start = 0;
+        while !self.eof && self.end < self.buf.len() {
+            let n = self.r.read(&mut self.buf[self.end..])?;
+            if n == 0 {
+                self.eof = true;
+            } else {
+                self.end += n;
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a LEB128 varint with a hard 10-byte / 64-bit cap.
+    fn read_varint(&mut self) -> Result<u64, ReadError> {
+        let mut val = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.read_byte()?;
+            if shift == 63 && (b & 0x7f) > 1 {
+                return Err(ReadError::BadEntry("varint overflows u64".into()));
+            }
+            val |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(val);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(ReadError::BadEntry("varint longer than 10 bytes".into()));
+            }
+        }
+    }
+
+    /// Decodes and returns the next chunk, or `None` once all announced
+    /// entries have been yielded. The returned slice borrows an internal
+    /// buffer that is overwritten by the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::BadEntry`] (with the entry index) on a
+    /// truncated stream or any malformed run or entry.
+    pub fn next_chunk(&mut self) -> Result<Option<&[Access]>, ReadError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let n = self.remaining.min(self.chunk_entries as u64) as usize;
+        self.decoded.clear();
+        while self.decoded.len() < n {
+            let at = self.total - self.remaining + self.decoded.len() as u64;
+            let ctx = |e: ReadError| match e {
+                ReadError::BadEntry(m) => ReadError::BadEntry(format!("entry {at}: {m}")),
+                other => other,
+            };
+            if self.run_left == 0 {
+                let flags = self.read_byte().map_err(ctx)?;
+                if flags & 0xE0 != 0 {
+                    return Err(ReadError::BadEntry(format!(
+                        "entry {at}: reserved flag bits set ({flags:#04x})"
+                    )));
+                }
+                let len = self.read_varint().map_err(ctx)?;
+                let left = self.remaining - self.decoded.len() as u64;
+                if len == 0 || len > left {
+                    return Err(ReadError::BadEntry(format!(
+                        "entry {at}: run of {len} overflows the {left} announced entries left"
+                    )));
+                }
+                self.run_flags = flags;
+                self.run_left = len;
+            }
+            let d = zigzag_decode(self.read_varint().map_err(ctx)?);
+            self.prev_addr = self.prev_addr.wrapping_add(d as u64);
+            let gap = self.read_varint().map_err(ctx)?;
+            if gap > u16::MAX as u64 {
+                return Err(ReadError::BadEntry(format!(
+                    "entry {at}: gap {gap} > 65535"
+                )));
+            }
+            let di = zigzag_decode(self.read_varint().map_err(ctx)?);
+            if di < i32::MIN as i64 || di > i32::MAX as i64 {
+                return Err(ReadError::BadEntry(format!(
+                    "entry {at}: instr delta {di} outside i32"
+                )));
+            }
+            self.prev_instr = self.prev_instr.wrapping_add(di as u32);
+            self.decoded.push(access_from_parts(
+                self.prev_addr,
+                self.prev_instr,
+                gap as u16,
+                self.run_flags,
+            ));
+            self.run_left -= 1;
+        }
+        self.remaining -= n as u64;
+        Ok(Some(&self.decoded))
+    }
+}
+
+/// Reads a trace in the compact `SAC2` format, fully materialized.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on I/O failure, a bad header, or a malformed
+/// entry section.
+pub fn read_binary2<R: Read>(r: R) -> Result<Trace, ReadError> {
+    let mut reader = Sact2Reader::new(r)?;
+    drain_to_trace(&mut reader)
+}
+
+/// A format-sniffing chunked reader: peeks at the magic bytes and opens
+/// the matching decoder, so every consumer of [`ChunkSource`] accepts
+/// `SACT` and `SAC2` streams transparently.
+pub enum TraceReader<R: Read> {
+    /// A fixed-entry `SACT` v1 stream.
+    Sact(ChunkedReader<io::Chain<io::Cursor<[u8; 4]>, R>>),
+    /// A delta-coded `SAC2` stream.
+    Sact2(Sact2Reader<io::Chain<io::Cursor<[u8; 4]>, R>>),
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Sniffs the magic bytes and opens the matching streaming decoder
+    /// with the default chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::BadHeader`] when the magic matches neither
+    /// format; otherwise as the matching reader.
+    pub fn new(r: R) -> Result<Self, ReadError> {
+        TraceReader::with_chunk_size(r, DEFAULT_CHUNK)
+    }
+
+    /// As [`TraceReader::new`] with an explicit chunk size.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceReader::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_entries` is zero.
+    pub fn with_chunk_size(mut r: R, chunk_entries: usize) -> Result<Self, ReadError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        let rest = io::Cursor::new(magic).chain(r);
+        match &magic {
+            m if m == MAGIC => Ok(TraceReader::Sact(ChunkedReader::with_chunk_size(
+                rest,
+                chunk_entries,
+            )?)),
+            m if m == MAGIC2 => Ok(TraceReader::Sact2(Sact2Reader::with_chunk_size(
+                rest,
+                chunk_entries,
+            )?)),
+            m => Err(ReadError::BadHeader(format!(
+                "magic {m:?} is neither SACT nor SAC2"
+            ))),
+        }
+    }
+
+    /// The wire format behind this reader, for display.
+    pub fn format(&self) -> &'static str {
+        match self {
+            TraceReader::Sact(_) => "SACT",
+            TraceReader::Sact2(_) => "SAC2",
+        }
+    }
+}
+
+/// Reads a trace in either binary format (sniffed), fully materialized.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on I/O failure, an unrecognized or bad header,
+/// or a malformed entry section.
+pub fn read_any<R: Read>(r: R) -> Result<Trace, ReadError> {
+    let mut reader = TraceReader::new(r)?;
+    drain_to_trace(&mut reader)
+}
+
+/// Opens `path` for writing, creating or truncating it — the one place
+/// every tool validates its output destination. Callers that do
+/// expensive work before the final write (`figures --bench-json`,
+/// `sact-convert`, `sac trace`) call this up front, so a typo'd
+/// directory fails immediately instead of after minutes of simulation.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error re-wrapped so the message names the
+/// offending path.
+pub fn create_output<P: AsRef<std::path::Path>>(path: P) -> io::Result<std::fs::File> {
+    let path = path.as_ref();
+    std::fs::File::create(path)
+        .map_err(|e| io::Error::new(e.kind(), format!("cannot write {}: {e}", path.display())))
+}
+
+/// A streaming source of decoded trace chunks — what the replay layer
+/// consumes, independent of the wire format behind it.
+pub trait ChunkSource {
+    /// The trace name from the header.
+    fn name(&self) -> &str;
+    /// Total number of entries announced by the header.
+    fn total(&self) -> u64;
+    /// Entries not yet yielded.
+    fn remaining(&self) -> u64;
+    /// Decodes and returns the next chunk, or `None` when done. The
+    /// slice borrows an internal buffer overwritten by the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] on I/O failure or malformed input.
+    fn next_chunk(&mut self) -> Result<Option<&[Access]>, ReadError>;
+}
+
+impl<R: Read> ChunkSource for ChunkedReader<R> {
+    fn name(&self) -> &str {
+        ChunkedReader::name(self)
+    }
+    fn total(&self) -> u64 {
+        ChunkedReader::total(self)
+    }
+    fn remaining(&self) -> u64 {
+        ChunkedReader::remaining(self)
+    }
+    fn next_chunk(&mut self) -> Result<Option<&[Access]>, ReadError> {
+        ChunkedReader::next_chunk(self)
+    }
+}
+
+impl<R: Read> ChunkSource for Sact2Reader<R> {
+    fn name(&self) -> &str {
+        Sact2Reader::name(self)
+    }
+    fn total(&self) -> u64 {
+        Sact2Reader::total(self)
+    }
+    fn remaining(&self) -> u64 {
+        Sact2Reader::remaining(self)
+    }
+    fn next_chunk(&mut self) -> Result<Option<&[Access]>, ReadError> {
+        Sact2Reader::next_chunk(self)
+    }
+}
+
+impl<R: Read> ChunkSource for TraceReader<R> {
+    fn name(&self) -> &str {
+        match self {
+            TraceReader::Sact(r) => r.name(),
+            TraceReader::Sact2(r) => r.name(),
+        }
+    }
+    fn total(&self) -> u64 {
+        match self {
+            TraceReader::Sact(r) => r.total(),
+            TraceReader::Sact2(r) => r.total(),
+        }
+    }
+    fn remaining(&self) -> u64 {
+        match self {
+            TraceReader::Sact(r) => r.remaining(),
+            TraceReader::Sact2(r) => r.remaining(),
+        }
+    }
+    fn next_chunk(&mut self) -> Result<Option<&[Access]>, ReadError> {
+        match self {
+            TraceReader::Sact(r) => ChunkSource::next_chunk(r),
+            TraceReader::Sact2(r) => ChunkSource::next_chunk(r),
+        }
+    }
 }
 
 /// Writes a trace in the human-readable text format.
@@ -372,6 +991,32 @@ fn parse_u64(s: &str) -> Option<u64> {
     } else {
         s.parse().ok()
     }
+}
+
+/// Parses and validates the `magic/version/namelen/name/count` header
+/// shared by both binary formats.
+fn read_header<R: Read>(r: &mut R, magic: &[u8; 4]) -> Result<(String, u64), ReadError> {
+    let mut got = [0u8; 4];
+    r.read_exact(&mut got)?;
+    if &got != magic {
+        return Err(ReadError::BadHeader(format!("magic {got:?}")));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(ReadError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let namelen = read_u32(r)? as usize;
+    if namelen > 1 << 20 {
+        return Err(ReadError::BadHeader(format!("name length {namelen}")));
+    }
+    let mut name = vec![0u8; namelen];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name)
+        .map_err(|e| ReadError::BadHeader(format!("name not UTF-8: {e}")))?;
+    let count = read_u64(r)?;
+    Ok((name, count))
 }
 
 fn read_u32<R: Read>(r: &mut R) -> Result<u32, ReadError> {
@@ -559,5 +1204,190 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&t, &mut buf).unwrap();
         assert_eq!(read_binary(&buf[..]).unwrap(), t);
+    }
+
+    // ---- SAC2 delta format ----
+
+    #[test]
+    fn sact2_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary2(&t, &mut buf).unwrap();
+        assert_eq!(read_binary2(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn sact2_empty_trace_round_trips() {
+        let t = Trace::new("empty");
+        let mut buf = Vec::new();
+        write_binary2(&t, &mut buf).unwrap();
+        assert_eq!(read_binary2(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn sact2_is_smaller_than_sact() {
+        let t = sample_trace();
+        let (mut v1, mut v2) = (Vec::new(), Vec::new());
+        write_binary(&t, &mut v1).unwrap();
+        write_binary2(&t, &mut v2).unwrap();
+        // Small strided deltas should encode in a fraction of the fixed
+        // 16-byte SACT entry.
+        assert!(
+            v2.len() * 2 < v1.len(),
+            "SAC2 {} bytes vs SACT {} bytes",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn sact2_round_trips_extreme_deltas() {
+        // Wrapping zigzag deltas must survive full-range address jumps
+        // and instruction-counter wraparound.
+        let mut t = Trace::new("extremes");
+        for addr in [0, u64::MAX, 1, u64::MAX - 1, 0, 1 << 63] {
+            t.push(
+                Access::read(addr)
+                    .with_instr(u32::MAX)
+                    .with_gap(u32::from(u16::MAX)),
+            );
+            t.push(Access::write(addr).with_instr(0));
+        }
+        let mut buf = Vec::new();
+        write_binary2(&t, &mut buf).unwrap();
+        assert_eq!(read_binary2(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn sact2_streaming_decoder_carries_run_state_across_chunks() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary2(&t, &mut buf).unwrap();
+        // A tiny chunk size forces every run to straddle chunk
+        // boundaries; the decoder's delta/run state must persist.
+        let mut r = Sact2Reader::with_chunk_size(&buf[..], 7).unwrap();
+        assert_eq!(r.name(), t.name());
+        assert_eq!(r.total(), t.len() as u64);
+        let mut got = Vec::new();
+        while let Some(chunk) = r.next_chunk().unwrap() {
+            assert!(chunk.len() <= 7);
+            got.extend_from_slice(chunk);
+        }
+        assert_eq!(got, t.iter().copied().collect::<Vec<_>>());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn trace_reader_sniffs_both_formats() {
+        let t = sample_trace();
+        let (mut v1, mut v2) = (Vec::new(), Vec::new());
+        write_binary(&t, &mut v1).unwrap();
+        write_binary2(&t, &mut v2).unwrap();
+
+        let r = TraceReader::new(&v1[..]).unwrap();
+        assert_eq!(r.format(), "SACT");
+        assert_eq!(read_any(&v1[..]).unwrap(), t);
+
+        let r = TraceReader::new(&v2[..]).unwrap();
+        assert_eq!(r.format(), "SAC2");
+        assert_eq!(read_any(&v2[..]).unwrap(), t);
+
+        match TraceReader::new(&b"NOPE\x00\x00\x00\x00"[..]) {
+            Err(ReadError::BadHeader(_)) => {}
+            Err(e) => panic!("expected BadHeader, got {e}"),
+            Ok(_) => panic!("unknown magic accepted"),
+        }
+    }
+
+    #[test]
+    fn sact2_writer_enforces_announced_count() {
+        // One more than announced: rejected at push time.
+        let mut w = Sact2Writer::new(Vec::new(), "x", 1).unwrap();
+        w.push(&Access::read(0)).unwrap();
+        assert!(w.push(&Access::read(8)).is_err());
+
+        // Fewer than announced: rejected at finish time.
+        let w = Sact2Writer::new(Vec::new(), "x", 2).unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn sact2_reserved_flag_bits_rejected() {
+        let mut buf = Vec::new();
+        write_binary2(&sample_trace(), &mut buf).unwrap();
+        // Body starts right after the 21-byte header (magic + version +
+        // namelen + "sample" + count). Corrupt the first op byte.
+        let body = 4 + 4 + 4 + "sample".len() + 8;
+        buf[body] |= 0x80;
+        let err = read_binary2(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadEntry(_)));
+        assert!(err.to_string().contains("entry 0"));
+    }
+
+    #[test]
+    fn sact2_run_longer_than_announced_count_rejected() {
+        // Header announces one entry, body claims a run of two.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC2);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(0); // flags
+        buf.push(2); // run length 2 > 1 remaining
+        let err = read_binary2(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadEntry(_)));
+    }
+
+    #[test]
+    fn sact2_truncation_rejected_at_any_cut() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary2(&t, &mut buf).unwrap();
+        // Every possible truncation of the body must produce a clean
+        // error (never a panic, never a silently short trace).
+        for cut in 21..buf.len() {
+            let err = read_binary2(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ReadError::BadEntry(_) | ReadError::Io(_)),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn sact2_oversized_varint_rejected() {
+        // An 11-byte varint (all continuation bits) can encode nothing.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC2);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(0); // flags
+        buf.push(1); // run of 1
+        buf.extend_from_slice(&[0xFF; 11]); // addr delta varint: too long
+        let err = read_binary2(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadError::BadEntry(_)));
+    }
+
+    #[test]
+    fn create_output_names_the_unwritable_path() {
+        let bad = std::path::Path::new("/nonexistent-dir-sact/out.json");
+        let err = create_output(bad).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent-dir-sact/out.json"));
+
+        let ok = std::env::temp_dir().join("sact_create_output_test.tmp");
+        create_output(&ok).unwrap();
+        std::fs::remove_file(&ok).unwrap();
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1 << 40, -(1 << 40)] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        // Small magnitudes map to small codes (the point of zigzag).
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
     }
 }

@@ -74,7 +74,7 @@ USAGE:
   sac validate <benchmark>         static subscript-bounds check
   sac trace <benchmark> [options]  generate a tagged reference trace
       -o, --out <file>             output path (default: <benchmark>.sact)
-      --format bin|text            trace format (default: bin)
+      --format bin|sact2|text      trace format (default: bin)
       --seed <n>                   issue-gap seed (default: 0x5AC)
       --small                      scaled-down problem size
       --levels                     attach variable-virtual-line levels
@@ -229,12 +229,13 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         })
         .map_err(|e| e.to_string())?;
     let path = out.unwrap_or_else(|| format!("{}.sact", trace.name()));
-    let file = File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+    let file = trace_io::create_output(&path).map_err(|e| e.to_string())?;
     let mut w = BufWriter::new(file);
     match format.as_str() {
         "bin" => trace_io::write_binary(&trace, &mut w).map_err(|e| e.to_string())?,
+        "bin2" | "sact2" => trace_io::write_binary2(&trace, &mut w).map_err(|e| e.to_string())?,
         "text" => trace_io::write_text(&trace, &mut w).map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown format '{other}' (bin|text)")),
+        other => return Err(format!("unknown format '{other}' (bin|sact2|text)")),
     }
     println!("wrote {} references to {path}", trace.len());
     Ok(())
@@ -243,8 +244,8 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 fn load_trace(path: &str) -> Result<Trace, String> {
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let mut r = BufReader::new(file);
-    // Binary first; fall back to text.
-    if let Ok(t) = trace_io::read_binary(&mut r) {
+    // Either binary format first (sniffed by magic); fall back to text.
+    if let Ok(t) = trace_io::read_any(&mut r) {
         return Ok(t);
     }
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;

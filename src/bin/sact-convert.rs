@@ -1,0 +1,147 @@
+//! `sact-convert`: converts traces between the two binary wire formats.
+//!
+//! `SACT` is the fixed-width 16-byte-per-entry format; `SAC2` is the
+//! compact delta format (varint address/instr deltas, run-length-coded
+//! flag bytes). The input format is sniffed from the magic bytes, so
+//! the only thing to choose is the target:
+//!
+//! ```text
+//! sact-convert trace.sact                  # -> trace.sact2 (SAC2)
+//! sact-convert trace.sact2 --to sact       # -> trace.sact  (SACT)
+//! sact-convert trace.sact -o /tmp/out.bin  # explicit output path
+//! ```
+//!
+//! Conversion streams chunk-by-chunk through the same decoders the
+//! replay engine uses, so a multi-gigabyte trace converts in constant
+//! memory, and the announced entry count is carried from the input
+//! header (the writers enforce it).
+
+use sac_trace::io::{self as trace_io, ChunkSource, ReadError, Sact2Writer, SactWriter};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: sact-convert <trace-file> [-o <output>] [--to sact|sact2]");
+    eprintln!("  converts between the SACT (fixed-width) and SAC2 (delta) formats;");
+    eprintln!("  the input format is sniffed, the default target is the other format.");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut target: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => output = Some(it.next().unwrap_or_else(|| usage())),
+            "--to" => target = Some(it.next().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+
+    let file = match File::open(&input) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sact-convert: open {input}: {e}");
+            exit(1);
+        }
+    };
+    let mut reader = match trace_io::TraceReader::new(BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sact-convert: {input}: {e}");
+            exit(1);
+        }
+    };
+
+    let to_sact2 = match target.as_deref() {
+        Some("sact2") => true,
+        Some("sact") => false,
+        // Default: convert to whichever format the input is not.
+        None => reader.format() == "SACT",
+        Some(other) => {
+            eprintln!("sact-convert: unknown target '{other}' (sact|sact2)");
+            exit(2);
+        }
+    };
+    let out_path = output.unwrap_or_else(|| {
+        let stem = input
+            .strip_suffix(".sact2")
+            .or_else(|| input.strip_suffix(".sact"))
+            .unwrap_or(&input);
+        format!("{stem}.{}", if to_sact2 { "sact2" } else { "sact" })
+    });
+
+    // Validate the output path before decoding anything (shared helper;
+    // same policy as `figures --bench-json`).
+    let out_file = match trace_io::create_output(&out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sact-convert: {e}");
+            exit(1);
+        }
+    };
+
+    match convert(&mut reader, out_file, to_sact2) {
+        Ok(entries) => {
+            let in_bytes = std::fs::metadata(&input).map(|m| m.len()).unwrap_or(0);
+            let out_bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "{input} ({}) -> {out_path} ({}): {entries} entries, {} -> {} bytes ({:.2}x)",
+                reader.format(),
+                if to_sact2 { "SAC2" } else { "SACT" },
+                in_bytes,
+                out_bytes,
+                in_bytes as f64 / out_bytes.max(1) as f64,
+            );
+        }
+        Err(e) => {
+            eprintln!("sact-convert: {input}: {e}");
+            let _ = std::fs::remove_file(&out_path);
+            exit(1);
+        }
+    }
+}
+
+/// Streams every chunk of `reader` into the chosen writer; returns the
+/// number of entries converted.
+fn convert<S: ChunkSource>(
+    reader: &mut S,
+    out: File,
+    to_sact2: bool,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    let total = reader.total();
+    let name = reader.name().to_string();
+    let mut w = BufWriter::new(out);
+    if to_sact2 {
+        let mut enc = Sact2Writer::new(&mut w, &name, total)?;
+        while let Some(chunk) = reader.next_chunk().map_err(boxed)? {
+            for a in chunk {
+                enc.push(a)?;
+            }
+        }
+        enc.finish()?;
+    } else {
+        let mut enc = SactWriter::new(&mut w, &name, total)?;
+        while let Some(chunk) = reader.next_chunk().map_err(boxed)? {
+            for a in chunk {
+                enc.push(a)?;
+            }
+        }
+        enc.finish()?;
+    }
+    w.flush()?;
+    Ok(total)
+}
+
+fn boxed(e: ReadError) -> Box<dyn std::error::Error> {
+    Box::new(e)
+}

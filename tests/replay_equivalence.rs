@@ -183,6 +183,113 @@ fn golden_trace_explain_reconciles_exactly() {
     }
 }
 
+/// Like [`drive`], but through the SoA fast path.
+fn drive_soa(
+    engine: &mut dyn software_assisted_caches::simcache::CacheSim,
+    trace: &Trace,
+    chunked: bool,
+) -> Metrics {
+    if chunked {
+        for chunk in trace.as_slice().chunks(7) {
+            engine.run_chunk_soa(chunk);
+        }
+    } else {
+        engine.run_chunk_soa(trace.as_slice());
+    }
+    *engine.metrics()
+}
+
+/// A random trace with every kind of reference the tag bits can express:
+/// reads/writes, temporal/spatial tags, spatial levels and issue gaps,
+/// over a footprint that makes every organization hit *and* miss.
+fn random_trace(seed: u64, len: usize) -> Trace {
+    let mut rng = software_assisted_caches::trace::rng::SplitMix64::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            // Mix dense (hit-heavy, same-line runs) and sparse regions.
+            let addr = if rng.chance(0.6) {
+                rng.below(1 << 12)
+            } else {
+                rng.below(1 << 17)
+            };
+            let a = if rng.chance(0.3) {
+                software_assisted_caches::trace::Access::write(addr)
+            } else {
+                software_assisted_caches::trace::Access::read(addr)
+            };
+            a.with_temporal(rng.chance(0.4))
+                .with_spatial(rng.chance(0.5))
+                .with_spatial_level(rng.below(4) as u8)
+                .with_gap(rng.below(6) as u32)
+                .with_instr(rng.below(32) as u32)
+        })
+        .collect()
+}
+
+/// The tentpole guarantee: the SoA probe path (packed tag lanes, way
+/// memo, hit-run batching) is *byte-identical* to the scalar reference
+/// path for every organization, on the golden trace and on random
+/// traces, materialized and chunked.
+#[test]
+fn soa_replay_is_byte_identical_to_scalar_replay() {
+    let mut traces = vec![("golden".to_string(), golden())];
+    for seed in 0..6u64 {
+        traces.push((format!("random{seed}"), random_trace(0x5AC6 + seed, 4_000)));
+    }
+    for (tname, trace) in &traces {
+        for (label, config) in configs() {
+            for chunked in [false, true] {
+                let scalar = drive(&mut *config.build(), trace, chunked);
+                let soa = drive_soa(&mut *config.build(), trace, chunked);
+                assert_eq!(scalar, soa, "{tname}/{label} chunked={chunked}");
+            }
+        }
+    }
+}
+
+/// The SoA path must stay identical under observation too: probes see
+/// the same reference stream, and metrics do not move.
+#[test]
+fn soa_probed_replay_is_metric_identical_to_scalar() {
+    let trace = golden();
+    for (label, config) in configs() {
+        let (geom, _) = config.shape();
+        let obs = ObsConfig::for_cache(geom.lines(), geom.sets(), geom.line_bytes());
+        let scalar = drive(&mut *config.build(), &trace, true);
+        let counting = drive_soa(
+            &mut *config.build_probed(CountingProbe::default()),
+            &trace,
+            true,
+        );
+        let tracing = drive_soa(
+            &mut *config.build_probed(TracingProbe::new(obs)),
+            &trace,
+            true,
+        );
+        assert_eq!(scalar, counting, "{label}+counting soa");
+        assert_eq!(scalar, tracing, "{label}+tracing soa");
+    }
+}
+
+/// Batch-level differential: the same batch replayed under both
+/// [`ProbeMode`]s gives the same metrics (this is the switch the
+/// `--scalar` flag flips).
+#[test]
+fn probe_modes_agree_at_the_batch_level() {
+    use software_assisted_caches::experiments::runner::{probe_mode, set_probe_mode, ProbeMode};
+    let trace = random_trace(0xD1FF, 6_000);
+    let cells = configs();
+    // The mode is process-global; other tests in this binary do not
+    // touch it, and we restore the default before asserting.
+    set_probe_mode(ProbeMode::Scalar);
+    let scalar = batched(&cells, &trace);
+    set_probe_mode(ProbeMode::Soa);
+    assert_eq!(probe_mode(), ProbeMode::Soa);
+    let soa = batched(&cells, &trace);
+    assert_eq!(scalar, soa);
+    assert_eq!(soa, one_at_a_time(&cells, &trace), "soa vs solo");
+}
+
 #[test]
 fn generated_suite_trace_replays_identically_on_all_paths() {
     // One real generated workload trace (small scale keeps the test fast).
@@ -192,4 +299,36 @@ fn generated_suite_trace_replays_identically_on_all_paths() {
     let solo = one_at_a_time(&cells, &trace);
     assert_eq!(solo, batched(&cells, &trace), "batched vs solo");
     assert_eq!(solo, streamed(&cells, &trace), "streamed vs solo");
+}
+
+/// Streamed replay off the compact SAC2 format: serialize with the
+/// delta encoder, replay through the sniffing `TraceReader` — the
+/// Metrics must match the SACT stream and the materialized replay
+/// bit-for-bit, across every organization, including chunk sizes that
+/// split SAC2 runs mid-stream.
+#[test]
+fn sact2_streamed_replay_matches_all_other_paths() {
+    use software_assisted_caches::trace::io::{write_binary2, TraceReader};
+
+    for trace in [golden(), random_trace(0x5AC2_2026, 4_000)] {
+        let cells = configs();
+        let mut bytes2 = Vec::new();
+        write_binary2(&trace, &mut bytes2).expect("in-memory SAC2 write");
+
+        for chunk_entries in [usize::MAX, 7] {
+            let mut reader = if chunk_entries == usize::MAX {
+                TraceReader::new(&bytes2[..]).expect("valid SAC2 header")
+            } else {
+                TraceReader::with_chunk_size(&bytes2[..], chunk_entries).expect("valid SAC2 header")
+            };
+            assert_eq!(reader.format(), "SAC2");
+            let mut batch = ReplayBatch::new();
+            for (label, cfg) in &cells {
+                batch.push(label.clone(), cfg);
+            }
+            let from_sact2 = batch.replay_reader(&mut reader).expect("valid SAC2 stream");
+            assert_eq!(from_sact2, streamed(&cells, &trace), "sact2 vs sact stream");
+            assert_eq!(from_sact2, batched(&cells, &trace), "sact2 vs materialized");
+        }
+    }
 }
