@@ -17,22 +17,34 @@
 //! histograms, sampled events) as JSON Lines; the path is validated
 //! up front so a long run cannot die at the final write.
 //!
+//! `--timeline` re-runs the same configuration with the windowed
+//! [`Timeline`] probe attached (window width `--window`, default 8192
+//! references) and prints the per-window table and phase summary; the
+//! window sums are verified to reconcile *exactly* with the global
+//! `Metrics` counters before anything is printed.
+//!
 //! `--bench-guard PATH` re-times unprobed (`NoopProbe`) replay of the
 //! shared hit-heavy / miss-heavy benchmark traces and compares against
 //! the `refs_per_sec` recorded in a `figures --bench-json` report from
 //! the same machine/job; the process exits non-zero if throughput
 //! regressed by more than `--bench-guard-pct` percent (default 5) —
 //! the CI tripwire proving the probe layer stays zero-cost when
-//! disabled.
+//! disabled. The guard also times the run-level span layer
+//! (spans enabled vs disabled, interleaved rounds) and fails if
+//! enabling spans costs more than 1% throughput — an upper bound on the
+//! disabled span layer's overhead, which is one relaxed atomic load per
+//! replay cell.
 //!
 //! [`TracingProbe`]: sac_obs::TracingProbe
+//! [`Timeline`]: sac_obs::Timeline
 
 use sac_experiments::explain::{
-    bench_refs_per_sec, bench_speedup, explain_config, hit_heavy_trace, miss_heavy_trace,
-    mixed_trace,
+    bench_refs_per_sec, bench_speedup, explain_config, explain_timeline, hit_heavy_trace,
+    miss_heavy_trace, mixed_trace,
 };
 use sac_experiments::runner::{set_probe_mode, ProbeMode, ReplayBatch};
 use sac_experiments::Config;
+use sac_obs::span;
 use sac_trace::Trace;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -53,6 +65,8 @@ fn main() {
     let mut top = 5usize;
     let mut bench_guard: Option<String> = None;
     let mut guard_pct = 5.0f64;
+    let mut timeline = false;
+    let mut window = sac_obs::DEFAULT_WINDOW_REFS;
 
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -83,6 +97,15 @@ fn main() {
                 top = value("--top")
                     .parse()
                     .unwrap_or_else(|_| fail("--top needs a positive integer"))
+            }
+            "--timeline" => timeline = true,
+            "--window" => {
+                window = value("--window")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--window needs a positive integer"));
+                if window == 0 {
+                    fail("--window needs a positive integer");
+                }
             }
             "--bench-guard" => bench_guard = Some(value("--bench-guard")),
             "--bench-guard-pct" => {
@@ -165,6 +188,24 @@ fn main() {
     };
     print!("{}", explanation.render(top));
     eprintln!("instrumented run took {:.2?}", start.elapsed());
+
+    if timeline {
+        match explain_timeline(&label, &config, &trace, window) {
+            Ok((tl, _metrics)) => {
+                print!("{}", tl.render(&label));
+                println!(
+                    "timeline: {} windows, {} phases; window sums reconcile exactly \
+                     with the global metrics",
+                    tl.windows().len(),
+                    tl.phases().len()
+                );
+            }
+            Err(e) => {
+                eprintln!("timeline reconciliation failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let Some((path, mut w)) = obs_writer {
         explanation
@@ -250,8 +291,38 @@ fn run_bench_guard(path: &str, pct: f64) {
         }
     }
     set_probe_mode(ProbeMode::Soa);
+
+    // Span-layer overhead guard: time the fastest shape with run-level
+    // spans enabled vs disabled as interleaved pairs and keep the most
+    // favorable per-round ratio. Enabling records a handful of cell
+    // spans per replay, so it upper-bounds the disabled path — whose
+    // only cost is one relaxed atomic load per cell — and the guard
+    // asserts even that upper bound stays within 1%.
+    let trace = hit_heavy_trace(BENCH_LEN);
+    let mut best_ratio = 0.0f64;
+    for round in 0..5 {
+        span::set_enabled(false);
+        let off = guard_rate("span_off", &trace, ProbeMode::Soa, round);
+        span::set_enabled(true);
+        let on = guard_rate("span_on", &trace, ProbeMode::Soa, round);
+        best_ratio = best_ratio.max(on / off);
+    }
+    span::set_enabled(false);
+    span::reset();
+    let overhead = 100.0 * (1.0 - best_ratio.min(1.0));
+    let span_verdict = if overhead > 1.0 {
+        regressed = true;
+        "REGRESSED"
+    } else {
+        "ok"
+    };
+    eprintln!(
+        "bench-guard span_layer: spans-enabled/disabled ratio {best_ratio:.3} \
+         (overhead {overhead:.2}%, limit 1%) {span_verdict}"
+    );
+
     if regressed {
-        eprintln!("bench-guard: SoA replay speedup regressed more than {pct}%");
+        eprintln!("bench-guard: replay throughput guard regressed (see lines above)");
         std::process::exit(1);
     }
 }

@@ -27,12 +27,25 @@
 //! wall-clock, runner-level cell spans) to PATH.
 //! `--obs-json PATH` runs one instrumented standard + soft cell with the
 //! full `TracingProbe` and writes the telemetry as JSON Lines to PATH.
-//! Both output paths are validated (created) up front, so a long run
-//! cannot die at the final write.
+//! `--timeline-json PATH` runs windowed-timeline cells (standard,
+//! victim, soft over the shared mixed trace) and writes one JSON line
+//! per window and phase to PATH.
+//! `--trace-json PATH` records pipeline spans (run → figure → cell,
+//! plus per-chunk spans with `--trace-chunks`) and writes a
+//! Chrome-trace / Perfetto JSON document to PATH; `--trace-logical`
+//! switches the export to deterministic logical timestamps, which are
+//! byte-identical at any `--jobs N`. The trace is validated (JSON spans
+//! must nest laminarly) before it is written. All output paths are
+//! validated (created) up front, so a long run cannot die at the final
+//! write. When any telemetry ran, a metrics-registry snapshot
+//! (counters / gauges / histograms) is printed to stderr at the end and
+//! embedded in the `--bench-json` report.
 
 use sac_experiments::explain::{self, hit_heavy_trace, miss_heavy_trace, mixed_trace};
 use sac_experiments::runner::ReplayBatch;
 use sac_experiments::{figures, runner, Config, Suite, Table};
+use sac_obs::registry;
+use sac_obs::span::{self, Span, SpanKey, SpanLevel, TraceMode};
 use sac_trace::{Access, Trace};
 use std::io::{BufWriter, Write};
 use std::time::Instant;
@@ -69,6 +82,10 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut bench_json: Option<String> = None;
     let mut obs_json: Option<String> = None;
+    let mut timeline_json: Option<String> = None;
+    let mut trace_json: Option<String> = None;
+    let mut trace_logical = false;
+    let mut trace_chunks = false;
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -76,6 +93,8 @@ fn main() {
             "--sequential" => runner::set_jobs(1),
             "--materialized" => runner::set_replay_mode(runner::ReplayMode::Materialized),
             "--scalar" => runner::set_probe_mode(runner::ProbeMode::Scalar),
+            "--trace-logical" => trace_logical = true,
+            "--trace-chunks" => trace_chunks = true,
             "--bench-json" => {
                 bench_json = Some(iter.next().unwrap_or_else(|| {
                     eprintln!("--bench-json needs an output path");
@@ -85,6 +104,18 @@ fn main() {
             "--obs-json" => {
                 obs_json = Some(iter.next().unwrap_or_else(|| {
                     eprintln!("--obs-json needs an output path");
+                    std::process::exit(2);
+                }));
+            }
+            "--timeline-json" => {
+                timeline_json = Some(iter.next().unwrap_or_else(|| {
+                    eprintln!("--timeline-json needs an output path");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace-json" => {
+                trace_json = Some(iter.next().unwrap_or_else(|| {
+                    eprintln!("--trace-json needs an output path");
                     std::process::exit(2);
                 }));
             }
@@ -130,6 +161,20 @@ fn main() {
             std::process::exit(2);
         }
     });
+    let mut timeline_writer = timeline_json.map(|path| match sac_trace::io::create_output(&path) {
+        Ok(f) => (path, BufWriter::new(f)),
+        Err(e) => {
+            eprintln!("--timeline-json: {e}");
+            std::process::exit(2);
+        }
+    });
+    let mut trace_writer = trace_json.map(|path| match sac_trace::io::create_output(&path) {
+        Ok(f) => (path, BufWriter::new(f)),
+        Err(e) => {
+            eprintln!("--trace-json: {e}");
+            std::process::exit(2);
+        }
+    });
 
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL.iter().map(|s| s.to_string()).collect();
@@ -142,11 +187,20 @@ fn main() {
     }
 
     runner::reset_stats();
+    registry::reset_global();
+    let tracing = trace_writer.is_some();
+    if tracing {
+        span::reset();
+        span::set_enabled(true);
+        runner::set_chunk_spans(trace_chunks);
+    }
     let start = Instant::now();
 
     let needs_suite = wanted
         .iter()
         .any(|w| !matches!(w.as_str(), "fig04b" | "fig10a" | "fig11a" | "fig11b"));
+    runner::set_figure_seq(0);
+    let suite_span_start = tracing.then(span::now_us);
     let suite = needs_suite.then(|| {
         eprintln!(
             "generating {} benchmark traces on {} worker(s)...",
@@ -159,22 +213,50 @@ fn main() {
             Suite::paper()
         }
     });
+    if let (Some(s0), true) = (suite_span_start, needs_suite) {
+        span::record(Span::new(
+            "suite",
+            SpanLevel::Figure,
+            SpanKey::default(),
+            0,
+            s0,
+            span::now_us().saturating_sub(s0),
+        ));
+        span::sample_rss(peak_rss_bytes());
+    }
 
     let mut figure_walls: Vec<(String, f64)> = Vec::new();
-    for id in &wanted {
+    for (seq, id) in wanted.iter().enumerate() {
+        // Figure sequence numbers start at 1: 0 is suite generation.
+        runner::set_figure_seq(seq as u32 + 1);
         let before = runner::cells_done();
         let figure_start = Instant::now();
+        let span_start = tracing.then(span::now_us);
         let table = run_one(id, suite.as_ref(), small);
         match table {
             Some(t) => {
                 println!("{t}");
                 let wall = figure_start.elapsed();
                 figure_walls.push((id.clone(), wall.as_secs_f64()));
-                eprintln!(
-                    "{id}: {} cells in {:.2?}",
-                    runner::cells_done() - before,
-                    wall
-                );
+                let cells = runner::cells_done() - before;
+                eprintln!("{id}: {cells} cells in {wall:.2?}");
+                if let Some(s0) = span_start {
+                    span::record(
+                        Span::new(
+                            id.clone(),
+                            SpanLevel::Figure,
+                            SpanKey {
+                                figure: seq as u32 + 1,
+                                ..SpanKey::default()
+                            },
+                            0,
+                            s0,
+                            span::now_us().saturating_sub(s0),
+                        )
+                        .arg("cells", cells as u64),
+                    );
+                    span::sample_rss(peak_rss_bytes());
+                }
             }
             None => {
                 eprintln!("unknown figure id: {id} (valid: {ALL:?}, {ABLATIONS:?}, {EXTENSIONS:?})")
@@ -185,12 +267,25 @@ fn main() {
     let total_wall = start.elapsed();
     eprint!("{}", runner::summary(total_wall));
 
+    // Everything past the figures proper (obs / timeline / bench cells)
+    // records under a sequence number no figure list can reach, so the
+    // figure keys stay stable whether or not the extra passes run.
+    runner::set_figure_seq(1000);
+
     if let Some((path, w)) = obs_writer.as_mut() {
         if let Err(e) = write_obs_jsonl(w).and_then(|()| w.flush()) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("wrote probe telemetry to {path}");
+    }
+
+    if let Some((path, w)) = timeline_writer.as_mut() {
+        if let Err(e) = write_timeline_jsonl(w).and_then(|()| w.flush()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote timeline JSONL to {path}");
     }
 
     if let Some((path, f)) = bench_writer.as_mut() {
@@ -201,6 +296,64 @@ fn main() {
         }
         eprintln!("wrote replay bench report to {path}");
     }
+
+    if let Some((path, f)) = trace_writer.as_mut() {
+        // The run span closes over everything recorded above, bench and
+        // telemetry cells included.
+        span::record(Span::new(
+            "figures",
+            SpanLevel::Run,
+            SpanKey::default(),
+            0,
+            0,
+            span::now_us(),
+        ));
+        span::sample_rss(peak_rss_bytes());
+        let mode = if trace_logical {
+            TraceMode::Logical
+        } else {
+            TraceMode::Wall
+        };
+        let (spans, rss) = span::snapshot();
+        if let Err(e) = span::check_nesting(&spans, mode) {
+            eprintln!("--trace-json: span nesting violated (tracer bug): {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = f.write_all(span::chrome_trace(&spans, &rss, mode).as_bytes()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        span::set_enabled(false);
+        eprintln!(
+            "wrote {} pipeline span(s) ({} mode) to {path}",
+            spans.len(),
+            if trace_logical { "logical" } else { "wall" }
+        );
+    }
+
+    let reg = registry::snapshot();
+    if !reg.is_empty() {
+        eprint!("{}", reg.render_text());
+    }
+}
+
+/// The `--timeline-json` pass: windowed-timeline cells over the shared
+/// mixed trace, one JSON line per window and per phase, each verified
+/// to reconcile exactly with the engine's global metrics.
+fn write_timeline_jsonl(w: &mut impl Write) -> std::io::Result<()> {
+    const TIMELINE_LEN: usize = 200_000;
+    let trace = mixed_trace(TIMELINE_LEN);
+    for (label, config) in [
+        ("timeline/mixed/standard", Config::standard()),
+        ("timeline/mixed/victim", Config::standard_victim()),
+        ("timeline/mixed/soft", Config::soft()),
+    ] {
+        let (tl, _) =
+            explain::explain_timeline(label, &config, &trace, sac_obs::DEFAULT_WINDOW_REFS)
+                .expect("built-in configs must reconcile window sums with global metrics");
+        tl.write_jsonl(label, w)?;
+    }
+    Ok(())
 }
 
 /// The `--obs-json` pass: instrumented standard, victim and soft cells
@@ -339,6 +492,12 @@ fn bench_report(suite: Option<&Suite>, figure_walls: &[(String, f64)], total_wal
     }
     out.push_str("  ],\n");
     out.push_str(&spans_json());
+    // The registry snapshot rides along so one artifact carries the
+    // whole run's counters (cells, chunks, refs, per-track busy time).
+    out.push_str(&format!(
+        "  \"registry\": {}\n",
+        registry::snapshot().to_json(2).trim_start()
+    ));
     out.push_str("}\n");
     out
 }
@@ -362,16 +521,34 @@ fn spans_json() -> String {
     out.push_str("    \"slowest\": [\n");
     for (i, c) in slowest.iter().enumerate() {
         out.push_str(&format!(
-            "      {{\"label\": \"{}\", \"wall_s\": {:.6}, \"chunks\": {}, \"refs\": {}, \"refs_per_sec\": {:.0}}}{}\n",
+            "      {{\"label\": \"{}\", \"wall_s\": {:.6}, \"chunks\": {}, \"refs\": {}, \"refs_per_sec\": {:.0}, \"track\": \"{}\", \"queue_wait_us\": {}}}{}\n",
             c.label,
             c.wall.as_secs_f64(),
             c.chunks,
             c.metrics.refs,
             c.refs_per_sec(),
+            c.track(),
+            c.queue_wait.as_micros(),
             if i + 1 < slowest.len() { "," } else { "" }
         ));
     }
-    out.push_str("    ]\n  }\n");
+    out.push_str("    ],\n");
+    let busy: Vec<(String, f64)> = {
+        let mut per_track: std::collections::BTreeMap<String, f64> =
+            std::collections::BTreeMap::new();
+        for c in &cells {
+            *per_track.entry(c.track()).or_insert(0.0) += c.wall.as_secs_f64();
+        }
+        per_track.into_iter().collect()
+    };
+    out.push_str("    \"track_busy_s\": {");
+    for (i, (track, s)) in busy.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{track}\": {s:.3}{}",
+            if i + 1 < busy.len() { ", " } else { "" }
+        ));
+    }
+    out.push_str("}\n  },\n");
     out
 }
 

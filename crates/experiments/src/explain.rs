@@ -12,7 +12,7 @@
 use crate::runner::REPLAY_CHUNK;
 use crate::Config;
 use sac_core::{AssistCache, SoftCache};
-use sac_obs::{ObsConfig, TracingProbe};
+use sac_obs::{ObsConfig, Probe, Timeline, TracingProbe};
 use sac_simcache::{
     BypassCache, CacheSim, ColumnAssociativeCache, MemoryModel, Metrics, NextLinePrefetchCache,
     StandardCache, StreamBufferCache, VictimCache, AUX_HIT_CYCLES,
@@ -79,6 +79,122 @@ pub struct Explanation {
     line_bytes: u64,
 }
 
+/// Runs `config` over `trace` with an arbitrary probe attached, feeding
+/// the scalar chunked-replay path `chunk`-sized chunks, and returns the
+/// final counters together with the probe.
+///
+/// Each arm builds the concrete probed engine so the probe can be taken
+/// back out (a `Box<dyn CacheSim>` would strand it). The probe's own
+/// finalization (`TracingProbe::finish`, `Timeline::finish`, ...) is the
+/// caller's job: this function only drives the replay.
+pub fn run_probed<P: Probe>(
+    config: &Config,
+    trace: &Trace,
+    probe: P,
+    chunk: usize,
+) -> (Metrics, P) {
+    let chunk = chunk.max(1);
+    macro_rules! drive {
+        ($engine:expr) => {{
+            let mut c = $engine;
+            for ch in trace.as_slice().chunks(chunk) {
+                c.run_chunk(ch);
+            }
+            (*c.metrics(), c.into_probe())
+        }};
+    }
+    match *config {
+        Config::Standard { geom, mem } => drive!(StandardCache::with_probe(geom, mem, probe)),
+        Config::Victim { geom, mem, lines } => {
+            drive!(VictimCache::with_probe(geom, mem, lines, probe))
+        }
+        Config::Bypass { geom, mem, mode } => {
+            drive!(BypassCache::with_probe(geom, mem, mode, probe))
+        }
+        Config::HwPrefetch { geom, mem, lines } => {
+            drive!(NextLinePrefetchCache::with_probe(geom, mem, lines, probe))
+        }
+        Config::StreamBuffer {
+            geom,
+            mem,
+            buffers,
+            depth,
+        } => drive!(StreamBufferCache::with_probe(
+            geom, mem, buffers, depth, probe
+        )),
+        Config::ColumnAssoc { geom, mem } => {
+            drive!(ColumnAssociativeCache::with_probe(geom, mem, probe))
+        }
+        Config::Assist { geom, mem, lines } => {
+            drive!(AssistCache::with_probe(geom, mem, lines, probe))
+        }
+        Config::Soft(cfg) => drive!(SoftCache::with_probe(cfg, probe)),
+    }
+}
+
+/// Runs `config` over `trace` with a [`Timeline`] probe whose windows
+/// are exactly `window_refs` references wide, and checks the
+/// reconciliation invariant before returning.
+///
+/// Windows close at chunk folds, so the replay is driven with chunks of
+/// exactly the window width: every window except possibly the last is
+/// then exactly `window_refs` references.
+///
+/// # Errors
+///
+/// Returns the first counter whose window sum disagrees with the global
+/// metrics (which would be an instrumentation bug, not a user error).
+pub fn explain_timeline(
+    label: &str,
+    config: &Config,
+    trace: &Trace,
+    window_refs: u64,
+) -> Result<(Timeline, Metrics), String> {
+    let (geom, _) = config.shape();
+    let window_refs = window_refs.max(1);
+    let timeline = Timeline::new(window_refs, geom.lines() as usize);
+    let chunk = usize::try_from(window_refs).unwrap_or(usize::MAX);
+    let (metrics, mut timeline) = run_probed(config, trace, timeline, chunk);
+    timeline.finish();
+    verify_timeline(label, &timeline, &metrics)?;
+    Ok((timeline, metrics))
+}
+
+/// The timeline reconciliation invariant: summing every per-window
+/// delta reproduces the engine's global counters exactly, and the 3C
+/// split partitions the misses.
+///
+/// # Errors
+///
+/// Returns the first mismatching counter, labelled with `label`.
+pub fn verify_timeline(label: &str, timeline: &Timeline, metrics: &Metrics) -> Result<(), String> {
+    let t = timeline.totals();
+    let pairs = [
+        ("refs", t.refs, metrics.refs),
+        ("reads", t.reads, metrics.reads),
+        ("writes", t.writes, metrics.writes),
+        ("misses", t.misses, metrics.misses),
+        ("bounces", t.bounces, metrics.bounces),
+        ("writebacks", t.writebacks, metrics.writebacks),
+        ("mem_cycles", t.mem_cycles, metrics.mem_cycles),
+    ];
+    for (name, window_sum, global) in pairs {
+        if window_sum != global {
+            return Err(format!(
+                "{label}: timeline window sum {name}={window_sum} != global {global}"
+            ));
+        }
+    }
+    let three_c = t.compulsory + t.capacity + t.conflict;
+    if three_c != t.misses {
+        return Err(format!(
+            "{label}: timeline 3C split {three_c} != misses {}",
+            t.misses
+        ));
+    }
+    Ok(())
+}
+
 /// Runs `config` over `trace` with a [`TracingProbe`] attached, plus an
 /// unprobed standard baseline with the same geometry and memory model.
 ///
@@ -101,65 +217,8 @@ pub fn explain_config(
     let obs = ObsConfig::for_cache(geom.lines(), geom.sets(), geom.line_bytes())
         .with_ring(ring_capacity, sample_every);
 
-    // Each arm builds the concrete probed engine so the finished probe
-    // can be taken back out (a `Box<dyn CacheSim>` would strand it).
-    macro_rules! traced {
-        ($engine:expr) => {{
-            let mut c = $engine;
-            for chunk in trace.as_slice().chunks(REPLAY_CHUNK) {
-                c.run_chunk(chunk);
-            }
-            c.probe_mut().finish();
-            (*c.metrics(), c.into_probe())
-        }};
-    }
-    let (metrics, probe) = match *config {
-        Config::Standard { geom, mem } => {
-            traced!(StandardCache::with_probe(geom, mem, TracingProbe::new(obs)))
-        }
-        Config::Victim { geom, mem, lines } => traced!(VictimCache::with_probe(
-            geom,
-            mem,
-            lines,
-            TracingProbe::new(obs)
-        )),
-        Config::Bypass { geom, mem, mode } => traced!(BypassCache::with_probe(
-            geom,
-            mem,
-            mode,
-            TracingProbe::new(obs)
-        )),
-        Config::HwPrefetch { geom, mem, lines } => traced!(NextLinePrefetchCache::with_probe(
-            geom,
-            mem,
-            lines,
-            TracingProbe::new(obs)
-        )),
-        Config::StreamBuffer {
-            geom,
-            mem,
-            buffers,
-            depth,
-        } => traced!(StreamBufferCache::with_probe(
-            geom,
-            mem,
-            buffers,
-            depth,
-            TracingProbe::new(obs)
-        )),
-        Config::ColumnAssoc { geom, mem } => traced!(ColumnAssociativeCache::with_probe(
-            geom,
-            mem,
-            TracingProbe::new(obs)
-        )),
-        Config::Assist { geom, mem, lines } => traced!(AssistCache::with_probe(
-            geom,
-            mem,
-            lines,
-            TracingProbe::new(obs)
-        )),
-        Config::Soft(cfg) => traced!(SoftCache::with_probe(cfg, TracingProbe::new(obs))),
-    };
+    let (metrics, mut probe) = run_probed(config, trace, TracingProbe::new(obs), REPLAY_CHUNK);
+    probe.finish();
 
     let mut base = StandardCache::new(geom, mem);
     for chunk in trace.as_slice().chunks(REPLAY_CHUNK) {

@@ -27,10 +27,12 @@
 //! slowest cells, aggregate speedup) for the `figures` and `report`
 //! binaries.
 
+use sac_obs::registry;
+use sac_obs::span::{self, Span, SpanKey, SpanLevel};
 use sac_simcache::{CacheSim, Metrics};
 use sac_trace::io::{ChunkSource, ReadError};
 use sac_trace::{Access, Trace};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -38,6 +40,114 @@ use crate::Config;
 
 /// The configured worker count: 0 means "not set, use all cores".
 static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// The figure sequence number cells record under (0 = suite
+/// generation); see [`set_figure_seq`].
+static FIGURE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether batch replays record one span per chunk (`--trace-chunks`).
+static CHUNK_SPANS: AtomicBool = AtomicBool::new(false);
+
+/// The `item` span-key component of work running outside any
+/// [`par_map`] (directly on the calling thread).
+const MAIN_ITEM: u32 = u32::MAX;
+
+/// Per-thread sweep context: which span track this thread records on
+/// (0 = main thread, `w + 1` = pool worker `w`), which (figure, item)
+/// it is executing, the per-item cell sequence counter, and how long
+/// the claimed item waited in the queue. Everything the ledger and the
+/// span layer need to attribute a cell is read from here, so recording
+/// never guesses from completion order.
+#[derive(Clone, Copy)]
+struct SweepCtx {
+    worker: u32,
+    figure: u32,
+    item: u32,
+    slot: u32,
+    queue_wait_us: u64,
+}
+
+thread_local! {
+    static CTX: std::cell::Cell<SweepCtx> = const {
+        std::cell::Cell::new(SweepCtx {
+            worker: 0,
+            figure: 0,
+            item: MAIN_ITEM,
+            slot: 0,
+            queue_wait_us: 0,
+        })
+    };
+}
+
+/// Sets the figure sequence number for subsequent cells (the `figures`
+/// bin bumps it per figure; 0 is reserved for suite generation) and
+/// resets the calling thread's item context. The sequence number is
+/// the first component of every span key, so exported artifacts sort
+/// by figure regardless of worker scheduling.
+pub fn set_figure_seq(seq: u32) {
+    FIGURE_SEQ.store(seq as usize, Ordering::SeqCst);
+    CTX.with(|c| {
+        c.set(SweepCtx {
+            worker: c.get().worker,
+            figure: seq,
+            item: MAIN_ITEM,
+            slot: 0,
+            queue_wait_us: 0,
+        })
+    });
+}
+
+/// The current figure sequence number.
+pub fn figure_seq() -> u32 {
+    FIGURE_SEQ.load(Ordering::SeqCst) as u32
+}
+
+/// Enables one span per replay chunk (high volume; `--trace-chunks`).
+pub fn set_chunk_spans(on: bool) {
+    CHUNK_SPANS.store(on, Ordering::SeqCst);
+}
+
+fn chunk_spans() -> bool {
+    CHUNK_SPANS.load(Ordering::SeqCst)
+}
+
+/// Binds the calling thread to item `i` of the current figure's grid.
+fn claim_item(worker: u32, item: u32, queue_wait: Duration) {
+    CTX.with(|c| {
+        c.set(SweepCtx {
+            worker,
+            figure: figure_seq(),
+            item,
+            slot: 0,
+            queue_wait_us: queue_wait.as_micros() as u64,
+        })
+    });
+}
+
+/// Claims the next cell slot on this thread: the deterministic span
+/// key plus `(worker, queue_wait_us)` attribution.
+fn claim_slot() -> (SpanKey, u32, u64) {
+    CTX.with(|c| {
+        let mut ctx = c.get();
+        let key = SpanKey {
+            figure: ctx.figure,
+            item: ctx.item,
+            slot: ctx.slot,
+            chunk: 0,
+        };
+        ctx.slot += 1;
+        c.set(ctx);
+        (key, ctx.worker, ctx.queue_wait_us)
+    })
+}
+
+/// The calling thread's `(worker, queue_wait_us)` attribution.
+fn attribution() -> (u32, u64) {
+    CTX.with(|c| {
+        let ctx = c.get();
+        (ctx.worker, ctx.queue_wait_us)
+    })
+}
 
 /// Sets the worker count for subsequent sweeps (the `--jobs N` flag).
 /// `1` forces the sequential path; `0` resets to "all cores".
@@ -86,16 +196,31 @@ where
     let n = items.len();
     let workers = workers.max(1).min(n);
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        // Sequential path: items still claim `(item, slot)` contexts so
+        // recorded cells carry the same deterministic span keys as the
+        // parallel path; the caller's context is restored afterwards.
+        let start = Instant::now();
+        let saved = CTX.with(|c| c.get());
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                claim_item(saved.worker, i as u32, start.elapsed());
+                f(i, t)
+            })
+            .collect();
+        CTX.with(|c| c.set(saved));
+        return out;
     }
 
+    let sweep_start = Instant::now();
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
@@ -104,6 +229,7 @@ where
                 if i >= n {
                     break;
                 }
+                claim_item(w as u32 + 1, i as u32, sweep_start.elapsed());
                 if tx.send((i, f(i, &items[i]))).is_err() {
                     break;
                 }
@@ -216,6 +342,7 @@ pub fn probe_mode() -> ProbeMode {
 #[derive(Default)]
 pub struct ReplayBatch {
     engines: Vec<BatchSlot>,
+    span: Option<BatchSpan>,
 }
 
 struct BatchSlot {
@@ -223,6 +350,17 @@ struct BatchSlot {
     engine: Box<dyn CacheSim>,
     wall: Duration,
     chunks: u64,
+}
+
+/// Span bookkeeping of one batch replay: the batch is the contiguous
+/// unit a thread executes, so it records as one cell-level span (with
+/// optional per-chunk child spans).
+struct BatchSpan {
+    key: SpanKey,
+    worker: u32,
+    queue_wait_us: u64,
+    start_us: u64,
+    chunk_seq: u32,
 }
 
 impl ReplayBatch {
@@ -253,10 +391,30 @@ impl ReplayBatch {
         self.engines.is_empty()
     }
 
+    /// Opens the batch's cell-level span (claiming this thread's next
+    /// slot), if span recording is on. Called by the replay drivers.
+    fn begin_span(&mut self) {
+        if !span::enabled() || self.span.is_some() {
+            return;
+        }
+        let (key, worker, queue_wait_us) = claim_slot();
+        self.span = Some(BatchSpan {
+            key,
+            worker,
+            queue_wait_us,
+            start_us: span::now_us(),
+            chunk_seq: 0,
+        });
+    }
+
     /// Drives every engine over one decoded chunk (in push order),
     /// through the SoA fast path or the scalar reference path per the
     /// global [`ProbeMode`].
     pub fn feed(&mut self, chunk: &[Access]) {
+        let chunk_span_start = match &self.span {
+            Some(_) if chunk_spans() => Some(span::now_us()),
+            _ => None,
+        };
         let soa = probe_mode() == ProbeMode::Soa;
         for slot in &mut self.engines {
             let start = Instant::now();
@@ -268,23 +426,67 @@ impl ReplayBatch {
             slot.wall += start.elapsed();
             slot.chunks += 1;
         }
+        if let (Some(start_us), Some(bs)) = (chunk_span_start, &mut self.span) {
+            span::record(
+                Span::new(
+                    format!("chunk{}", bs.chunk_seq),
+                    SpanLevel::Chunk,
+                    SpanKey {
+                        chunk: bs.chunk_seq,
+                        ..bs.key
+                    },
+                    bs.worker,
+                    start_us,
+                    span::now_us().saturating_sub(start_us),
+                )
+                .arg("refs", chunk.len() as u64),
+            );
+            bs.chunk_seq += 1;
+        }
     }
 
-    /// Records each engine's cell in the ledger and returns the metrics
-    /// in push order.
+    /// Records each engine's cell in the ledger (and the batch's span,
+    /// when tracing) and returns the metrics in push order.
     pub fn finish(self) -> Vec<Metrics> {
-        self.engines
+        let name = match self.engines.as_slice() {
+            [] => "batch".to_string(),
+            [only] => only.label.clone(),
+            [first, rest @ ..] => format!("{} (+{} cfgs)", first.label, rest.len()),
+        };
+        let engines = self.engines.len() as u64;
+        let chunks = self.engines.iter().map(|s| s.chunks).max().unwrap_or(0);
+        let metrics: Vec<Metrics> = self
+            .engines
             .into_iter()
             .map(|slot| {
                 let m = *slot.engine.metrics();
                 record_cell_span(slot.label, slot.wall, slot.chunks, m);
                 m
             })
-            .collect()
+            .collect();
+        if let Some(bs) = self.span {
+            let refs: u64 = metrics.iter().map(|m| m.refs).sum();
+            span::record(
+                Span::new(
+                    name,
+                    SpanLevel::Cell,
+                    bs.key,
+                    bs.worker,
+                    bs.start_us,
+                    span::now_us().saturating_sub(bs.start_us),
+                )
+                .arg("engines", engines)
+                .arg("chunks", chunks)
+                .arg("refs", refs)
+                .wall_arg("queue_wait_us", bs.queue_wait_us),
+            );
+        }
+        metrics
     }
 
     /// Feeds a whole in-memory trace chunk by chunk and finishes.
     pub fn replay(mut self, trace: &Trace) -> Vec<Metrics> {
+        self.begin_span();
         for chunk in trace.as_slice().chunks(REPLAY_CHUNK) {
             self.feed(chunk);
         }
@@ -306,6 +508,7 @@ impl ReplayBatch {
         mut self,
         reader: &mut S,
     ) -> Result<Vec<Metrics>, ReadError> {
+        self.begin_span();
         while let Some(chunk) = reader.next_chunk()? {
             self.feed(chunk);
         }
@@ -345,6 +548,12 @@ pub struct CellStat {
     pub chunks: u64,
     /// The cell's simulation counters (zeroed for pure analysis cells).
     pub metrics: Metrics,
+    /// The span track the cell ran on: 0 = main thread, `w + 1` = pool
+    /// worker `w`.
+    pub worker: u32,
+    /// How long the cell's grid item waited between sweep start and a
+    /// worker claiming it.
+    pub queue_wait: Duration,
 }
 
 impl CellStat {
@@ -356,6 +565,16 @@ impl CellStat {
             self.metrics.refs as f64 / s
         } else {
             0.0
+        }
+    }
+
+    /// The cell's track name: `main` for the calling thread, `w00`,
+    /// `w01`, ... for pool workers.
+    pub fn track(&self) -> String {
+        if self.worker == 0 {
+            "main".to_string()
+        } else {
+            format!("w{:02}", self.worker - 1)
         }
     }
 }
@@ -371,13 +590,34 @@ pub fn record_cell(label: String, wall: Duration, metrics: Metrics) {
 }
 
 /// Appends one cell with its chunk-span information (how many replay
-/// chunks the engine consumed) to the observability ledger.
+/// chunks the engine consumed) to the observability ledger, attributed
+/// to the calling thread's worker track and queue wait, and bumps the
+/// run-level registry counters (`sweep.cells`, `sweep.chunks`,
+/// `sweep.refs`, per-track busy time, cell-wall histogram).
 pub fn record_cell_span(label: String, wall: Duration, chunks: u64, metrics: Metrics) {
+    let (worker, queue_wait_us) = attribution();
+    let wall_us = wall.as_micros() as u64;
+    registry::global_counter_add("sweep.cells", 1);
+    if chunks > 0 {
+        registry::global_counter_add("sweep.chunks", chunks);
+    }
+    if metrics.refs > 0 {
+        registry::global_counter_add("sweep.refs", metrics.refs);
+    }
+    let track = if worker == 0 {
+        "main".to_string()
+    } else {
+        format!("w{:02}", worker - 1)
+    };
+    registry::global_counter_add(&format!("sweep.busy_us.{track}"), wall_us);
+    registry::global_hist_record("sweep.cell_wall_us", wall_us);
     ledger().lock().expect("ledger poisoned").push(CellStat {
         label,
         wall,
         chunks,
         metrics,
+        worker,
+        queue_wait: Duration::from_micros(queue_wait_us),
     });
 }
 
@@ -407,18 +647,41 @@ pub fn run_cell(label: String, config: &Config, trace: &Trace) -> Metrics {
 /// Times a cell whose body yields its own [`Metrics`] (engines driven
 /// directly rather than through [`Config::run`]).
 pub fn metered_cell(label: String, f: impl FnOnce() -> Metrics) -> Metrics {
+    let span_start = span::enabled().then(span::now_us);
     let start = Instant::now();
     let m = f();
-    record_cell(label, start.elapsed(), m);
+    let wall = start.elapsed();
+    if let Some(start_us) = span_start {
+        let (key, worker, queue_wait_us) = claim_slot();
+        span::record(
+            Span::new(label.clone(), SpanLevel::Cell, key, worker, start_us, {
+                wall.as_micros() as u64
+            })
+            .arg("refs", m.refs)
+            .wall_arg("queue_wait_us", queue_wait_us),
+        );
+    }
+    record_cell(label, wall, m);
     m
 }
 
 /// Times a non-engine cell (trace analysis, trace generation) under the
 /// ledger with zeroed simulation counters.
 pub fn timed_cell<R>(label: String, f: impl FnOnce() -> R) -> R {
+    let span_start = span::enabled().then(span::now_us);
     let start = Instant::now();
     let r = f();
-    record_cell(label, start.elapsed(), Metrics::new());
+    let wall = start.elapsed();
+    if let Some(start_us) = span_start {
+        let (key, worker, queue_wait_us) = claim_slot();
+        span::record(
+            Span::new(label.clone(), SpanLevel::Cell, key, worker, start_us, {
+                wall.as_micros() as u64
+            })
+            .wall_arg("queue_wait_us", queue_wait_us),
+        );
+    }
+    record_cell(label, wall, Metrics::new());
     r
 }
 
@@ -435,8 +698,9 @@ pub struct RunSummary {
     pub cell_wall: Duration,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
-    /// The slowest cells, most expensive first: `(label, wall)`.
-    pub slowest: Vec<(String, Duration)>,
+    /// The slowest cells, most expensive first, with worker and
+    /// queue-wait attribution.
+    pub slowest: Vec<CellStat>,
 }
 
 impl RunSummary {
@@ -469,8 +733,15 @@ impl std::fmt::Display for RunSummary {
         )?;
         if !self.slowest.is_empty() {
             writeln!(f, "slowest cells:")?;
-            for (label, wall) in &self.slowest {
-                writeln!(f, "  {wall:>10.2?}  {label}")?;
+            for c in &self.slowest {
+                writeln!(
+                    f,
+                    "  {:>10.2?}  {} [{}, queued {:.2?}]",
+                    c.wall,
+                    c.label,
+                    c.track(),
+                    c.queue_wait
+                )?;
             }
         }
         Ok(())
@@ -482,9 +753,8 @@ pub fn summary(elapsed: Duration) -> RunSummary {
     let cells = ledger().lock().expect("ledger poisoned");
     let totals = Metrics::merged(cells.iter().map(|c| &c.metrics));
     let cell_wall = cells.iter().map(|c| c.wall).sum();
-    let mut slowest: Vec<(String, Duration)> =
-        cells.iter().map(|c| (c.label.clone(), c.wall)).collect();
-    slowest.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut slowest: Vec<CellStat> = cells.clone();
+    slowest.sort_by(|a, b| b.wall.cmp(&a.wall).then_with(|| a.label.cmp(&b.label)));
     slowest.truncate(5);
     RunSummary {
         jobs: jobs(),

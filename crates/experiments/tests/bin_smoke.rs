@@ -74,6 +74,78 @@ fn explain_renders_a_breakdown_and_writes_jsonl() {
 }
 
 #[test]
+fn explain_timeline_renders_windows_and_reconciles() {
+    let out = Command::new(env!("CARGO_BIN_EXE_explain"))
+        .args([
+            "--small",
+            "--config",
+            "victim",
+            "--timeline",
+            "--window",
+            "4096",
+        ])
+        .output()
+        .expect("run explain");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("timeline of explain/mixed/victim"), "{text}");
+    assert!(text.contains("phases:"), "{text}");
+    assert!(text.contains("window sums reconcile exactly"), "{text}");
+}
+
+#[test]
+fn figures_writes_a_valid_nested_chrome_trace() {
+    let path = std::env::temp_dir().join(format!("sac-trace-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["--small", "--jobs", "2", "fig06a"])
+        .arg("--trace-json")
+        .arg(&path)
+        .output()
+        .expect("run figures");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("pipeline span(s) (wall mode)"), "{err}");
+    assert!(err.contains("metrics registry"), "{err}");
+    let trace = std::fs::read_to_string(&path).expect("trace written");
+    // The bin validated nesting before writing; spot-check the shape.
+    assert!(trace.starts_with("{\"displayTimeUnit\""), "{trace}");
+    assert!(trace.contains("\"cat\": \"run\""));
+    assert!(trace.contains("\"cat\": \"figure\""));
+    assert!(trace.contains("\"cat\": \"cell\""));
+    assert!(trace.contains("\"ph\": \"C\""), "RSS counters in wall mode");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn figures_writes_timeline_jsonl() {
+    let path = std::env::temp_dir().join(format!("sac-tl-{}.jsonl", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["--small", "fig04b"])
+        .arg("--timeline-json")
+        .arg(&path)
+        .output()
+        .expect("run figures");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let jsonl = std::fs::read_to_string(&path).expect("timeline written");
+    assert!(jsonl.contains("\"kind\": \"window\""), "{jsonl}");
+    assert!(jsonl.contains("\"kind\": \"phase\""), "{jsonl}");
+    assert!(jsonl.contains("timeline/mixed/standard"), "{jsonl}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn explain_rejects_unwritable_obs_path_before_running() {
     let out = Command::new(env!("CARGO_BIN_EXE_explain"))
         .args(["--small", "--obs-json", "/no/such/dir/obs.jsonl"])

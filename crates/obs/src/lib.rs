@@ -16,6 +16,16 @@
 //! code — zero cost on the simulation fast path, byte-identical figure
 //! output.
 //!
+//! Beyond per-cell telemetry, the crate carries the run-level
+//! observability layer (DESIGN.md §13): [`Timeline`], a probe folding
+//! the event stream into fixed-width reference windows (miss rate,
+//! AMAT contribution, 3C mix per window) with online phase detection,
+//! whose window sums reconcile *exactly* against the engine's global
+//! metrics; [`span`], a pipeline span tracer with Chrome-trace
+//! (Perfetto) export in wall and byte-deterministic logical modes; and
+//! [`registry`], a process-wide store of named counters, gauges and
+//! histograms for end-of-run snapshots and progress gauges.
+//!
 //! The crate deliberately depends only on `sac-trace` (for the word
 //! size): engines pass plain line/set/address numbers, so `sac-obs`
 //! sits below both engine crates without cycles.
@@ -27,12 +37,19 @@ mod classify;
 mod event;
 mod hist;
 mod probe;
+pub mod registry;
 mod ring;
+pub mod span;
+mod timeline;
 mod tracing;
 
 pub use classify::{ShadowClassifier, ShadowOutcome};
 pub use event::{Event, MissCause, Victim};
 pub use hist::{Log2Histogram, SetHeatmap, WordUse};
 pub use probe::{CountingProbe, NoopProbe, Probe};
+pub use registry::{MetricsRegistry, ProgressGauge};
 pub use ring::{EventRing, TimedEvent};
+pub use timeline::{
+    Phase, Timeline, Window, WindowDelta, DEFAULT_PHASE_THRESHOLD, DEFAULT_WINDOW_REFS,
+};
 pub use tracing::{ObsConfig, ObsCounts, TracingProbe};

@@ -31,6 +31,18 @@ pub trait Probe {
     /// One mechanism event (miss, bounce, swap, prefetch, fill,
     /// writeback) occurred while processing the current reference.
     fn on_event(&mut self, event: &Event);
+
+    /// A replay chunk was folded into the engine's `Metrics`. The
+    /// arguments are the engine's *cumulative* totals at the fold:
+    /// `refs` references processed so far and `mem_cycles` memory
+    /// cycles accumulated so far. Windowed probes ([`crate::Timeline`])
+    /// use consecutive folds to attribute cycle deltas to reference
+    /// windows; the default body ignores the fold so existing probes
+    /// are unaffected.
+    #[inline]
+    fn on_chunk(&mut self, refs: u64, mem_cycles: u64) {
+        let _ = (refs, mem_cycles);
+    }
 }
 
 /// The disabled probe: every hook is an empty `#[inline(always)]` body
@@ -48,6 +60,9 @@ impl Probe for NoopProbe {
 
     #[inline(always)]
     fn on_event(&mut self, _event: &Event) {}
+
+    #[inline(always)]
+    fn on_chunk(&mut self, _refs: u64, _mem_cycles: u64) {}
 }
 
 /// A minimal active probe counting hooks, for tests and benches that

@@ -460,6 +460,10 @@ impl<Pol: CachePolicy<P>, P: Probe> CacheSim for CacheEngine<Pol, P> {
             }
         }
         self.sys.metrics_mut().apply_chunk(&delta);
+        if P::ENABLED {
+            let m = self.sys.metrics();
+            self.probe.on_chunk(m.refs, m.mem_cycles);
+        }
         self.sys.metrics().debug_check_invariants();
     }
 
@@ -504,6 +508,10 @@ impl<Pol: CachePolicy<P>, P: Probe> CacheSim for CacheEngine<Pol, P> {
             rest = &rest[consumed..];
         }
         self.sys.metrics_mut().apply_chunk(&delta);
+        if P::ENABLED {
+            let m = self.sys.metrics();
+            self.probe.on_chunk(m.refs, m.mem_cycles);
+        }
         self.sys.metrics().debug_check_invariants();
     }
 

@@ -13,6 +13,7 @@
 use software_assisted_caches::core::SoftCacheConfig;
 use software_assisted_caches::experiments::Config;
 use software_assisted_caches::loopir::{Program, TraceOptions};
+use software_assisted_caches::obs::ProgressGauge;
 use software_assisted_caches::simcache::{BypassMode, CacheGeometry, MemoryModel};
 use software_assisted_caches::trace::stats::{
     ReuseBand, ReuseHistogram, TagClass, TagFractions, VectorBand, VectorLengths,
@@ -20,7 +21,7 @@ use software_assisted_caches::trace::stats::{
 use software_assisted_caches::trace::{io as trace_io, Trace};
 use software_assisted_caches::workloads;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 const BENCHMARKS: [&str; 9] = [
@@ -232,12 +233,51 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let file = trace_io::create_output(&path).map_err(|e| e.to_string())?;
     let mut w = BufWriter::new(file);
     match format.as_str() {
-        "bin" => trace_io::write_binary(&trace, &mut w).map_err(|e| e.to_string())?,
-        "bin2" | "sact2" => trace_io::write_binary2(&trace, &mut w).map_err(|e| e.to_string())?,
+        "bin" => write_with_progress(&trace, &mut w, false).map_err(|e| e.to_string())?,
+        "bin2" | "sact2" => write_with_progress(&trace, &mut w, true).map_err(|e| e.to_string())?,
         "text" => trace_io::write_text(&trace, &mut w).map_err(|e| e.to_string())?,
         other => return Err(format!("unknown format '{other}' (bin|sact2|text)")),
     }
     println!("wrote {} references to {path}", trace.len());
+    Ok(())
+}
+
+/// Traces at or above this many references report write progress
+/// (gauge `trace.entries_written_pct` plus one stderr line per 10%);
+/// shorter traces write in well under a second and stay silent.
+const TRACE_PROGRESS_MIN_REFS: usize = 4_000_000;
+
+/// Streams `trace` through the incremental binary writer of the chosen
+/// format — output is byte-identical to `write_binary`/`write_binary2`
+/// — ticking an entries-written progress gauge on large traces.
+fn write_with_progress(trace: &Trace, w: &mut impl Write, sact2: bool) -> std::io::Result<()> {
+    let mut progress = (trace.len() >= TRACE_PROGRESS_MIN_REFS)
+        .then(|| ProgressGauge::new("trace.entries_written_pct", trace.len() as u64));
+    let mut written = 0u64;
+    let tick = |written: u64, progress: &mut Option<ProgressGauge>| {
+        if let Some(p) = progress {
+            if let Some(pct) = p.update(written) {
+                eprintln!("sac trace: {pct}% of references written");
+            }
+        }
+    };
+    if sact2 {
+        let mut enc = trace_io::Sact2Writer::new(w, trace.name(), trace.len() as u64)?;
+        for a in trace {
+            enc.push(a)?;
+            written += 1;
+            tick(written, &mut progress);
+        }
+        enc.finish()?;
+    } else {
+        let mut enc = trace_io::SactWriter::new(w, trace.name(), trace.len() as u64)?;
+        for a in trace {
+            enc.push(a)?;
+            written += 1;
+            tick(written, &mut progress);
+        }
+        enc.finish()?;
+    }
     Ok(())
 }
 

@@ -16,10 +16,35 @@
 //! memory, and the announced entry count is carried from the input
 //! header (the writers enforce it).
 
+use sac_obs::ProgressGauge;
 use sac_trace::io::{self as trace_io, ChunkSource, ReadError, Sact2Writer, SactWriter};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Inputs at or above this size report bytes-read progress (gauge
+/// `convert.bytes_read_pct` plus one stderr line per 10%); smaller
+/// conversions finish in well under a second and stay silent, so CI
+/// stderr diffs are unaffected.
+const PROGRESS_MIN_BYTES: u64 = 64 << 20;
+
+/// Counts bytes pulled from the underlying file so progress reflects
+/// actual input consumption — meaningful for both wire formats, unlike
+/// decoded-entry counts which the SAC2 delta coding skews.
+struct CountingReader<R> {
+    inner: R,
+    read: Arc<AtomicU64>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
 
 fn usage() -> ! {
     eprintln!("usage: sact-convert <trace-file> [-o <output>] [--to sact|sact2]");
@@ -54,7 +79,15 @@ fn main() {
             exit(1);
         }
     };
-    let mut reader = match trace_io::TraceReader::new(BufReader::new(file)) {
+    let in_bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+    let bytes_read = Arc::new(AtomicU64::new(0));
+    let progress = (in_bytes >= PROGRESS_MIN_BYTES)
+        .then(|| ProgressGauge::new("convert.bytes_read_pct", in_bytes));
+    let counting = CountingReader {
+        inner: file,
+        read: Arc::clone(&bytes_read),
+    };
+    let mut reader = match trace_io::TraceReader::new(BufReader::new(counting)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sact-convert: {input}: {e}");
@@ -90,9 +123,8 @@ fn main() {
         }
     };
 
-    match convert(&mut reader, out_file, to_sact2) {
+    match convert(&mut reader, out_file, to_sact2, progress, &bytes_read) {
         Ok(entries) => {
-            let in_bytes = std::fs::metadata(&input).map(|m| m.len()).unwrap_or(0);
             let out_bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
             println!(
                 "{input} ({}) -> {out_path} ({}): {entries} entries, {} -> {} bytes ({:.2}x)",
@@ -112,21 +144,32 @@ fn main() {
 }
 
 /// Streams every chunk of `reader` into the chosen writer; returns the
-/// number of entries converted.
+/// number of entries converted. With a progress gauge attached, ticks
+/// it once per chunk on the bytes consumed so far.
 fn convert<S: ChunkSource>(
     reader: &mut S,
     out: File,
     to_sact2: bool,
+    mut progress: Option<ProgressGauge>,
+    bytes_read: &AtomicU64,
 ) -> Result<u64, Box<dyn std::error::Error>> {
     let total = reader.total();
     let name = reader.name().to_string();
     let mut w = BufWriter::new(out);
+    let tick = |progress: &mut Option<ProgressGauge>| {
+        if let Some(p) = progress {
+            if let Some(pct) = p.update(bytes_read.load(Ordering::Relaxed)) {
+                eprintln!("sact-convert: {pct}% of input bytes read");
+            }
+        }
+    };
     if to_sact2 {
         let mut enc = Sact2Writer::new(&mut w, &name, total)?;
         while let Some(chunk) = reader.next_chunk().map_err(boxed)? {
             for a in chunk {
                 enc.push(a)?;
             }
+            tick(&mut progress);
         }
         enc.finish()?;
     } else {
@@ -135,6 +178,7 @@ fn convert<S: ChunkSource>(
             for a in chunk {
                 enc.push(a)?;
             }
+            tick(&mut progress);
         }
         enc.finish()?;
     }
