@@ -680,6 +680,14 @@ impl<P: Probe> CacheSim for SoftCache<P> {
         self.engine.run_chunk_soa(chunk);
     }
 
+    fn run_chunk_fused(&mut self, chunk: &[Access], runs: &sac_simcache::LineRuns) {
+        self.engine.run_chunk_fused(chunk, runs);
+    }
+
+    fn fused_shift(&self) -> Option<u32> {
+        self.engine.fused_shift()
+    }
+
     fn invalidate_all(&mut self) {
         self.engine.invalidate_all();
     }

@@ -23,27 +23,35 @@
 //! window sums are verified to reconcile *exactly* with the global
 //! `Metrics` counters before anything is printed.
 //!
+//! `--store DIR` opens a content-addressed result store: if DIR already
+//! holds this cell (same trace content, config, engine version) the
+//! stored counters are cross-checked against this run, otherwise the
+//! run's counters seed the store.
+//!
 //! `--bench-guard PATH` re-times unprobed (`NoopProbe`) replay of the
 //! shared hit-heavy / miss-heavy benchmark traces and compares against
 //! the `refs_per_sec` recorded in a `figures --bench-json` report from
 //! the same machine/job; the process exits non-zero if throughput
 //! regressed by more than `--bench-guard-pct` percent (default 5) —
 //! the CI tripwire proving the probe layer stays zero-cost when
-//! disabled. The guard also times the run-level span layer
-//! (spans enabled vs disabled, interleaved rounds) and fails if
-//! enabling spans costs more than 1% throughput — an upper bound on the
-//! disabled span layer's overhead, which is one relaxed atomic load per
-//! replay cell.
+//! disabled. Three more legs ride along: the fused-vs-SoA ratio on the
+//! widest batch (one engine per organization, baseline from the
+//! snapshot's v3 fused row; skipped against pre-v3 snapshots), a
+//! store-warm leg asserting a warm store lookup beats the cold replay
+//! it replaces by >10x, and the run-level span layer (spans enabled vs
+//! disabled, interleaved rounds), which fails if enabling spans costs
+//! more than 1% throughput — an upper bound on the disabled span
+//! layer's overhead, which is one relaxed atomic load per replay cell.
 //!
 //! [`TracingProbe`]: sac_obs::TracingProbe
 //! [`Timeline`]: sac_obs::Timeline
 
 use sac_experiments::explain::{
-    bench_refs_per_sec, bench_speedup, explain_config, explain_timeline, hit_heavy_trace,
-    miss_heavy_trace, mixed_trace,
+    bench_fused_speedup, bench_refs_per_sec, bench_speedup, explain_config, explain_timeline,
+    hit_heavy_trace, miss_heavy_trace, mixed_trace,
 };
 use sac_experiments::runner::{set_probe_mode, ProbeMode, ReplayBatch};
-use sac_experiments::Config;
+use sac_experiments::{Config, ResultStore};
 use sac_obs::span;
 use sac_trace::Trace;
 use std::fs::File;
@@ -65,6 +73,7 @@ fn main() {
     let mut top = 5usize;
     let mut bench_guard: Option<String> = None;
     let mut guard_pct = 5.0f64;
+    let mut store_dir: Option<String> = None;
     let mut timeline = false;
     let mut window = sac_obs::DEFAULT_WINDOW_REFS;
 
@@ -107,6 +116,7 @@ fn main() {
                     fail("--window needs a positive integer");
                 }
             }
+            "--store" => store_dir = Some(value("--store")),
             "--bench-guard" => bench_guard = Some(value("--bench-guard")),
             "--bench-guard-pct" => {
                 guard_pct = value("--bench-guard-pct")
@@ -127,6 +137,8 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("--obs-json: cannot write {path}: {e}")));
         (path.clone(), BufWriter::new(f))
     });
+    let store = store_dir
+        .map(|dir| ResultStore::open(&dir).unwrap_or_else(|e| fail(&format!("--store: {e}"))));
 
     let geom = sac_simcache::CacheGeometry::standard();
     let mem = sac_simcache::MemoryModel::default();
@@ -216,6 +228,31 @@ fn main() {
         eprintln!("wrote telemetry JSONL to {path}");
     }
 
+    // With a store attached, this run either seeds the cell or is
+    // cross-checked against the stored result: the probed engine must
+    // reproduce exactly what an earlier (unprobed or probed) run stored
+    // for the same trace content, config and engine version.
+    if let Some(store) = &store {
+        let hash = trace.content_hash();
+        match store.load(hash, &config) {
+            Some(m) if m == explanation.metrics => {
+                eprintln!("store: verified this run against {}", store.dir().display());
+            }
+            Some(_) => fail(&format!(
+                "store: {} holds different metrics for this cell under the same \
+                 engine version — stale or corrupt store, delete it or bump \
+                 ENGINE_VERSION after a semantics change",
+                store.dir().display()
+            )),
+            None => {
+                store
+                    .save(hash, &config, &explanation.metrics)
+                    .unwrap_or_else(|e| fail(&format!("store: {e}")));
+                eprintln!("store: recorded this cell in {}", store.dir().display());
+            }
+        }
+    }
+
     if let Some(path) = bench_guard {
         run_bench_guard(&path, guard_pct);
     }
@@ -290,7 +327,77 @@ fn run_bench_guard(path: &str, pct: f64) {
             }
         }
     }
+    // Fused-pass guard: decoding each chunk once into the shared probe
+    // arena must keep beating per-engine SoA derivation on the widest
+    // batch (one engine per organization). Same interleaved-pairs
+    // discipline as above; the baseline ratio is the snapshot's v3
+    // fused row, and a pre-v3 snapshot skips the leg (the row did not
+    // exist yet) instead of failing on a stale baseline.
+    match bench_fused_speedup(&json) {
+        Some(baseline) => {
+            let trace = hit_heavy_trace(BENCH_LEN);
+            let mut speedup = 0.0f64;
+            for round in 0..5 {
+                let fused = guard_rate_wide(&trace, ProbeMode::Fused, round);
+                let soa = guard_rate_wide(&trace, ProbeMode::Soa, round);
+                speedup = speedup.max(fused / soa);
+            }
+            let delta = 100.0 * (speedup - baseline) / baseline;
+            let verdict = if delta < -pct {
+                regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "bench-guard fused_multi: fused/soa {speedup:.2}x vs baseline {baseline:.2}x \
+                 ({delta:+.1}%) {verdict}"
+            );
+        }
+        None => {
+            eprintln!("bench-guard fused_multi: snapshot has no fused row (pre-v3), leg skipped")
+        }
+    }
     set_probe_mode(ProbeMode::Soa);
+
+    // Store-warm guard: a warm store lookup (trace hash precomputed, as
+    // the suite does) must beat the cold replay it replaces by more than
+    // 10x — otherwise the store is overhead masquerading as a cache.
+    // Self-contained: cold and warm are timed here in a throwaway
+    // directory, so no snapshot baseline is involved.
+    {
+        let dir = std::env::temp_dir().join(format!("sac-guard-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir)
+            .unwrap_or_else(|e| fail(&format!("bench-guard store_warm: {e}")));
+        let trace = hit_heavy_trace(BENCH_LEN);
+        let config = Config::standard();
+        let hash = trace.content_hash();
+        let cold_start = Instant::now();
+        let m = config.run(&trace);
+        store
+            .save(hash, &config, &m)
+            .unwrap_or_else(|e| fail(&format!("bench-guard store_warm: {e}")));
+        let cold = cold_start.elapsed().as_secs_f64();
+        let mut warm = f64::INFINITY;
+        for _ in 0..5 {
+            let warm_start = Instant::now();
+            assert_eq!(store.load(hash, &config), Some(m), "warm lookup missed");
+            warm = warm.min(warm_start.elapsed().as_secs_f64());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let ratio = cold / warm;
+        let verdict = if ratio <= 10.0 {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "bench-guard store_warm: cold {cold:.4}s replay+save vs warm {warm:.6}s lookup \
+             ({ratio:.0}x, limit 10x) {verdict}"
+        );
+    }
 
     // Span-layer overhead guard: time the fastest shape with run-level
     // spans enabled vs disabled as interleaved pairs and keep the most
@@ -325,6 +432,25 @@ fn run_bench_guard(path: &str, pct: f64) {
         eprintln!("bench-guard: replay throughput guard regressed (see lines above)");
         std::process::exit(1);
     }
+}
+
+/// Replay rate for the widest batch (every organization) under one
+/// probe mode (one round) — the fused-guard twin of [`guard_rate`].
+/// The batch composition must stay in lockstep with the
+/// `figures --bench-json` fused row that records the baseline.
+fn guard_rate_wide(trace: &Trace, mode: ProbeMode, round: usize) -> f64 {
+    set_probe_mode(mode);
+    let start = Instant::now();
+    let mut batch = ReplayBatch::new();
+    for (name, config) in Config::all_organizations() {
+        batch.push(format!("guard/wide/{name}/{round}"), &config);
+    }
+    let engines = batch.len() as u64;
+    let metrics = batch.replay(trace);
+    let wall = start.elapsed().as_secs_f64();
+    let refs: u64 = metrics.iter().map(|m| m.refs).sum();
+    assert_eq!(refs, trace.len() as u64 * engines);
+    refs as f64 / wall
 }
 
 /// Replay rate for one trace shape under one probe mode (one round).

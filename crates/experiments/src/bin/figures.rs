@@ -6,6 +6,7 @@
 //! cargo run --release -p sac-experiments --bin figures -- --small fig11a
 //! cargo run --release -p sac-experiments --bin figures -- --jobs 4 all
 //! cargo run --release -p sac-experiments --bin figures -- --sequential fig06a
+//! cargo run --release -p sac-experiments --bin figures -- --store results/ all
 //! ```
 //!
 //! Sweeps shard their (config × workload) cells across a worker pool;
@@ -18,9 +19,20 @@
 //! advances through the trace in one pass); `--materialized` replays one
 //! configuration at a time over the whole trace instead — the output is
 //! bit-identical, the flag exists so CI can diff the two paths. Batch
-//! replay probes tag arrays as structure-of-arrays by default; `--scalar`
-//! selects the per-entry reference probe instead — again bit-identical,
-//! again a flag so CI can diff the fast path against its twin.
+//! replay decodes each chunk once into a shared fused probe arena that
+//! feeds every engine by default; `--soa` makes each engine re-derive
+//! its own structure-of-arrays probe columns, and `--scalar` selects the
+//! per-entry reference probe — all three are bit-identical, the flags
+//! exist so CI can diff the fast path against its twins.
+//! `--cell-jobs N` additionally shards each replay cell's engines across
+//! N worker threads (deterministic: partial metrics fold in engine
+//! order); the default is 1, as cross-cell sharding via `--jobs` already
+//! saturates full sweeps.
+//! `--store DIR` attaches a content-addressed on-disk result store:
+//! suite cells found in DIR (same trace content, config and engine
+//! version) are served without replay, fresh cells are persisted, so a
+//! second (*warm*) run over the same suite skips replay entirely and a
+//! summary line reports the hit/miss split.
 //! `--bench-json PATH` additionally times raw / hit-heavy / miss-heavy
 //! replay micro-benchmarks in both probe modes and writes a JSON report
 //! (SoA and scalar refs/sec, speedup, peak RSS estimate, per-figure
@@ -43,7 +55,7 @@
 
 use sac_experiments::explain::{self, hit_heavy_trace, miss_heavy_trace, mixed_trace};
 use sac_experiments::runner::ReplayBatch;
-use sac_experiments::{figures, runner, Config, Suite, Table};
+use sac_experiments::{figures, runner, Config, ResultStore, Suite, Table};
 use sac_obs::registry;
 use sac_obs::span::{self, Span, SpanKey, SpanLevel, TraceMode};
 use sac_trace::{Access, Trace};
@@ -80,6 +92,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
     let mut wanted: Vec<String> = Vec::new();
+    let mut store_dir: Option<String> = None;
     let mut bench_json: Option<String> = None;
     let mut obs_json: Option<String> = None;
     let mut timeline_json: Option<String> = None;
@@ -93,6 +106,23 @@ fn main() {
             "--sequential" => runner::set_jobs(1),
             "--materialized" => runner::set_replay_mode(runner::ReplayMode::Materialized),
             "--scalar" => runner::set_probe_mode(runner::ProbeMode::Scalar),
+            "--soa" => runner::set_probe_mode(runner::ProbeMode::Soa),
+            "--store" => {
+                store_dir = Some(iter.next().unwrap_or_else(|| {
+                    eprintln!("--store needs a directory path");
+                    std::process::exit(2);
+                }));
+            }
+            "--cell-jobs" => {
+                let n = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--cell-jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+                runner::set_cell_jobs(n);
+            }
             "--trace-logical" => trace_logical = true,
             "--trace-chunks" => trace_chunks = true,
             "--bench-json" => {
@@ -175,6 +205,16 @@ fn main() {
             std::process::exit(2);
         }
     });
+    // The store directory is created up front for the same reason the
+    // writers are: an unwritable path must fail before the run, not
+    // after it.
+    let store = store_dir.map(|dir| match ResultStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--store: {e}");
+            std::process::exit(2);
+        }
+    });
 
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL.iter().map(|s| s.to_string()).collect();
@@ -207,11 +247,15 @@ fn main() {
             if small { "small" } else { "paper-scale" },
             runner::jobs()
         );
-        if small {
+        let mut suite = if small {
             Suite::small()
         } else {
             Suite::paper()
+        };
+        if let Some(store) = &store {
+            suite.attach_store(store.clone());
         }
+        suite
     });
     if let (Some(s0), true) = (suite_span_start, needs_suite) {
         span::record(Span::new(
@@ -331,6 +375,20 @@ fn main() {
         );
     }
 
+    // The store summary is the line the CI cold/warm smoke greps for: a
+    // warm run over an unchanged suite must report hits and no replays.
+    if let Some(store) = &store {
+        let reg = registry::snapshot();
+        eprintln!(
+            "store: {} hit(s), {} miss(es), {} entr{} in {}",
+            reg.counter("store.hits"),
+            reg.counter("store.misses"),
+            store.len(),
+            if store.len() == 1 { "y" } else { "ies" },
+            store.dir().display()
+        );
+    }
+
     let reg = registry::snapshot();
     if !reg.is_empty() {
         eprint!("{}", reg.render_text());
@@ -411,6 +469,68 @@ fn time_replay(trace: &Trace) -> (u64, f64, f64) {
     best.expect("three rounds ran")
 }
 
+/// Replays `trace` through the widest batch — one engine per cache
+/// organization — and reports engine refs/sec (best of three rounds).
+/// The fused probe pass amortizes one address decode across all eight
+/// engines, so this is the shape where it wins most; the same batch
+/// composition backs the `explain --bench-guard` fused tripwire.
+fn time_replay_wide(trace: &Trace) -> (u64, f64, f64) {
+    let mut best: Option<(u64, f64, f64)> = None;
+    for round in 0..3 {
+        let start = Instant::now();
+        let mut batch = ReplayBatch::new();
+        for (name, config) in Config::all_organizations() {
+            batch.push(format!("bench/{}/{name}/{round}", trace.name()), &config);
+        }
+        let engines = batch.len() as u64;
+        let metrics = batch.replay(trace);
+        let wall = start.elapsed().as_secs_f64();
+        let engine_refs: u64 = metrics.iter().map(|m| m.refs).sum();
+        assert_eq!(engine_refs, trace.len() as u64 * engines);
+        let rate = engine_refs as f64 / wall;
+        if best.is_none_or(|(_, _, r)| rate > r) {
+            best = Some((engine_refs, wall, rate));
+        }
+    }
+    best.expect("three rounds ran")
+}
+
+/// Times one cold sweep (replay + store write) and one warm sweep (store
+/// lookups only, trace hash precomputed as `Suite::attach_store` does)
+/// over the same cells, in a throwaway store directory. Returns
+/// `(cells, cold_wall_s, warm_wall_s)`; the warm wall is the best of
+/// five passes, since a handful of small-file reads is at the mercy of
+/// the page cache on the first pass.
+fn time_store_warm(trace: &Trace) -> (usize, f64, f64) {
+    let dir = std::env::temp_dir().join(format!("sac-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ResultStore::open(&dir).expect("temp store dir must be creatable");
+    let configs = [
+        Config::standard(),
+        Config::standard_victim(),
+        Config::soft(),
+    ];
+    let hash = trace.content_hash();
+
+    let cold_start = Instant::now();
+    for config in &configs {
+        let m = config.run(trace);
+        store.save(hash, config, &m).expect("store write");
+    }
+    let cold = cold_start.elapsed().as_secs_f64();
+
+    let mut warm = f64::INFINITY;
+    for _ in 0..5 {
+        let warm_start = Instant::now();
+        for config in &configs {
+            assert!(store.load(hash, config).is_some(), "warm lookup missed");
+        }
+        warm = warm.min(warm_start.elapsed().as_secs_f64());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (configs.len(), cold, warm)
+}
+
 /// Peak resident set size in bytes, from `/proc/self/status` `VmHWM`
 /// (0 when unavailable, e.g. off Linux).
 fn peak_rss_bytes() -> u64 {
@@ -452,7 +572,7 @@ fn bench_report(suite: Option<&Suite>, figure_walls: &[(String, f64)], total_wal
         ("hit_heavy", hit_heavy_trace(BENCH_LEN)),
         ("miss_heavy", miss_heavy_trace(BENCH_LEN)),
     ];
-    let mut out = String::from("{\n  \"schema\": \"sac-bench-replay-v2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"sac-bench-replay-v3\",\n");
     out.push_str(&format!("  \"jobs\": {},\n", runner::jobs()));
     out.push_str(&format!(
         "  \"replay_mode\": \"{}\",\n",
@@ -479,8 +599,30 @@ fn bench_report(suite: Option<&Suite>, figure_walls: &[(String, f64)], total_wal
             if i + 1 < shapes.len() { "," } else { "" }
         ));
     }
-    runner::set_probe_mode(entry_mode);
     out.push_str("  },\n");
+    // The fused row: the widest batch (every organization at once) on
+    // the hit-heavy shape, fused probe pass vs per-engine SoA. The ratio
+    // is the committed baseline for the CI fused-vs-SoA bench guard.
+    let hit_heavy = &shapes[1].1;
+    runner::set_probe_mode(runner::ProbeMode::Soa);
+    let (_, _, soa_rate) = time_replay_wide(hit_heavy);
+    runner::set_probe_mode(runner::ProbeMode::Fused);
+    let (engine_refs, wall, fused_rate) = time_replay_wide(hit_heavy);
+    runner::set_probe_mode(entry_mode);
+    out.push_str("  \"fused\": {\n");
+    out.push_str(&format!(
+        "    \"hit_heavy_multi\": {{\"configs\": {}, \"engine_refs\": {engine_refs}, \"wall_s\": {wall:.6}, \"refs_per_sec\": {fused_rate:.0}, \"soa_refs_per_sec\": {soa_rate:.0}, \"fused_speedup\": {:.3}}}\n",
+        Config::all_organizations().len(),
+        fused_rate / soa_rate
+    ));
+    out.push_str("  },\n");
+    // The store row: cold replay-and-save vs warm lookup of the same
+    // cells, documenting what a warm `--store` sweep saves.
+    let (cells, cold, warm) = time_store_warm(hit_heavy);
+    out.push_str(&format!(
+        "  \"store\": {{\"cells\": {cells}, \"cold_wall_s\": {cold:.6}, \"warm_wall_s\": {warm:.6}, \"warm_speedup\": {:.1}}},\n",
+        cold / warm
+    ));
     out.push_str(&format!("  \"peak_rss_bytes\": {},\n", peak_rss_bytes()));
     out.push_str(&format!("  \"total_wall_s\": {total_wall:.3},\n"));
     out.push_str("  \"figures\": [\n");

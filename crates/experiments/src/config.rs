@@ -113,6 +113,54 @@ impl Config {
         Config::Soft(SoftCacheConfig::soft())
     }
 
+    /// One representative of every cache organization, all on the
+    /// standard geometry — the widest batch a fused probe pass can feed,
+    /// used by the multi-config replay benchmarks, the CI fused-vs-SoA
+    /// guard and the equivalence property tests.
+    pub fn all_organizations() -> [(&'static str, Config); 8] {
+        let geom = CacheGeometry::standard();
+        let mem = MemoryModel::default();
+        [
+            ("standard", Config::standard()),
+            ("victim", Config::standard_victim()),
+            (
+                "bypass",
+                Config::Bypass {
+                    geom,
+                    mem,
+                    mode: BypassMode::Buffered { lines: 4 },
+                },
+            ),
+            (
+                "prefetch",
+                Config::HwPrefetch {
+                    geom,
+                    mem,
+                    lines: 8,
+                },
+            ),
+            (
+                "stream",
+                Config::StreamBuffer {
+                    geom,
+                    mem,
+                    buffers: 4,
+                    depth: 4,
+                },
+            ),
+            ("colassoc", Config::ColumnAssoc { geom, mem }),
+            (
+                "assist",
+                Config::Assist {
+                    geom,
+                    mem,
+                    lines: 16,
+                },
+            ),
+            ("soft", Config::soft()),
+        ]
+    }
+
     /// The main-cache geometry and memory model of this configuration —
     /// the shape a baseline or an observer config is derived from.
     pub fn shape(&self) -> (CacheGeometry, MemoryModel) {
@@ -131,8 +179,9 @@ impl Config {
     /// Builds the configured engine, ready to replay a trace. The boxed
     /// engine is what a replay batch drives chunk by chunk; the virtual
     /// dispatch happens once per chunk ([`CacheSim::run_chunk`]), not per
-    /// reference.
-    pub fn build(&self) -> Box<dyn CacheSim> {
+    /// reference. The box is `Send` so a batch can shard its engines
+    /// across intra-cell worker threads.
+    pub fn build(&self) -> Box<dyn CacheSim + Send> {
         match *self {
             Config::Standard { geom, mem } => Box::new(StandardCache::new(geom, mem)),
             Config::Victim { geom, mem, lines } => Box::new(VictimCache::new(geom, mem, lines)),

@@ -30,8 +30,10 @@ mod table;
 pub mod explain;
 pub mod figures;
 pub mod runner;
+pub mod store;
 
 pub use config::Config;
 pub use runner::RunSummary;
+pub use store::ResultStore;
 pub use suite::Suite;
 pub use table::Table;

@@ -29,7 +29,7 @@
 
 use sac_obs::registry;
 use sac_obs::span::{self, Span, SpanKey, SpanLevel};
-use sac_simcache::{CacheSim, Metrics};
+use sac_simcache::{CacheSim, LineRuns, Metrics};
 use sac_trace::io::{ChunkSource, ReadError};
 use sac_trace::{Access, Trace};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -288,23 +288,34 @@ pub fn replay_mode() -> ReplayMode {
 /// How a [`ReplayBatch`] probes the engines' tag arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeMode {
-    /// Structure-of-arrays fast path: packed u64 tag lanes, way
-    /// memoization and same-line hit-run batching (the default).
+    /// Fused batch pass (the default): the chunk's address decode and
+    /// same-line run segmentation are computed **once** into a shared
+    /// [`LineRuns`] arena and every engine with a matching line shift
+    /// replays from it — one tag probe per run while streaming hits and
+    /// constant-time folds of fully-hit runs. Engines that cannot use
+    /// the arena (probed, odd line size) fall back to their own SoA
+    /// pass within the same batch.
+    Fused,
+    /// Per-engine structure-of-arrays fast path: packed u64 tag lanes,
+    /// way memoization and same-line hit-run batching, with each engine
+    /// re-deriving the chunk's line runs itself (`--soa`; the fallback
+    /// the fused pass is diffed against).
     Soa,
-    /// The scalar per-entry probe — the reference implementation the SoA
-    /// path is diffed against (`--scalar`).
+    /// The scalar per-entry probe — the reference implementation both
+    /// fast paths are diffed against (`--scalar`).
     Scalar,
 }
 
-/// 0 = SoA, 1 = scalar.
+/// 0 = fused, 1 = SoA, 2 = scalar.
 static PROBE_MODE: AtomicUsize = AtomicUsize::new(0);
 
-/// Sets the probe mode for subsequent batch replays (the `--scalar`
-/// flag stores [`ProbeMode::Scalar`]).
+/// Sets the probe mode for subsequent batch replays (the `--soa` /
+/// `--scalar` flags store [`ProbeMode::Soa`] / [`ProbeMode::Scalar`]).
 pub fn set_probe_mode(mode: ProbeMode) {
     let v = match mode {
-        ProbeMode::Soa => 0,
-        ProbeMode::Scalar => 1,
+        ProbeMode::Fused => 0,
+        ProbeMode::Soa => 1,
+        ProbeMode::Scalar => 2,
     };
     PROBE_MODE.store(v, Ordering::SeqCst);
 }
@@ -312,9 +323,28 @@ pub fn set_probe_mode(mode: ProbeMode) {
 /// The probe mode batch replays will use.
 pub fn probe_mode() -> ProbeMode {
     match PROBE_MODE.load(Ordering::SeqCst) {
-        0 => ProbeMode::Soa,
+        0 => ProbeMode::Fused,
+        1 => ProbeMode::Soa,
         _ => ProbeMode::Scalar,
     }
+}
+
+/// Worker count for intra-cell parallelism: how many threads one
+/// [`ReplayBatch::replay`] may shard its engines across. 0/1 = off.
+static CELL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the intra-cell worker count (the `--cell-jobs N` flag): a batch
+/// replaying an in-memory trace shards its engines across up to `n`
+/// threads, each group advancing through the same chunks; results fold
+/// back in engine push order, so the output is bit-identical to the
+/// single-threaded batch. `0`/`1` disables sharding.
+pub fn set_cell_jobs(n: usize) {
+    CELL_JOBS.store(n, Ordering::SeqCst);
+}
+
+/// The intra-cell worker count batch replays will use.
+pub fn cell_jobs() -> usize {
+    CELL_JOBS.load(Ordering::SeqCst).max(1)
 }
 
 /// A batch of independent engines replaying one trace in a single pass.
@@ -343,11 +373,14 @@ pub fn probe_mode() -> ProbeMode {
 pub struct ReplayBatch {
     engines: Vec<BatchSlot>,
     span: Option<BatchSpan>,
+    /// The fused pass's shared arenas, one per distinct line shift in
+    /// the batch, recomputed per chunk with reused backing storage.
+    fused_runs: Vec<(u32, LineRuns)>,
 }
 
 struct BatchSlot {
     label: String,
-    engine: Box<dyn CacheSim>,
+    engine: Box<dyn CacheSim + Send>,
     wall: Duration,
     chunks: u64,
 }
@@ -408,20 +441,43 @@ impl ReplayBatch {
     }
 
     /// Drives every engine over one decoded chunk (in push order),
-    /// through the SoA fast path or the scalar reference path per the
-    /// global [`ProbeMode`].
+    /// through the fused batch pass, the per-engine SoA fast path or
+    /// the scalar reference path per the global [`ProbeMode`].
     pub fn feed(&mut self, chunk: &[Access]) {
         let chunk_span_start = match &self.span {
             Some(_) if chunk_spans() => Some(span::now_us()),
             _ => None,
         };
-        let soa = probe_mode() == ProbeMode::Soa;
+        let mode = probe_mode();
+        if mode == ProbeMode::Fused {
+            // One shared decode per chunk per distinct line shift: the
+            // arena is computed once and every matching engine strides
+            // over it, instead of each engine re-deriving the same line
+            // numbers and run boundaries.
+            for slot in &self.engines {
+                if let Some(shift) = slot.engine.fused_shift() {
+                    if !self.fused_runs.iter().any(|(s, _)| *s == shift) {
+                        self.fused_runs.push((shift, LineRuns::new()));
+                    }
+                }
+            }
+            for (shift, runs) in &mut self.fused_runs {
+                runs.compute_into(chunk, *shift);
+            }
+        }
         for slot in &mut self.engines {
             let start = Instant::now();
-            if soa {
-                slot.engine.run_chunk_soa(chunk);
-            } else {
-                slot.engine.run_chunk(chunk);
+            match mode {
+                ProbeMode::Fused => match slot
+                    .engine
+                    .fused_shift()
+                    .and_then(|shift| self.fused_runs.iter().find(|(s, _)| *s == shift))
+                {
+                    Some((_, runs)) => slot.engine.run_chunk_fused(chunk, runs),
+                    None => slot.engine.run_chunk_soa(chunk),
+                },
+                ProbeMode::Soa => slot.engine.run_chunk_soa(chunk),
+                ProbeMode::Scalar => slot.engine.run_chunk(chunk),
             }
             slot.wall += start.elapsed();
             slot.chunks += 1;
@@ -485,12 +541,63 @@ impl ReplayBatch {
     }
 
     /// Feeds a whole in-memory trace chunk by chunk and finishes.
+    ///
+    /// With [`cell_jobs`] > 1 the batch shards its engines across that
+    /// many threads, each group advancing through the same chunk
+    /// sequence in parallel — `--jobs`-style parallelism *inside* one
+    /// sweep cell. Engines are independent and results fold back in
+    /// push order, so the metrics are bit-identical to the
+    /// single-threaded batch. Sharding is skipped while span tracing is
+    /// on (the span layer attributes a batch to one worker track).
     pub fn replay(mut self, trace: &Trace) -> Vec<Metrics> {
+        let workers = cell_jobs().min(self.engines.len());
+        if workers > 1 && !span::enabled() {
+            return self.replay_sharded(trace, workers);
+        }
         self.begin_span();
         for chunk in trace.as_slice().chunks(REPLAY_CHUNK) {
             self.feed(chunk);
         }
         self.finish()
+    }
+
+    /// The intra-cell parallel path of [`ReplayBatch::replay`]: splits
+    /// the engines into `workers` contiguous groups, replays each group
+    /// over the full chunk sequence on its own scoped thread (each
+    /// group computes its own fused arenas), then records cells and
+    /// collects metrics **in engine push order** on the calling thread,
+    /// so the ledger and the returned vector are deterministic.
+    fn replay_sharded(self, trace: &Trace, workers: usize) -> Vec<Metrics> {
+        let per = self.engines.len().div_ceil(workers);
+        let mut rest = self.engines;
+        let mut groups: Vec<ReplayBatch> = Vec::with_capacity(workers);
+        while !rest.is_empty() {
+            let tail = rest.split_off(per.min(rest.len()));
+            groups.push(ReplayBatch {
+                engines: rest,
+                span: None,
+                fused_runs: Vec::new(),
+            });
+            rest = tail;
+        }
+        let done: Vec<ReplayBatch> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|mut b| {
+                    scope.spawn(move || {
+                        for chunk in trace.as_slice().chunks(REPLAY_CHUNK) {
+                            b.feed(chunk);
+                        }
+                        b
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cell shard panicked"))
+                .collect()
+        });
+        done.into_iter().flat_map(ReplayBatch::finish).collect()
     }
 
     /// Streams a serialized trace through the batch without

@@ -1,7 +1,9 @@
 //! The benchmark suite: named, pre-generated traces.
 
+use crate::store::ResultStore;
 use crate::{runner, Config};
 use sac_loopir::TraceOptions;
+use sac_obs::registry;
 use sac_simcache::Metrics;
 use sac_trace::Trace;
 use std::collections::HashMap;
@@ -26,6 +28,18 @@ pub struct Suite {
     // columns (Stand., Soft., ...) reuse the result instead of
     // replaying. Shared across clones, like the traces themselves.
     results: Arc<Mutex<HashMap<(String, String), Metrics>>>,
+    // The optional on-disk tier behind `results`: content-addressed by
+    // trace hash + config + engine version, so it survives across
+    // processes (warm sweeps skip replay entirely).
+    store: Option<Arc<StoreHandle>>,
+}
+
+/// An attached [`ResultStore`] plus the per-benchmark trace content
+/// hashes, computed once at attach time so lookups are O(1).
+#[derive(Debug)]
+struct StoreHandle {
+    store: ResultStore,
+    hashes: HashMap<String, u64>,
 }
 
 impl Suite {
@@ -77,24 +91,71 @@ impl Suite {
         Suite {
             entries,
             results: Arc::new(Mutex::new(HashMap::new())),
+            store: None,
         }
     }
 
+    /// Attaches a content-addressed on-disk result store behind the
+    /// in-memory cell memo: lookups fall through memo → disk, and fresh
+    /// results are written to both, so a later process over the same
+    /// traces (a *warm sweep*) skips replay entirely. Each trace's
+    /// content hash is computed once here, not per lookup.
+    pub fn attach_store(&mut self, store: ResultStore) {
+        let hashes = self
+            .entries
+            .iter()
+            .map(|(name, trace)| (name.clone(), trace.content_hash()))
+            .collect();
+        self.store = Some(Arc::new(StoreHandle { store, hashes }));
+    }
+
+    /// The attached on-disk store, if any.
+    pub fn result_store(&self) -> Option<&ResultStore> {
+        self.store.as_deref().map(|h| &h.store)
+    }
+
     /// The cached metrics of an earlier `(benchmark, config)` cell over
-    /// this suite, if any figure has computed it.
+    /// this suite — from the in-process memo, or from the attached
+    /// on-disk store (written by any earlier process over the same
+    /// trace content). Store hits are promoted into the memo; the
+    /// `store.hits` / `store.misses` counters track disk outcomes only.
     pub(crate) fn cached(&self, bench: &str, config: &Config) -> Option<Metrics> {
         let key = (bench.to_string(), format!("{config:?}"));
-        self.results.lock().expect("suite cache").get(&key).copied()
+        if let Some(m) = self.results.lock().expect("suite cache").get(&key).copied() {
+            return Some(m);
+        }
+        let handle = self.store.as_ref()?;
+        let hash = *handle.hashes.get(bench)?;
+        match handle.store.load(hash, config) {
+            Some(m) => {
+                registry::global_counter_add("store.hits", 1);
+                self.results.lock().expect("suite cache").insert(key, m);
+                Some(m)
+            }
+            None => {
+                registry::global_counter_add("store.misses", 1);
+                None
+            }
+        }
     }
 
     /// Records a completed `(benchmark, config)` cell for reuse by later
-    /// figures over this suite.
+    /// figures over this suite, and persists it to the attached store
+    /// (if any) for later processes. A store write failure is reported
+    /// but not fatal — the store is a cache, never the source of truth.
     pub(crate) fn store(&self, bench: &str, config: &Config, metrics: Metrics) {
         let key = (bench.to_string(), format!("{config:?}"));
         self.results
             .lock()
             .expect("suite cache")
             .insert(key, metrics);
+        if let Some(handle) = &self.store {
+            if let Some(&hash) = handle.hashes.get(bench) {
+                if let Err(e) = handle.store.save(hash, config, &metrics) {
+                    eprintln!("warning: result store write failed: {e}");
+                }
+            }
+        }
     }
 
     /// The `(name, trace)` pairs in figure order.
@@ -161,6 +222,33 @@ mod tests {
         let a = Suite::small();
         let b = Suite::small();
         assert_eq!(a.trace("MV"), b.trace("MV"));
+    }
+
+    #[test]
+    fn attached_store_feeds_a_fresh_suite() {
+        let dir = std::env::temp_dir()
+            .join("sac-store-tests")
+            .join(format!("suite-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let mut cold = Suite::small();
+        cold.attach_store(ResultStore::open(&dir).unwrap());
+        let cfg = Config::standard();
+        assert!(cold.cached("MV", &cfg).is_none());
+        let m = Metrics {
+            refs: 42,
+            ..Metrics::default()
+        };
+        cold.store("MV", &cfg, m);
+
+        // A brand-new suite over the same deterministic traces sees the
+        // cell without replaying, via the shared directory.
+        let mut warm = Suite::small();
+        assert!(warm.cached("MV", &cfg).is_none(), "no store attached yet");
+        warm.attach_store(ResultStore::open(&dir).unwrap());
+        assert_eq!(warm.cached("MV", &cfg), Some(m));
+        // But a different config is still a miss.
+        assert!(warm.cached("MV", &Config::standard_victim()).is_none());
     }
 
     #[test]

@@ -173,3 +173,58 @@ fn figures_rejects_unwritable_bench_path_before_running() {
     // Failing fast means no figure work ran before the exit.
     assert!(String::from_utf8_lossy(&out.stdout).is_empty());
 }
+
+/// The store round-trip: a cold `figures --store` run replays and
+/// persists every suite cell; a warm run over the same traces serves
+/// every cell from the store — zero misses — and its figure output is
+/// byte-identical to the cold run's.
+#[test]
+fn figures_store_warm_run_is_byte_identical_to_cold() {
+    let dir = std::env::temp_dir().join(format!("sac-store-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+            .args(["--small", "fig06a", "--store"])
+            .arg(&dir)
+            .output()
+            .expect("run figures");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.stdout, String::from_utf8_lossy(&out.stderr).to_string())
+    };
+
+    let (cold_out, cold_err) = run();
+    let (warm_out, warm_err) = run();
+    assert_eq!(cold_out, warm_out, "cold and warm figure output differ");
+    assert!(cold_err.contains("store: 0 hit(s)"), "{cold_err}");
+    let warm_line = warm_err
+        .lines()
+        .find(|l| l.starts_with("store: "))
+        .expect("warm run prints a store summary");
+    assert!(warm_line.contains("0 miss(es)"), "{warm_line}");
+    assert!(!warm_line.contains("store: 0 hit(s)"), "{warm_line}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figures_rejects_unwritable_store_dir_before_running() {
+    // A path whose parent is a regular file can never become a
+    // directory, whoever runs the test (`/no/such/dir` would just be
+    // created when running as root).
+    let blocker = std::env::temp_dir().join(format!("sac-store-blocker-{}", std::process::id()));
+    std::fs::write(&blocker, b"not a directory").expect("blocker file");
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["--small", "fig06a", "--store"])
+        .arg(blocker.join("store"))
+        .output()
+        .expect("run figures");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot create store"), "{err}");
+    assert!(String::from_utf8_lossy(&out.stdout).is_empty());
+    std::fs::remove_file(&blocker).ok();
+}

@@ -1,0 +1,170 @@
+//! Shared line-run decode for the fused multi-config replay pass.
+//!
+//! A replay batch drives many engines over the same chunk. Per-engine
+//! `run_chunk_soa` re-derives the same facts once per engine: which line
+//! each address falls in, where the same-line runs begin and end, and
+//! the run's flag/gap summaries. When every engine in the batch maps
+//! addresses with the same power-of-two line shift — true for whole
+//! figure families, which sweep parameters other than the line size —
+//! that work can be hoisted into **one arena, computed once per chunk
+//! and shared by every engine**: a [`LineRuns`] segmentation of the
+//! chunk into maximal same-line runs, each carrying the pre-summed
+//! write/temporal counts and issue-gap total that the engines' hit-run
+//! folds consume.
+//!
+//! Engines then replay the chunk run-by-run via
+//! [`crate::CacheSim::run_chunk_fused`]: a single tag probe per *run*
+//! (instead of per reference) while streaming hits, and a constant-time
+//! fold of each fully-hit run using the precomputed summaries. The
+//! counters are byte-identical to the scalar and per-engine SoA paths —
+//! CI diffs all three.
+
+use sac_trace::Access;
+
+/// One maximal run of consecutive same-line references within a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRun {
+    /// Index of the run's first reference within the chunk.
+    pub start: usize,
+    /// Number of references in the run (always ≥ 1).
+    pub len: usize,
+    /// The line number every reference in the run maps to.
+    pub line: u64,
+    /// How many of the run's references are writes.
+    pub writes: u32,
+    /// How many of the run's references carry the temporal hint.
+    pub temporals: u32,
+    /// Sum of the run's issue gaps.
+    pub gaps: u64,
+}
+
+/// A chunk decoded into same-line runs under one line shift: the shared
+/// arena of the fused replay pass. Reused across chunks (the backing
+/// vector keeps its capacity).
+#[derive(Debug, Clone, Default)]
+pub struct LineRuns {
+    shift: u32,
+    runs: Vec<LineRun>,
+}
+
+impl LineRuns {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        LineRuns::default()
+    }
+
+    /// Decodes `chunk` into same-line runs under `shift` (line number =
+    /// `addr >> shift`), reusing the backing storage.
+    pub fn compute_into(&mut self, chunk: &[Access], shift: u32) {
+        self.shift = shift;
+        self.runs.clear();
+        let mut iter = chunk.iter().enumerate();
+        let Some((_, first)) = iter.next() else {
+            return;
+        };
+        let mut cur = LineRun {
+            start: 0,
+            len: 1,
+            line: first.addr() >> shift,
+            writes: u32::from(first.kind().is_write()),
+            temporals: u32::from(first.temporal()),
+            gaps: first.gap() as u64,
+        };
+        for (i, a) in iter {
+            let line = a.addr() >> shift;
+            if line != cur.line {
+                self.runs.push(cur);
+                cur = LineRun {
+                    start: i,
+                    len: 0,
+                    line,
+                    writes: 0,
+                    temporals: 0,
+                    gaps: 0,
+                };
+            }
+            cur.len += 1;
+            cur.writes += u32::from(a.kind().is_write());
+            cur.temporals += u32::from(a.temporal());
+            cur.gaps += a.gap() as u64;
+        }
+        self.runs.push(cur);
+    }
+
+    /// Decodes a fresh arena (convenience for tests and one-off callers).
+    pub fn compute(chunk: &[Access], shift: u32) -> Self {
+        let mut runs = LineRuns::new();
+        runs.compute_into(chunk, shift);
+        runs
+    }
+
+    /// The line shift the runs were decoded under.
+    #[inline]
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The decoded runs, in chunk order.
+    #[inline]
+    pub fn runs(&self) -> &[LineRun] {
+        &self.runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(addrs: &[u64]) -> Vec<Access> {
+        addrs.iter().map(|&a| Access::read(a)).collect()
+    }
+
+    #[test]
+    fn empty_chunk_decodes_to_no_runs() {
+        let runs = LineRuns::compute(&[], 5);
+        assert!(runs.runs().is_empty());
+        assert_eq!(runs.shift(), 5);
+    }
+
+    #[test]
+    fn runs_segment_on_line_changes() {
+        // 32-byte lines (shift 5): [0,8,16] line 0, [32] line 1, [0] line 0.
+        let chunk = addrs(&[0, 8, 16, 32, 0]);
+        let runs = LineRuns::compute(&chunk, 5);
+        let got: Vec<(usize, usize, u64)> = runs
+            .runs()
+            .iter()
+            .map(|r| (r.start, r.len, r.line))
+            .collect();
+        assert_eq!(got, vec![(0, 3, 0), (3, 1, 1), (4, 1, 0)]);
+    }
+
+    #[test]
+    fn run_summaries_count_writes_temporals_gaps() {
+        let mut chunk = addrs(&[0, 8]);
+        chunk[0] = Access::write(0).with_gap(3);
+        chunk[1] = Access::read(8).with_temporal(true).with_gap(4);
+        let runs = LineRuns::compute(&chunk, 5);
+        assert_eq!(runs.runs().len(), 1);
+        let r = &runs.runs()[0];
+        assert_eq!((r.writes, r.temporals, r.gaps), (1, 1, 7));
+    }
+
+    #[test]
+    fn bit63_addresses_decode_without_overflow() {
+        let chunk = addrs(&[1 << 63, (1 << 63) + 8, 0]);
+        let runs = LineRuns::compute(&chunk, 5);
+        assert_eq!(runs.runs().len(), 2);
+        assert_eq!(runs.runs()[0].line, (1u64 << 63) >> 5);
+        assert_eq!(runs.runs()[0].len, 2);
+    }
+
+    #[test]
+    fn reuse_clears_previous_runs() {
+        let mut runs = LineRuns::new();
+        runs.compute_into(&addrs(&[0, 32, 64]), 5);
+        assert_eq!(runs.runs().len(), 3);
+        runs.compute_into(&addrs(&[0, 8]), 5);
+        assert_eq!(runs.runs().len(), 1);
+    }
+}

@@ -51,6 +51,7 @@ mod clock;
 mod colassoc;
 mod config;
 mod engine;
+mod fused;
 mod memsys;
 mod metrics;
 mod prefetch;
@@ -66,6 +67,7 @@ pub use clock::Clock;
 pub use colassoc::{ColAssocPolicy, ColumnAssociativeCache};
 pub use config::{CacheGeometry, MemoryModel};
 pub use engine::CacheSim;
+pub use fused::{LineRun, LineRuns};
 pub use memsys::{CacheEngine, CachePolicy, MemorySystem};
 pub use metrics::{ChunkDelta, Metrics};
 pub use prefetch::{NextLinePrefetchCache, PrefetchPolicy};

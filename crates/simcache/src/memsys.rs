@@ -16,6 +16,7 @@
 //! boundary checks are written a single time instead of per engine.
 
 use crate::clock::Clock;
+use crate::fused::LineRuns;
 use crate::{
     CacheGeometry, CacheSim, ChunkDelta, MemoryModel, Metrics, WriteBuffer, MAIN_HIT_CYCLES,
 };
@@ -513,6 +514,121 @@ impl<Pol: CachePolicy<P>, P: Probe> CacheSim for CacheEngine<Pol, P> {
             self.probe.on_chunk(m.refs, m.mem_cycles);
         }
         self.sys.metrics().debug_check_invariants();
+    }
+
+    fn run_chunk_fused(&mut self, chunk: &[Access], runs: &LineRuns) {
+        // The fused-batch replay path: the chunk arrives pre-decoded
+        // into same-line runs (one shared [`LineRuns`] arena per chunk
+        // per line shift, computed once for the whole batch). Relative
+        // to `run_chunk_soa` this removes the per-engine address decode
+        // and replaces per-reference work in streaming mode with one
+        // probe + one constant-time fold per *run*, consuming the
+        // arena's precomputed write/temporal/gap summaries. The
+        // accounting below mirrors `run_chunk_soa` + `stream_hits`
+        // operation for operation; every delta/clock update is additive
+        // and commutative, so the counters are byte-identical (CI and
+        // the property tests diff all three paths).
+        if P::ENABLED || self.policy.geometry().line_shift() != Some(runs.shift()) {
+            // Probed engines need per-reference `on_ref` events, and an
+            // arena decoded under a different shift is useless here:
+            // both fall back to the always-correct per-engine path.
+            self.run_chunk_soa(chunk);
+            return;
+        }
+        let mut delta = ChunkDelta::new();
+        let runs = runs.runs();
+        let mut r = 0usize;
+        while r < runs.len() {
+            let run = &runs[r];
+            let end = run.start + run.len;
+            // Per-access mode, as in `run_chunk_soa`'s main loop — only
+            // the line number comes from the arena instead of being
+            // re-derived per reference.
+            let mut i = run.start;
+            let mut head = (0u32, 0u32, 0u64); // writes, temporals, gaps
+            let mut stream_from: Option<usize> = None;
+            while i < end {
+                let a = &chunk[i];
+                let is_write = a.kind().is_write();
+                head.0 += u32::from(is_write);
+                head.1 += u32::from(a.temporal());
+                head.2 += a.gap() as u64;
+                let stall = self.sys.arrive(a.gap());
+                self.policy.before_access(&mut self.sys, &mut self.probe);
+                i += 1;
+                let Some(idx) = self.policy.probe_main_soa(run.line) else {
+                    self.miss_access(a, run.line, stall);
+                    continue;
+                };
+                self.policy.touch_hit(idx, a);
+                let cost = stall + MAIN_HIT_CYCLES;
+                delta.record_hit(is_write, cost, stall);
+                self.sys.complete(cost);
+                if self.policy.before_access_inert() {
+                    stream_from = Some(idx);
+                    break;
+                }
+            }
+            r += 1;
+            let Some(idx) = stream_from else {
+                continue;
+            };
+            // Streaming mode, as in `stream_hits`: after a completed,
+            // inert hit every subsequent hit is a stall-free 1-cycle
+            // access by construction, so the rest of this run — all on
+            // the line that just hit — folds in constant time from the
+            // arena's summaries (tail = run totals minus the per-access
+            // head already replayed above). Like `stream_hits`, the
+            // whole stream accumulates into locals and flushes with one
+            // `record_hit_run` + one `complete` when it ends.
+            let mut hits: u32 = 0;
+            let mut writes: u32 = 0;
+            let mut gaps: u64 = 0;
+            if i < end {
+                let tail = &chunk[i..end];
+                let tw = run.writes - head.0;
+                self.policy
+                    .touch_hit_run(idx, tail, tw > 0, run.temporals > head.1);
+                hits += tail.len() as u32;
+                writes += tw;
+                gaps += run.gaps - head.2;
+            }
+            // Whole subsequent runs stream with a single probe and a
+            // single fold each; the first probe that misses ends the
+            // stream *before* its run, which the outer loop then
+            // reprocesses per-access (the extra failed probe only bumps
+            // the LRU clock, exactly as in `stream_hits`).
+            while r < runs.len() {
+                let nrun = &runs[r];
+                let Some(nidx) = self.policy.probe_main_soa(nrun.line) else {
+                    break;
+                };
+                self.policy.touch_hit_run(
+                    nidx,
+                    &chunk[nrun.start..nrun.start + nrun.len],
+                    nrun.writes > 0,
+                    nrun.temporals > 0,
+                );
+                hits += nrun.len as u32;
+                writes += nrun.writes;
+                gaps += nrun.gaps;
+                r += 1;
+            }
+            if hits > 0 {
+                let cycles = u64::from(hits) * MAIN_HIT_CYCLES;
+                delta.record_hit_run(hits, writes, cycles);
+                self.sys.complete(gaps + cycles);
+            }
+        }
+        self.sys.metrics_mut().apply_chunk(&delta);
+        self.sys.metrics().debug_check_invariants();
+    }
+
+    fn fused_shift(&self) -> Option<u32> {
+        if P::ENABLED {
+            return None;
+        }
+        self.policy.geometry().line_shift()
     }
 
     fn invalidate_all(&mut self) {

@@ -78,12 +78,29 @@ const LEVEL_MASK: u8 = 0b11 << LEVEL_SHIFT;
 /// assert_eq!(a.instr(), 7);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
 pub struct Access {
+    // The field order is the SACT wire order (addr, instr, gap, flags) and
+    // the layout is fixed with `repr(C)` so the zero-copy reader in
+    // [`crate::io`] can reinterpret an aligned little-endian SACT payload
+    // as `&[Access]` directly. Changing this layout is a wire-format
+    // change; `io::tests` pin both.
     addr: u64,
     instr: u32,
     gap: u16,
     flags: u8,
 }
+
+// Pin the wire-layout contract the zero-copy reader depends on: a future
+// field reorder or type change fails the build here instead of silently
+// corrupting traces decoded through `io::MappedReader`.
+const _: () = {
+    assert!(std::mem::size_of::<Access>() == 16);
+    assert!(std::mem::offset_of!(Access, addr) == 0);
+    assert!(std::mem::offset_of!(Access, instr) == 8);
+    assert!(std::mem::offset_of!(Access, gap) == 12);
+    assert!(std::mem::offset_of!(Access, flags) == 14);
+};
 
 impl Access {
     /// Creates a load of the word at `addr` with no tags and a 1-cycle gap.

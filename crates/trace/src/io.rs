@@ -137,7 +137,7 @@ impl<W: Write> SactWriter<W> {
     ///
     /// Propagates I/O errors from the writer.
     pub fn new(mut w: W, name: &str, count: u64) -> io::Result<Self> {
-        write_header(&mut w, MAGIC, name, count)?;
+        write_header(&mut w, MAGIC, name, count, true)?;
         Ok(SactWriter {
             w,
             announced: count,
@@ -187,12 +187,36 @@ impl<W: Write> SactWriter<W> {
 
 /// Writes the common `magic/version/namelen/name/count` header shared by
 /// both binary formats.
-fn write_header<W: Write>(w: &mut W, magic: &[u8; 4], name: &str, count: u64) -> io::Result<()> {
+///
+/// For `SACT` (`align` true) the name field is NUL-padded so the entry
+/// section starts 8-byte aligned in the file: the header is `magic(4) +
+/// version(4) + namelen(4) + name + count(8)`, so the payload offset is
+/// `20 + namelen`, and padding `namelen` to `4 (mod 8)` lands the first
+/// entry on an 8-byte boundary. A page-aligned memory mapping then lets
+/// the zero-copy reader borrow the `SACT` payload as `&[Access]`
+/// directly. Readers strip the trailing NULs (see [`read_header`]);
+/// unpadded pre-existing files stay readable and merely take the
+/// copying path. `SAC2` is a byte stream with nothing to align, so its
+/// header is written unpadded — the committed golden fixture freezes
+/// those wire bytes.
+fn write_header<W: Write>(
+    w: &mut W,
+    magic: &[u8; 4],
+    name: &str,
+    count: u64,
+    align: bool,
+) -> io::Result<()> {
     w.write_all(magic)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let name = name.as_bytes();
-    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    let pad = if align {
+        (8 - (20 + name.len()) % 8) % 8
+    } else {
+        0
+    };
+    w.write_all(&((name.len() + pad) as u32).to_le_bytes())?;
     w.write_all(name)?;
+    w.write_all(&[0u8; 7][..pad])?;
     w.write_all(&count.to_le_bytes())
 }
 
@@ -399,7 +423,12 @@ pub fn read_binary<R: Read>(r: R) -> Result<Trace, ReadError> {
 }
 
 /// Drives any [`ChunkSource`] to completion into a materialized trace.
-fn drain_to_trace<S: ChunkSource>(reader: &mut S) -> Result<Trace, ReadError> {
+///
+/// # Errors
+///
+/// Propagates the source's [`ReadError`] on I/O failure or malformed
+/// input.
+pub fn drain_to_trace<S: ChunkSource>(reader: &mut S) -> Result<Trace, ReadError> {
     let mut trace = Trace::with_capacity(reader.name(), reader.total().min(1 << 24) as usize);
     while let Some(chunk) = reader.next_chunk()? {
         trace.extend(chunk.iter().copied());
@@ -430,7 +459,7 @@ impl<W: Write> Sact2Writer<W> {
     ///
     /// Propagates I/O errors from the writer.
     pub fn new(mut w: W, name: &str, count: u64) -> io::Result<Self> {
-        write_header(&mut w, MAGIC2, name, count)?;
+        write_header(&mut w, MAGIC2, name, count, false)?;
         Ok(Sact2Writer {
             w,
             announced: count,
@@ -825,6 +854,19 @@ pub fn create_output<P: AsRef<std::path::Path>>(path: P) -> io::Result<std::fs::
         .map_err(|e| io::Error::new(e.kind(), format!("cannot write {}: {e}", path.display())))
 }
 
+/// As [`create_output`], wrapped in a `BufWriter` — the open-and-buffer
+/// step every CLI writer shares (`sac trace`, `sact-convert`), so the
+/// validation and the "cannot write <path>" error live in one place.
+///
+/// # Errors
+///
+/// As for [`create_output`].
+pub fn create_output_buffered<P: AsRef<std::path::Path>>(
+    path: P,
+) -> io::Result<io::BufWriter<std::fs::File>> {
+    create_output(path).map(io::BufWriter::new)
+}
+
 /// A streaming source of decoded trace chunks — what the replay layer
 /// consumes, independent of the wire format behind it.
 pub trait ChunkSource {
@@ -898,6 +940,437 @@ impl<R: Read> ChunkSource for TraceReader<R> {
             TraceReader::Sact2(r) => ChunkSource::next_chunk(r),
         }
     }
+}
+
+/// Whether every entry's flag byte in a raw `SACT` payload has the
+/// reserved bits (5-7) clear. The decoding path masks those bits away
+/// ([`access_from_parts`] rebuilds the flag byte from bits 0-4 only), so
+/// a zero-copy reinterpretation of the payload is observably identical
+/// to decoding exactly when they are already zero. [`SactWriter`] never
+/// sets them; a foreign or corrupted file that does simply takes the
+/// copying path and gets the same masking the streaming reader applies.
+fn sact_flags_clean(payload: &[u8]) -> bool {
+    payload.chunks_exact(ENTRY_BYTES).all(|e| e[14] & 0xE0 == 0)
+}
+
+/// Reads one byte from a slice cursor (the mmap-backed twin of
+/// [`Sact2Reader::read_byte`], with the same truncation error).
+#[inline]
+fn slice_byte(bytes: &[u8], pos: &mut usize) -> Result<u8, ReadError> {
+    let b = *bytes
+        .get(*pos)
+        .ok_or_else(|| ReadError::BadEntry("unexpected end of stream".into()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Decodes a LEB128 varint from a slice cursor with the same hard
+/// 10-byte / 64-bit cap as [`Sact2Reader::read_varint`].
+fn slice_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, ReadError> {
+    let mut val = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = slice_byte(bytes, pos)?;
+        if shift == 63 && (b & 0x7f) > 1 {
+            return Err(ReadError::BadEntry("varint overflows u64".into()));
+        }
+        val |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(val);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(ReadError::BadEntry("varint longer than 10 bytes".into()));
+        }
+    }
+}
+
+/// Per-format decode state of a [`MappedReader`].
+enum MapState {
+    /// Fixed-width entries: a cursor into the mapping suffices.
+    Sact {
+        /// Byte offset of the next undecoded entry.
+        pos: usize,
+        /// Entries not yet yielded.
+        remaining: u64,
+    },
+    /// Delta-coded entries: the run state persists across chunks exactly
+    /// as in [`Sact2Reader`].
+    Sact2 {
+        /// Byte offset of the next undecoded byte.
+        pos: usize,
+        /// Entries not yet yielded.
+        remaining: u64,
+        /// Entries left in the currently open run (0 = at a run boundary).
+        run_left: u64,
+        run_flags: u8,
+        prev_addr: u64,
+        prev_instr: u32,
+    },
+}
+
+/// A zero-copy chunked trace reader over a memory-mapped file, sniffing
+/// the same two wire formats as [`TraceReader`].
+///
+/// For `SACT` input whose payload is 8-byte aligned in the file (every
+/// trace written since the header started padding for alignment) and
+/// whose flag bytes carry no reserved bits, each chunk is **borrowed
+/// straight from the mapping** — no per-entry decode, no copy, the
+/// `&[Access]` slice points into the page cache. Misaligned or foreign
+/// files fall back to decoding into the reused arena, and `SAC2` input is
+/// always decoded into the arena (delta coding cannot be viewed in
+/// place), with validation identical to the streaming reader.
+///
+/// Construct via [`FileSource::open`], which falls back to the streaming
+/// reader when the platform cannot map files.
+pub struct MappedReader {
+    map: crate::mmap::Mapping,
+    name: String,
+    total: u64,
+    chunk_entries: usize,
+    decoded: Vec<Access>,
+    state: MapState,
+    borrowed_chunks: u64,
+}
+
+impl MappedReader {
+    /// Opens a mapped trace, sniffing the format and validating the
+    /// header with the shared rules.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceReader::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_entries` is zero.
+    fn with_chunk_size(map: crate::mmap::Mapping, chunk_entries: usize) -> Result<Self, ReadError> {
+        assert!(chunk_entries > 0, "chunk size must be positive");
+        let (name, total, state) = {
+            let bytes = map.bytes();
+            let sniff = bytes.get(..4).ok_or_else(|| {
+                ReadError::BadHeader("file shorter than the 4 magic bytes".into())
+            })?;
+            let mut cur = bytes;
+            if sniff == &MAGIC[..] {
+                let (name, count) = read_header(&mut cur, MAGIC)?;
+                if count.checked_mul(ENTRY_BYTES as u64).is_none() {
+                    return Err(ReadError::BadHeader(format!(
+                        "entry count {count} overflows the entry section size"
+                    )));
+                }
+                let pos = bytes.len() - cur.len();
+                (
+                    name,
+                    count,
+                    MapState::Sact {
+                        pos,
+                        remaining: count,
+                    },
+                )
+            } else if sniff == &MAGIC2[..] {
+                let (name, count) = read_header(&mut cur, MAGIC2)?;
+                let pos = bytes.len() - cur.len();
+                (
+                    name,
+                    count,
+                    MapState::Sact2 {
+                        pos,
+                        remaining: count,
+                        run_left: 0,
+                        run_flags: 0,
+                        prev_addr: 0,
+                        prev_instr: 0,
+                    },
+                )
+            } else {
+                return Err(ReadError::BadHeader(format!(
+                    "magic {sniff:?} is neither SACT nor SAC2"
+                )));
+            }
+        };
+        Ok(MappedReader {
+            map,
+            name,
+            total,
+            chunk_entries,
+            decoded: Vec::new(),
+            state,
+            borrowed_chunks: 0,
+        })
+    }
+
+    /// The trace name from the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of entries announced by the header.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Entries not yet yielded.
+    pub fn remaining(&self) -> u64 {
+        match self.state {
+            MapState::Sact { remaining, .. } | MapState::Sact2 { remaining, .. } => remaining,
+        }
+    }
+
+    /// The wire format behind this reader, for display.
+    pub fn format(&self) -> &'static str {
+        match self.state {
+            MapState::Sact { .. } => "SACT",
+            MapState::Sact2 { .. } => "SAC2",
+        }
+    }
+
+    /// How many chunks so far were borrowed straight from the mapping
+    /// (as opposed to decoded into the arena) — diagnostics for tests
+    /// asserting the zero-copy path actually engages.
+    pub fn borrowed_chunks(&self) -> u64 {
+        self.borrowed_chunks
+    }
+
+    /// Decodes (or borrows) and returns the next chunk; see
+    /// [`ChunkSource::next_chunk`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError::BadEntry`] on a truncated mapping or any
+    /// malformed run or entry — the same validation as the streaming
+    /// readers.
+    pub fn next_chunk(&mut self) -> Result<Option<&[Access]>, ReadError> {
+        match &mut self.state {
+            MapState::Sact { pos, remaining } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                let n = (*remaining).min(self.chunk_entries as u64) as usize;
+                let start = self.total - *remaining;
+                let need = n * ENTRY_BYTES;
+                let bytes = self.map.bytes();
+                if bytes.len() - *pos < need {
+                    return Err(ReadError::BadEntry(format!(
+                        "entries {start}..{}: file truncated",
+                        start + n as u64
+                    )));
+                }
+                let at = *pos;
+                *pos += need;
+                *remaining -= n as u64;
+                let payload = &bytes[at..at + need];
+                if sact_flags_clean(payload) {
+                    if let Some(view) = crate::mmap::cast_accesses(payload) {
+                        self.borrowed_chunks += 1;
+                        return Ok(Some(view));
+                    }
+                }
+                self.decoded.clear();
+                self.decoded
+                    .extend(payload.chunks_exact(ENTRY_BYTES).map(decode_entry));
+                Ok(Some(&self.decoded))
+            }
+            MapState::Sact2 {
+                pos,
+                remaining,
+                run_left,
+                run_flags,
+                prev_addr,
+                prev_instr,
+            } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                let n = (*remaining).min(self.chunk_entries as u64) as usize;
+                let bytes = self.map.bytes();
+                self.decoded.clear();
+                while self.decoded.len() < n {
+                    let at = self.total - *remaining + self.decoded.len() as u64;
+                    let ctx = |e: ReadError| match e {
+                        ReadError::BadEntry(m) => ReadError::BadEntry(format!("entry {at}: {m}")),
+                        other => other,
+                    };
+                    if *run_left == 0 {
+                        let flags = slice_byte(bytes, pos).map_err(ctx)?;
+                        if flags & 0xE0 != 0 {
+                            return Err(ReadError::BadEntry(format!(
+                                "entry {at}: reserved flag bits set ({flags:#04x})"
+                            )));
+                        }
+                        let len = slice_varint(bytes, pos).map_err(ctx)?;
+                        let left = *remaining - self.decoded.len() as u64;
+                        if len == 0 || len > left {
+                            return Err(ReadError::BadEntry(format!(
+                                "entry {at}: run of {len} overflows the {left} announced entries left"
+                            )));
+                        }
+                        *run_flags = flags;
+                        *run_left = len;
+                    }
+                    let d = zigzag_decode(slice_varint(bytes, pos).map_err(ctx)?);
+                    *prev_addr = prev_addr.wrapping_add(d as u64);
+                    let gap = slice_varint(bytes, pos).map_err(ctx)?;
+                    if gap > u16::MAX as u64 {
+                        return Err(ReadError::BadEntry(format!(
+                            "entry {at}: gap {gap} > 65535"
+                        )));
+                    }
+                    let di = zigzag_decode(slice_varint(bytes, pos).map_err(ctx)?);
+                    if di < i32::MIN as i64 || di > i32::MAX as i64 {
+                        return Err(ReadError::BadEntry(format!(
+                            "entry {at}: instr delta {di} outside i32"
+                        )));
+                    }
+                    *prev_instr = prev_instr.wrapping_add(di as u32);
+                    self.decoded.push(access_from_parts(
+                        *prev_addr,
+                        *prev_instr,
+                        gap as u16,
+                        *run_flags,
+                    ));
+                    *run_left -= 1;
+                }
+                *remaining -= n as u64;
+                Ok(Some(&self.decoded))
+            }
+        }
+    }
+}
+
+impl ChunkSource for MappedReader {
+    fn name(&self) -> &str {
+        MappedReader::name(self)
+    }
+    fn total(&self) -> u64 {
+        MappedReader::total(self)
+    }
+    fn remaining(&self) -> u64 {
+        MappedReader::remaining(self)
+    }
+    fn next_chunk(&mut self) -> Result<Option<&[Access]>, ReadError> {
+        MappedReader::next_chunk(self)
+    }
+}
+
+/// A binary trace opened from a filesystem path: memory-mapped for
+/// zero-copy decode where the platform supports it, the buffered
+/// streaming reader otherwise (or on request, for differential testing).
+pub enum FileSource {
+    /// Zero-copy decode from a read-only memory mapping.
+    Mapped(MappedReader),
+    /// The buffered streaming reader.
+    Streamed(TraceReader<std::fs::File>),
+}
+
+impl FileSource {
+    /// Opens `path` with the default chunk size, preferring the mapped
+    /// reader and falling back to streaming when mapping is unsupported
+    /// or fails (empty file, exotic filesystem, non-Linux platform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] when the file cannot be opened or its
+    /// header is invalid.
+    pub fn open<P: AsRef<std::path::Path>>(path: P) -> Result<FileSource, ReadError> {
+        FileSource::with_chunk_size(path, DEFAULT_CHUNK)
+    }
+
+    /// As [`FileSource::open`] with an explicit chunk size.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FileSource::open`].
+    pub fn with_chunk_size<P: AsRef<std::path::Path>>(
+        path: P,
+        chunk_entries: usize,
+    ) -> Result<FileSource, ReadError> {
+        let file = open_input(path.as_ref())?;
+        match crate::mmap::Mapping::open(&file) {
+            Ok(map) => Ok(FileSource::Mapped(MappedReader::with_chunk_size(
+                map,
+                chunk_entries,
+            )?)),
+            Err(_) => Ok(FileSource::Streamed(TraceReader::with_chunk_size(
+                file,
+                chunk_entries,
+            )?)),
+        }
+    }
+
+    /// Opens `path` with the streaming reader unconditionally — the
+    /// differential-testing twin of [`FileSource::open`] (`--stream` in
+    /// the CLI tools).
+    ///
+    /// # Errors
+    ///
+    /// As for [`FileSource::open`].
+    pub fn open_streamed<P: AsRef<std::path::Path>>(path: P) -> Result<FileSource, ReadError> {
+        let file = open_input(path.as_ref())?;
+        Ok(FileSource::Streamed(TraceReader::new(file)?))
+    }
+
+    /// Whether this source reads through a memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, FileSource::Mapped(_))
+    }
+
+    /// The wire format behind this source, for display.
+    pub fn format(&self) -> &'static str {
+        match self {
+            FileSource::Mapped(r) => r.format(),
+            FileSource::Streamed(r) => r.format(),
+        }
+    }
+}
+
+/// Opens `path` for reading with the path named in the error — the
+/// input-side twin of [`create_output`].
+fn open_input(path: &std::path::Path) -> Result<std::fs::File, ReadError> {
+    std::fs::File::open(path).map_err(|e| {
+        ReadError::Io(io::Error::new(
+            e.kind(),
+            format!("cannot read {}: {e}", path.display()),
+        ))
+    })
+}
+
+impl ChunkSource for FileSource {
+    fn name(&self) -> &str {
+        match self {
+            FileSource::Mapped(r) => r.name(),
+            FileSource::Streamed(r) => r.name(),
+        }
+    }
+    fn total(&self) -> u64 {
+        match self {
+            FileSource::Mapped(r) => r.total(),
+            FileSource::Streamed(r) => r.total(),
+        }
+    }
+    fn remaining(&self) -> u64 {
+        match self {
+            FileSource::Mapped(r) => r.remaining(),
+            FileSource::Streamed(r) => r.remaining(),
+        }
+    }
+    fn next_chunk(&mut self) -> Result<Option<&[Access]>, ReadError> {
+        match self {
+            FileSource::Mapped(r) => r.next_chunk(),
+            FileSource::Streamed(r) => ChunkSource::next_chunk(r),
+        }
+    }
+}
+
+/// Reads a binary trace from `path`, fully materialized — memory-mapped
+/// decode when the platform allows, streaming otherwise.
+///
+/// # Errors
+///
+/// As for [`FileSource::open`].
+pub fn read_path<P: AsRef<std::path::Path>>(path: P) -> Result<Trace, ReadError> {
+    let mut src = FileSource::open(path)?;
+    drain_to_trace(&mut src)
 }
 
 /// Writes a trace in the human-readable text format.
@@ -1013,8 +1486,11 @@ fn read_header<R: Read>(r: &mut R, magic: &[u8; 4]) -> Result<(String, u64), Rea
     }
     let mut name = vec![0u8; namelen];
     r.read_exact(&mut name)?;
-    let name = String::from_utf8(name)
+    let mut name = String::from_utf8(name)
         .map_err(|e| ReadError::BadHeader(format!("name not UTF-8: {e}")))?;
+    // The writer NUL-pads the name for payload alignment; the padding is
+    // not part of the name.
+    name.truncate(name.trim_end_matches('\0').len());
     let count = read_u64(r)?;
     Ok((name, count))
 }
@@ -1315,8 +1791,9 @@ mod tests {
     fn sact2_reserved_flag_bits_rejected() {
         let mut buf = Vec::new();
         write_binary2(&sample_trace(), &mut buf).unwrap();
-        // Body starts right after the 21-byte header (magic + version +
-        // namelen + "sample" + count). Corrupt the first op byte.
+        // Body starts right after the header (magic + version + namelen +
+        // "sample" + count; SAC2 names are unpadded). Corrupt the first
+        // op byte.
         let body = 4 + 4 + 4 + "sample".len() + 8;
         buf[body] |= 0x80;
         let err = read_binary2(&buf[..]).unwrap_err();
@@ -1389,5 +1866,178 @@ mod tests {
         assert_eq!(zigzag_encode(0), 0);
         assert_eq!(zigzag_encode(-1), 1);
         assert_eq!(zigzag_encode(1), 2);
+    }
+
+    /// Writes `bytes` to a fresh file in a per-test temp directory.
+    fn tmp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sac-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn header_pads_name_for_aligned_payload() {
+        for name in ["", "a", "ab", "sample", "exact4__", "MV"] {
+            let t: Trace = sample_trace().with_name(name);
+            let mut buf = Vec::new();
+            write_binary(&t, &mut buf).unwrap();
+            let namelen = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+            assert_eq!((20 + namelen) % 8, 0, "payload misaligned for {name:?}");
+            let back = read_binary(&buf[..]).unwrap();
+            assert_eq!(back.name(), name, "padding must not leak into the name");
+            assert_eq!(back.as_slice(), t.as_slice());
+        }
+    }
+
+    #[test]
+    fn mapped_sact_matches_streaming_and_borrows_chunks() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let path = tmp_file("mapped_sact.sact", &buf);
+
+        let mut src = FileSource::open(&path).unwrap();
+        assert_eq!(src.format(), "SACT");
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        assert!(
+            src.is_mapped(),
+            "mapping must engage on supported platforms"
+        );
+        let mapped = drain_to_trace(&mut src).unwrap();
+        assert_eq!(mapped.name(), t.name());
+        assert_eq!(mapped.as_slice(), t.as_slice());
+        if let FileSource::Mapped(r) = &src {
+            assert!(
+                r.borrowed_chunks() > 0,
+                "aligned clean SACT chunks must be borrowed, not copied"
+            );
+        }
+
+        let mut streamed = FileSource::open_streamed(&path).unwrap();
+        assert!(!streamed.is_mapped());
+        let s = drain_to_trace(&mut streamed).unwrap();
+        assert_eq!(s.as_slice(), mapped.as_slice());
+        assert_eq!(s.name(), mapped.name());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mapped_sact2_matches_streaming() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary2(&t, &mut buf).unwrap();
+        let path = tmp_file("mapped_sact2.sact2", &buf);
+
+        let mut src = FileSource::open(&path).unwrap();
+        assert_eq!(src.format(), "SAC2");
+        let mapped = drain_to_trace(&mut src).unwrap();
+        let mut streamed = FileSource::open_streamed(&path).unwrap();
+        let s = drain_to_trace(&mut streamed).unwrap();
+        assert_eq!(mapped.as_slice(), t.as_slice());
+        assert_eq!(s.as_slice(), mapped.as_slice());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mapped_sact_misaligned_payload_falls_back_to_decoding() {
+        // Hand-write an unpadded header, as files written before the
+        // name field was alignment-padded: payload offset 20 + 5 = 25.
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        let name = b"sampl";
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.extend_from_slice(&(t.len() as u64).to_le_bytes());
+        for a in &t {
+            buf.extend_from_slice(&a.addr().to_le_bytes());
+            buf.extend_from_slice(&a.instr().to_le_bytes());
+            buf.extend_from_slice(&(a.gap() as u16).to_le_bytes());
+            buf.push(flags_byte(a));
+            buf.push(0);
+        }
+        let path = tmp_file("mapped_unpadded.sact", &buf);
+
+        let mut src = FileSource::open(&path).unwrap();
+        let back = drain_to_trace(&mut src).unwrap();
+        assert_eq!(back.name(), "sampl");
+        assert_eq!(back.as_slice(), t.as_slice());
+        if let FileSource::Mapped(r) = &src {
+            assert_eq!(
+                r.borrowed_chunks(),
+                0,
+                "misaligned payload cannot be borrowed"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mapped_sact_reserved_flag_bits_take_the_masking_path() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let namelen = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        // Set a reserved bit in the first entry's flag byte; both readers
+        // must mask it away identically.
+        buf[20 + namelen + 14] |= 0x80;
+        let path = tmp_file("mapped_dirty_flags.sact", &buf);
+
+        let mut mapped = FileSource::open(&path).unwrap();
+        let m = drain_to_trace(&mut mapped).unwrap();
+        let mut streamed = FileSource::open_streamed(&path).unwrap();
+        let s = drain_to_trace(&mut streamed).unwrap();
+        assert_eq!(m.as_slice(), s.as_slice());
+        assert_eq!(m.as_slice()[0], t.as_slice()[0], "reserved bits masked");
+        if let FileSource::Mapped(r) = &mapped {
+            assert_eq!(r.borrowed_chunks(), 0, "dirty flags disable borrowing");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mapped_sact_truncated_payload_reports_the_entry_range() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 24); // drop 1.5 entries
+        let path = tmp_file("mapped_truncated.sact", &buf);
+        let mut src = FileSource::open(&path).unwrap();
+        let err = drain_to_trace(&mut src).unwrap_err();
+        assert!(matches!(err, ReadError::BadEntry(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_path_round_trips_both_formats() {
+        let t = sample_trace();
+        for (ext, sact2) in [("sact", false), ("sact2", true)] {
+            let mut buf = Vec::new();
+            if sact2 {
+                write_binary2(&t, &mut buf).unwrap();
+            } else {
+                write_binary(&t, &mut buf).unwrap();
+            }
+            let path = tmp_file(&format!("read_path_rt.{ext}"), &buf);
+            let back = read_path(&path).unwrap();
+            assert_eq!(back.as_slice(), t.as_slice());
+            assert_eq!(back.name(), t.name());
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn open_input_errors_name_the_path() {
+        let err = match FileSource::open("/nonexistent-dir-sact/in.sact") {
+            Ok(_) => panic!("open of a nonexistent path must fail"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("/nonexistent-dir-sact/in.sact"));
     }
 }

@@ -75,6 +75,44 @@ impl Trace {
         &self.entries
     }
 
+    /// A stable 64-bit content hash of the reference stream (FNV-1a over
+    /// every access's fields; the name is deliberately excluded). Two
+    /// traces hash equal exactly when they drive a simulation through the
+    /// identical sequence of references, which makes this the trace
+    /// component of content-addressed result-store keys: regenerating the
+    /// same benchmark deterministically reuses stored results, while any
+    /// change to the generator invalidates them.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for a in &self.entries {
+            for b in a.addr().to_le_bytes() {
+                mix(b);
+            }
+            for b in a.instr().to_le_bytes() {
+                mix(b);
+            }
+            for b in (a.gap() as u16).to_le_bytes() {
+                mix(b);
+            }
+            mix(u8::from(a.kind().is_write())
+                | (u8::from(a.temporal()) << 1)
+                | (u8::from(a.spatial()) << 2)
+                | (a.spatial_level() << 3));
+        }
+        // Mix in the length so a trace and its prefix never collide on
+        // the trivial all-zero stream.
+        for b in (self.entries.len() as u64).to_le_bytes() {
+            mix(b);
+        }
+        h
+    }
+
     /// Sum of all issue gaps, i.e. the issue time of the last reference.
     pub fn issue_cycles(&self) -> u64 {
         self.entries.iter().map(|a| a.gap() as u64).sum()
@@ -206,5 +244,37 @@ mod tests {
         t.push(Access::read(16));
         assert_eq!(t.footprint_words(), 3);
         assert!((t.read_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn content_hash_tracks_content_not_name() {
+        let build = |name: &str| {
+            let mut t = Trace::new(name);
+            for i in 0..100u64 {
+                t.push(Access::read(i * 8).with_temporal(i % 2 == 0).with_gap(2));
+            }
+            t
+        };
+        let a = build("a");
+        assert_eq!(a.content_hash(), build("b").content_hash());
+
+        let mut changed = build("a");
+        changed.push(Access::read(0));
+        assert_ne!(a.content_hash(), changed.content_hash());
+
+        let mut flipped = Trace::new("a");
+        for (i, acc) in a.iter().enumerate() {
+            flipped.push(if i == 50 {
+                acc.with_temporal(false)
+            } else {
+                *acc
+            });
+        }
+        assert_ne!(a.content_hash(), flipped.content_hash(), "tag bits hash");
+
+        // A prefix never collides with the full trace.
+        let mut prefix = Trace::new("a");
+        prefix.extend(a.iter().take(99).copied());
+        assert_ne!(a.content_hash(), prefix.content_hash());
     }
 }

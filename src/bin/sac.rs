@@ -21,7 +21,7 @@ use software_assisted_caches::trace::stats::{
 use software_assisted_caches::trace::{io as trace_io, Trace};
 use software_assisted_caches::workloads;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, Write};
 use std::process::ExitCode;
 
 const BENCHMARKS: [&str; 9] = [
@@ -80,9 +80,11 @@ USAGE:
       --small                      scaled-down problem size
       --levels                     attach variable-virtual-line levels
   sac stats <trace-file>           reuse/vector/tag statistics of a trace
+      --stream                     force the streaming reader (no mmap)
   sac simulate <trace-file> [-c <config>]...
                                    run cache configurations over a trace
-                                   (default: standard and soft)"
+                                   (default: standard and soft)
+      --stream                     force the streaming reader (no mmap)"
     );
 }
 
@@ -222,6 +224,11 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     }
     let name = name.ok_or("usage: sac trace <benchmark> [options]")?;
     let program = find_program(&name, small)?;
+    // Validate the output path before tracing (shared helper; same
+    // policy as `sact-convert` and `figures --bench-json`): a typo'd
+    // directory fails immediately, not after generating the trace.
+    let path = out.unwrap_or_else(|| format!("{}.sact", program.name()));
+    let mut w = trace_io::create_output_buffered(&path).map_err(|e| e.to_string())?;
     let trace = program
         .trace(&TraceOptions {
             seed,
@@ -229,9 +236,6 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             levels,
         })
         .map_err(|e| e.to_string())?;
-    let path = out.unwrap_or_else(|| format!("{}.sact", trace.name()));
-    let file = trace_io::create_output(&path).map_err(|e| e.to_string())?;
-    let mut w = BufWriter::new(file);
     match format.as_str() {
         "bin" => write_with_progress(&trace, &mut w, false).map_err(|e| e.to_string())?,
         "bin2" | "sact2" => write_with_progress(&trace, &mut w, true).map_err(|e| e.to_string())?,
@@ -281,20 +285,32 @@ fn write_with_progress(trace: &Trace, w: &mut impl Write, sact2: bool) -> std::i
     Ok(())
 }
 
-fn load_trace(path: &str) -> Result<Trace, String> {
-    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let mut r = BufReader::new(file);
-    // Either binary format first (sniffed by magic); fall back to text.
-    if let Ok(t) = trace_io::read_any(&mut r) {
-        return Ok(t);
+/// Loads a trace from `path`: either binary format first (sniffed by
+/// magic, memory-mapped for zero-copy decode unless `stream` forces the
+/// buffered reader), falling back to the text format.
+fn load_trace(path: &str, stream: bool) -> Result<Trace, String> {
+    let src = if stream {
+        trace_io::FileSource::open_streamed(path)
+    } else {
+        trace_io::FileSource::open(path)
+    };
+    match src {
+        Ok(mut s) => trace_io::drain_to_trace(&mut s).map_err(|e| format!("{path}: {e}")),
+        // Not a binary trace: fall back to the text format.
+        Err(_) => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            trace_io::read_text(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+        }
     }
-    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    trace_io::read_text(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: sac stats <trace-file>")?;
-    let trace = load_trace(path)?;
+    let stream = args.iter().any(|a| a == "--stream");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("usage: sac stats <trace-file> [--stream]")?;
+    let trace = load_trace(path, stream)?;
     println!("{trace}");
     println!(
         "footprint: {} words ({} KB); {:.1}% loads; issue time {} cycles",
@@ -324,21 +340,23 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut path = None;
     let mut configs: Vec<String> = Vec::new();
+    let mut stream = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-c" | "--config" => {
                 configs.push(it.next().ok_or("missing value for --config")?.clone())
             }
+            "--stream" => stream = true,
             other if !other.starts_with('-') => path = Some(other.to_string()),
             other => return Err(format!("unknown option '{other}'")),
         }
     }
-    let path = path.ok_or("usage: sac simulate <trace-file> [-c <config>]...")?;
+    let path = path.ok_or("usage: sac simulate <trace-file> [-c <config>]... [--stream]")?;
     if configs.is_empty() {
         configs = vec!["standard".into(), "soft".into()];
     }
-    let trace = load_trace(&path)?;
+    let trace = load_trace(&path, stream)?;
     println!("{trace}\n");
     println!(
         "{:<16} {:>8} {:>11} {:>11} {:>10} {:>10}",

@@ -9,47 +9,34 @@
 //! sact-convert trace.sact                  # -> trace.sact2 (SAC2)
 //! sact-convert trace.sact2 --to sact       # -> trace.sact  (SACT)
 //! sact-convert trace.sact -o /tmp/out.bin  # explicit output path
+//! sact-convert trace.sact --stream         # force the streaming reader
 //! ```
 //!
-//! Conversion streams chunk-by-chunk through the same decoders the
-//! replay engine uses, so a multi-gigabyte trace converts in constant
-//! memory, and the announced entry count is carried from the input
-//! header (the writers enforce it).
+//! The input is memory-mapped where the platform allows (`SACT` chunks
+//! are then borrowed straight from the page cache), with `--stream` as
+//! the differential-testing opt-out; either way conversion runs
+//! chunk-by-chunk through the same decoders the replay engine uses, so a
+//! multi-gigabyte trace converts in constant memory, and the announced
+//! entry count is carried from the input header (the writers enforce it).
 
 use sac_obs::ProgressGauge;
-use sac_trace::io::{self as trace_io, ChunkSource, ReadError, Sact2Writer, SactWriter};
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use sac_trace::io::{
+    self as trace_io, ChunkSource, FileSource, ReadError, Sact2Writer, SactWriter,
+};
+use std::io::Write;
 use std::process::exit;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-/// Inputs at or above this size report bytes-read progress (gauge
-/// `convert.bytes_read_pct` plus one stderr line per 10%); smaller
+/// Inputs at or above this size report entries-read progress (gauge
+/// `convert.entries_read_pct` plus one stderr line per 10%); smaller
 /// conversions finish in well under a second and stay silent, so CI
 /// stderr diffs are unaffected.
 const PROGRESS_MIN_BYTES: u64 = 64 << 20;
 
-/// Counts bytes pulled from the underlying file so progress reflects
-/// actual input consumption — meaningful for both wire formats, unlike
-/// decoded-entry counts which the SAC2 delta coding skews.
-struct CountingReader<R> {
-    inner: R,
-    read: Arc<AtomicU64>,
-}
-
-impl<R: Read> Read for CountingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.read.fetch_add(n as u64, Ordering::Relaxed);
-        Ok(n)
-    }
-}
-
 fn usage() -> ! {
-    eprintln!("usage: sact-convert <trace-file> [-o <output>] [--to sact|sact2]");
+    eprintln!("usage: sact-convert <trace-file> [-o <output>] [--to sact|sact2] [--stream]");
     eprintln!("  converts between the SACT (fixed-width) and SAC2 (delta) formats;");
-    eprintln!("  the input format is sniffed, the default target is the other format.");
+    eprintln!("  the input format is sniffed, the default target is the other format;");
+    eprintln!("  --stream forces the streaming reader over the memory-mapped one.");
     exit(2)
 }
 
@@ -58,11 +45,13 @@ fn main() {
     let mut input: Option<String> = None;
     let mut output: Option<String> = None;
     let mut target: Option<String> = None;
+    let mut stream = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" | "--out" => output = Some(it.next().unwrap_or_else(|| usage())),
             "--to" => target = Some(it.next().unwrap_or_else(|| usage())),
+            "--stream" => stream = true,
             "-h" | "--help" => usage(),
             other if !other.starts_with('-') && input.is_none() => {
                 input = Some(other.to_string());
@@ -72,22 +61,13 @@ fn main() {
     }
     let Some(input) = input else { usage() };
 
-    let file = match File::open(&input) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("sact-convert: open {input}: {e}");
-            exit(1);
-        }
+    let in_bytes = std::fs::metadata(&input).map(|m| m.len()).unwrap_or(0);
+    let open = if stream {
+        FileSource::open_streamed(&input)
+    } else {
+        FileSource::open(&input)
     };
-    let in_bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
-    let bytes_read = Arc::new(AtomicU64::new(0));
-    let progress = (in_bytes >= PROGRESS_MIN_BYTES)
-        .then(|| ProgressGauge::new("convert.bytes_read_pct", in_bytes));
-    let counting = CountingReader {
-        inner: file,
-        read: Arc::clone(&bytes_read),
-    };
-    let mut reader = match trace_io::TraceReader::new(BufReader::new(counting)) {
+    let mut reader = match open {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sact-convert: {input}: {e}");
@@ -114,16 +94,18 @@ fn main() {
     });
 
     // Validate the output path before decoding anything (shared helper;
-    // same policy as `figures --bench-json`).
-    let out_file = match trace_io::create_output(&out_path) {
-        Ok(f) => f,
+    // same policy as `figures --bench-json` and `sac trace`).
+    let out = match trace_io::create_output_buffered(&out_path) {
+        Ok(w) => w,
         Err(e) => {
             eprintln!("sact-convert: {e}");
             exit(1);
         }
     };
+    let progress = (in_bytes >= PROGRESS_MIN_BYTES)
+        .then(|| ProgressGauge::new("convert.entries_read_pct", reader.total()));
 
-    match convert(&mut reader, out_file, to_sact2, progress, &bytes_read) {
+    match convert(&mut reader, out, to_sact2, progress) {
         Ok(entries) => {
             let out_bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
             println!(
@@ -145,21 +127,20 @@ fn main() {
 
 /// Streams every chunk of `reader` into the chosen writer; returns the
 /// number of entries converted. With a progress gauge attached, ticks
-/// it once per chunk on the bytes consumed so far.
-fn convert<S: ChunkSource>(
+/// it once per chunk on the entries decoded so far.
+fn convert<S: ChunkSource, W: Write>(
     reader: &mut S,
-    out: File,
+    mut w: W,
     to_sact2: bool,
     mut progress: Option<ProgressGauge>,
-    bytes_read: &AtomicU64,
 ) -> Result<u64, Box<dyn std::error::Error>> {
     let total = reader.total();
     let name = reader.name().to_string();
-    let mut w = BufWriter::new(out);
-    let tick = |progress: &mut Option<ProgressGauge>| {
-        if let Some(p) = progress {
-            if let Some(pct) = p.update(bytes_read.load(Ordering::Relaxed)) {
-                eprintln!("sact-convert: {pct}% of input bytes read");
+    let mut done = 0u64;
+    let mut tick = |done: u64| {
+        if let Some(p) = &mut progress {
+            if let Some(pct) = p.update(done) {
+                eprintln!("sact-convert: {pct}% of entries read");
             }
         }
     };
@@ -169,7 +150,8 @@ fn convert<S: ChunkSource>(
             for a in chunk {
                 enc.push(a)?;
             }
-            tick(&mut progress);
+            done += chunk.len() as u64;
+            tick(done);
         }
         enc.finish()?;
     } else {
@@ -178,7 +160,8 @@ fn convert<S: ChunkSource>(
             for a in chunk {
                 enc.push(a)?;
             }
-            tick(&mut progress);
+            done += chunk.len() as u64;
+            tick(done);
         }
         enc.finish()?;
     }

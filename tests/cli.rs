@@ -117,6 +117,46 @@ fn unknown_arguments_fail_cleanly() {
     assert!(!out.status.success());
 }
 
+/// Both `sac trace` and `sact-convert` validate their output path
+/// through the one shared helper (`trace::io::create_output_buffered`),
+/// up front: an unwritable destination fails immediately with the same
+/// "cannot write <path>" message from either tool, before any trace is
+/// generated or decoded.
+#[test]
+fn unwritable_output_path_fails_up_front_with_the_shared_message() {
+    let bad = "/nonexistent-sac-dir/out.sact";
+
+    let out = sac()
+        .args(["trace", "MV", "--small", "-o", bad])
+        .output()
+        .expect("run sac trace");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot write"), "{err}");
+    assert!(err.contains(bad), "{err}");
+
+    // A valid input for the converter, so only the output path is at
+    // fault.
+    let input = tmpfile("convert-badout.sact");
+    let out = sac()
+        .args(["trace", "MV", "--small", "-o"])
+        .arg(&input)
+        .output()
+        .expect("run sac trace");
+    assert!(out.status.success());
+
+    let out = Command::new(env!("CARGO_BIN_EXE_sact-convert"))
+        .arg(&input)
+        .args(["-o", bad])
+        .output()
+        .expect("run sact-convert");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot write"), "{err}");
+    assert!(err.contains(bad), "{err}");
+    std::fs::remove_file(&input).ok();
+}
+
 #[test]
 fn deterministic_traces_across_invocations() {
     let a = tmpfile("det-a.sact");

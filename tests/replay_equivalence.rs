@@ -8,7 +8,7 @@ use software_assisted_caches::experiments::explain::explain_config;
 use software_assisted_caches::experiments::runner::ReplayBatch;
 use software_assisted_caches::experiments::{Config, Suite};
 use software_assisted_caches::obs::{CountingProbe, ObsConfig, TracingProbe};
-use software_assisted_caches::simcache::{BypassMode, CacheGeometry, MemoryModel, Metrics};
+use software_assisted_caches::simcache::{LineRuns, Metrics};
 use software_assisted_caches::trace::io::{read_text, write_binary, ChunkedReader};
 use software_assisted_caches::trace::Trace;
 
@@ -21,51 +21,13 @@ fn golden() -> Trace {
 
 /// Every organization in the study — all of them run on the shared
 /// policy engine, so all of them must replay identically on every path.
+/// The set is [`Config::all_organizations`], the same one the fused
+/// benchmarks and the CI bench guard drive.
 fn configs() -> Vec<(String, Config)> {
-    let geom = CacheGeometry::standard();
-    let mem = MemoryModel::default();
-    vec![
-        ("equiv/standard".to_string(), Config::standard()),
-        ("equiv/victim".to_string(), Config::standard_victim()),
-        (
-            "equiv/bypass".to_string(),
-            Config::Bypass {
-                geom,
-                mem,
-                mode: BypassMode::Buffered { lines: 4 },
-            },
-        ),
-        (
-            "equiv/prefetch".to_string(),
-            Config::HwPrefetch {
-                geom,
-                mem,
-                lines: 8,
-            },
-        ),
-        (
-            "equiv/stream".to_string(),
-            Config::StreamBuffer {
-                geom,
-                mem,
-                buffers: 4,
-                depth: 4,
-            },
-        ),
-        (
-            "equiv/colassoc".to_string(),
-            Config::ColumnAssoc { geom, mem },
-        ),
-        (
-            "equiv/assist".to_string(),
-            Config::Assist {
-                geom,
-                mem,
-                lines: 16,
-            },
-        ),
-        ("equiv/soft".to_string(), Config::soft()),
-    ]
+    Config::all_organizations()
+        .iter()
+        .map(|(name, config)| (format!("equiv/{name}"), *config))
+        .collect()
 }
 
 /// Materialized baseline: each config builds its own engine and replays
@@ -288,6 +250,100 @@ fn probe_modes_agree_at_the_batch_level() {
     let soa = batched(&cells, &trace);
     assert_eq!(scalar, soa);
     assert_eq!(soa, one_at_a_time(&cells, &trace), "soa vs solo");
+}
+
+/// Like [`drive`], but through the fused path: the chunk is decoded once
+/// into a shared [`LineRuns`] arena under the engine's own line shift —
+/// exactly what a [`ReplayBatch`] does for every engine of a batch.
+fn drive_fused(
+    engine: &mut dyn software_assisted_caches::simcache::CacheSim,
+    trace: &Trace,
+    chunked: bool,
+) -> Metrics {
+    let shift = engine
+        .fused_shift()
+        .expect("every stock organization replays fused");
+    let mut runs = LineRuns::new();
+    let chunks: Vec<&[software_assisted_caches::trace::Access]> = if chunked {
+        trace.as_slice().chunks(7).collect()
+    } else {
+        vec![trace.as_slice()]
+    };
+    for chunk in chunks {
+        runs.compute_into(chunk, shift);
+        engine.run_chunk_fused(chunk, &runs);
+    }
+    *engine.metrics()
+}
+
+/// A random trace where a slice of the addresses have bit 63 set — the
+/// top-of-address-space corner where packed probe lanes must fall back
+/// to the scalar path rather than truncate tags.
+fn high_address_trace(seed: u64, len: usize) -> Trace {
+    let mut rng = software_assisted_caches::trace::rng::SplitMix64::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let mut addr = rng.below(1 << 14);
+            if rng.chance(0.25) {
+                addr |= 1 << 63;
+            }
+            let a = if rng.chance(0.3) {
+                software_assisted_caches::trace::Access::write(addr)
+            } else {
+                software_assisted_caches::trace::Access::read(addr)
+            };
+            a.with_temporal(rng.chance(0.4))
+                .with_gap(rng.below(4) as u32)
+        })
+        .collect()
+}
+
+/// The fused-pass tentpole guarantee: decoding a chunk once into the
+/// shared line-run arena and replaying run-by-run is *byte-identical* to
+/// the per-engine SoA path and to the scalar reference path — for every
+/// organization, on the golden trace, on random tagged traces, on
+/// bit-63 fallback addresses, materialized and across misaligned 7-entry
+/// chunk boundaries.
+#[test]
+fn fused_replay_is_byte_identical_to_soa_and_scalar() {
+    let mut traces = vec![("golden".to_string(), golden())];
+    for seed in 0..4u64 {
+        traces.push((format!("random{seed}"), random_trace(0xF5ED + seed, 4_000)));
+    }
+    traces.push(("high63".to_string(), high_address_trace(0x63B17, 4_000)));
+    for (tname, trace) in &traces {
+        for (label, config) in configs() {
+            for chunked in [false, true] {
+                let scalar = drive(&mut *config.build(), trace, chunked);
+                let soa = drive_soa(&mut *config.build(), trace, chunked);
+                let fused = drive_fused(&mut *config.build(), trace, chunked);
+                assert_eq!(scalar, soa, "{tname}/{label} chunked={chunked} (soa)");
+                assert_eq!(scalar, fused, "{tname}/{label} chunked={chunked} (fused)");
+            }
+        }
+    }
+}
+
+/// Batch-level differential for the fused mode switch (the default; the
+/// `--soa` and `--scalar` flags select its twins): one shared decode
+/// feeding all eight engines gives the same metrics as each engine
+/// deciding alone and as solo replay.
+#[test]
+fn fused_batch_mode_agrees_with_soa_and_solo() {
+    use software_assisted_caches::experiments::runner::{probe_mode, set_probe_mode, ProbeMode};
+    let cells = configs();
+    for trace in [
+        random_trace(0xFA57, 6_000),
+        high_address_trace(0x63B18, 6_000),
+    ] {
+        set_probe_mode(ProbeMode::Soa);
+        let soa = batched(&cells, &trace);
+        set_probe_mode(ProbeMode::Fused);
+        assert_eq!(probe_mode(), ProbeMode::Fused);
+        let fused = batched(&cells, &trace);
+        assert_eq!(soa, fused);
+        assert_eq!(fused, one_at_a_time(&cells, &trace), "fused vs solo");
+    }
 }
 
 #[test]
