@@ -20,7 +20,7 @@
 //! per residency (no bouncing), and there is no virtual-line mechanism.
 
 use crate::config::SoftCacheConfig;
-use sac_obs::{Event, NoopProbe, Probe};
+use sac_obs::{AuxSource, Event, NoopProbe, Probe};
 use sac_simcache::{
     CacheEngine, CacheGeometry, CachePolicy, CacheSim, Entry, MemorySystem, Metrics, TagArray,
     MAIN_HIT_CYCLES,
@@ -110,6 +110,12 @@ impl AssistPolicy {
             // Promote into the main cache (hidden under the miss).
             let way = self.main.victim_way(evicted.line);
             let displaced = self.main.install(evicted.line, way, evicted);
+            if P::ENABLED && displaced.valid {
+                probe.on_event(&Event::MainEvict {
+                    line: displaced.line,
+                    dirty: displaced.dirty,
+                });
+            }
             self.discard(sys, probe, displaced)
         } else {
             self.discard(sys, probe, evicted)
@@ -177,6 +183,12 @@ impl<P: Probe> CachePolicy<P> for AssistPolicy {
                 e.prefetched = false; // temporal evidence clears the marker
             }
             sys.metrics_mut().aux_hits += 1;
+            if P::ENABLED {
+                probe.on_event(&Event::AuxHit {
+                    line,
+                    source: AuxSource::Assist,
+                });
+            }
             cost += MAIN_HIT_CYCLES;
             return (cost, 0);
         }

@@ -3,7 +3,7 @@
 use crate::config::{Replacement, SoftCacheConfig};
 use crate::fillbuf::{FillBuffer, FillSlot};
 use crate::vline::virtual_block;
-use sac_obs::{Event, NoopProbe, Probe, Victim};
+use sac_obs::{AuxSource, Event, NoopProbe, Probe, Victim};
 use sac_simcache::{
     CacheEngine, CacheGeometry, CachePolicy, CacheSim, Entry, MemorySystem, Metrics, TagArray,
     DIRTY_TRANSFER_CYCLES, SWAP_LOCK_CYCLES,
@@ -300,6 +300,10 @@ impl SoftPolicy {
         sys.metrics_mut().aux_hits += 1;
         sys.metrics_mut().swaps += 1;
         if P::ENABLED {
+            probe.on_event(&Event::AuxHit {
+                line: entry.line,
+                source: AuxSource::BounceBack,
+            });
             probe.on_event(&Event::Swap { line: entry.line });
         }
         let was_prefetched = entry.prefetched;

@@ -23,6 +23,17 @@
 //! window sums are verified to reconcile *exactly* with the global
 //! `Metrics` counters before anything is printed.
 //!
+//! `--diff CONFIG` replays the same trace through the `--config` side
+//! and CONFIG in lockstep and prints the divergence report: every
+//! reference whose outcome differs between the two (hit ↔ miss,
+//! different miss class, extra writebacks, ...) is attributed to a
+//! mechanism (victim save, prefetch coverage, bypass side-effect, ...),
+//! and the per-mechanism counter deltas are verified to sum *exactly*
+//! to the difference of the two sides' global metrics before anything
+//! is printed. `--diff-json PATH` additionally writes the report
+//! (mechanisms, top diverging lines with lifetime stats, top sets) as
+//! JSON Lines.
+//!
 //! `--store DIR` opens a content-addressed result store: if DIR already
 //! holds this cell (same trace content, config, engine version) the
 //! stored counters are cross-checked against this run, otherwise the
@@ -46,13 +57,15 @@
 //! [`TracingProbe`]: sac_obs::TracingProbe
 //! [`Timeline`]: sac_obs::Timeline
 
+use sac_experiments::cli;
+use sac_experiments::diff::diff_configs;
 use sac_experiments::explain::{
     bench_fused_speedup, bench_refs_per_sec, bench_speedup, explain_config, explain_timeline,
     hit_heavy_trace, miss_heavy_trace, mixed_trace,
 };
-use sac_experiments::runner::{set_probe_mode, ProbeMode, ReplayBatch};
+use sac_experiments::runner::{set_probe_mode, ProbeMode, ReplayBatch, REPLAY_CHUNK};
 use sac_experiments::{Config, ResultStore};
-use sac_obs::span;
+use sac_obs::{registry, span};
 use sac_trace::Trace;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -76,6 +89,8 @@ fn main() {
     let mut store_dir: Option<String> = None;
     let mut timeline = false;
     let mut window = sac_obs::DEFAULT_WINDOW_REFS;
+    let mut diff_name: Option<String> = None;
+    let mut diff_json: Option<String> = None;
 
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -86,36 +101,19 @@ fn main() {
         match a.as_str() {
             "--config" => config_name = value("--config"),
             "--trace" => trace_name = value("--trace"),
-            "--len" => {
-                len = value("--len")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--len needs a positive integer"))
-            }
+            "--len" => len = cli::positive("--len", iter.next()).unwrap_or_else(|e| fail(&e)),
             "--obs-json" => obs_json = Some(value("--obs-json")),
-            "--ring" => {
-                ring = value("--ring")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--ring needs a positive integer"))
-            }
+            "--ring" => ring = cli::positive("--ring", iter.next()).unwrap_or_else(|e| fail(&e)),
             "--sample" => {
-                sample = value("--sample")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--sample needs a positive integer"))
+                sample = cli::positive("--sample", iter.next()).unwrap_or_else(|e| fail(&e))
             }
-            "--top" => {
-                top = value("--top")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--top needs a positive integer"))
-            }
+            "--top" => top = cli::positive("--top", iter.next()).unwrap_or_else(|e| fail(&e)),
             "--timeline" => timeline = true,
             "--window" => {
-                window = value("--window")
-                    .parse()
-                    .unwrap_or_else(|_| fail("--window needs a positive integer"));
-                if window == 0 {
-                    fail("--window needs a positive integer");
-                }
+                window = cli::positive("--window", iter.next()).unwrap_or_else(|e| fail(&e))
             }
+            "--diff" => diff_name = Some(value("--diff")),
+            "--diff-json" => diff_json = Some(value("--diff-json")),
             "--store" => store_dir = Some(value("--store")),
             "--bench-guard" => bench_guard = Some(value("--bench-guard")),
             "--bench-guard-pct" => {
@@ -137,49 +135,31 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("--obs-json: cannot write {path}: {e}")));
         (path.clone(), BufWriter::new(f))
     });
+    let diff_writer = diff_json.as_ref().map(|path| {
+        let f = File::create(path)
+            .unwrap_or_else(|e| fail(&format!("--diff-json: cannot write {path}: {e}")));
+        (path.clone(), BufWriter::new(f))
+    });
     let store = store_dir
         .map(|dir| ResultStore::open(&dir).unwrap_or_else(|e| fail(&format!("--store: {e}"))));
 
-    let geom = sac_simcache::CacheGeometry::standard();
-    let mem = sac_simcache::MemoryModel::default();
-    let config = match config_name.as_str() {
-        "standard" => Config::standard(),
-        "victim" => Config::standard_victim(),
-        "bypass" => Config::Bypass {
-            geom,
-            mem,
-            mode: sac_simcache::BypassMode::Buffered { lines: 4 },
-        },
-        "prefetch" => Config::HwPrefetch {
-            geom,
-            mem,
-            lines: 8,
-        },
-        "stream" => Config::StreamBuffer {
-            geom,
-            mem,
-            buffers: 4,
-            depth: 4,
-        },
-        "colassoc" => Config::ColumnAssoc { geom, mem },
-        "assist" => Config::Assist {
-            geom,
-            mem,
-            lines: 16,
-        },
-        "soft" => Config::soft(),
-        "soft-prefetch" => match Config::soft() {
-            Config::Soft(mut c) => {
-                c.prefetch = true;
-                Config::Soft(c)
-            }
-            _ => unreachable!(),
-        },
-        other => fail(&format!(
-            "--config {other:?} not supported (standard | victim | bypass | prefetch | \
-             stream | colassoc | assist | soft | soft-prefetch)"
-        )),
-    };
+    let config = Config::by_name(&config_name).unwrap_or_else(|| {
+        fail(&format!(
+            "--config {config_name:?} not supported ({})",
+            Config::CLI_NAMES
+        ))
+    });
+    let diff_config = diff_name.as_ref().map(|name| {
+        Config::by_name(name).unwrap_or_else(|| {
+            fail(&format!(
+                "--diff {name:?} not supported ({})",
+                Config::CLI_NAMES
+            ))
+        })
+    });
+    if diff_json.is_some() && diff_name.is_none() {
+        fail("--diff-json needs --diff <config> to name the second side");
+    }
     let trace: Trace = match trace_name.as_str() {
         "mixed" => mixed_trace(len),
         "hit" => hit_heavy_trace(len),
@@ -228,6 +208,27 @@ fn main() {
         eprintln!("wrote telemetry JSONL to {path}");
     }
 
+    // The differential pass: replay the same trace through this config
+    // and the `--diff` config in lockstep, attribute every divergent
+    // reference to a mechanism, and reconcile the attribution exactly
+    // against the two sides' counter difference before printing.
+    if let Some(config_b) = &diff_config {
+        let name_b = diff_name.as_deref().expect("--diff parsed");
+        let label_b = format!("explain/{trace_name}/{name_b}");
+        let diff_start = Instant::now();
+        let report = diff_configs(&label, &config, &label_b, config_b, &trace, REPLAY_CHUNK)
+            .unwrap_or_else(|e| fail(&format!("diff failed: {e}")));
+        print!("{}", report.render(top));
+        eprintln!("lockstep diff took {:.2?}", diff_start.elapsed());
+        if let Some((path, mut w)) = diff_writer {
+            report
+                .write_jsonl(&mut w, top)
+                .and_then(|()| w.flush())
+                .unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+            eprintln!("wrote diff JSONL to {path}");
+        }
+    }
+
     // With a store attached, this run either seeds the cell or is
     // cross-checked against the stored result: the probed engine must
     // reproduce exactly what an earlier (unprobed or probed) run stored
@@ -236,6 +237,7 @@ fn main() {
         let hash = trace.content_hash();
         match store.load(hash, &config) {
             Some(m) if m == explanation.metrics => {
+                registry::global_counter_add("store.hits", 1);
                 eprintln!("store: verified this run against {}", store.dir().display());
             }
             Some(_) => fail(&format!(
@@ -245,12 +247,26 @@ fn main() {
                 store.dir().display()
             )),
             None => {
+                registry::global_counter_add("store.misses", 1);
                 store
                     .save(hash, &config, &explanation.metrics)
                     .unwrap_or_else(|e| fail(&format!("store: {e}")));
                 eprintln!("store: recorded this cell in {}", store.dir().display());
             }
         }
+        // The same summary line (and registry snapshot) the figures
+        // store path prints, so both binaries surface the store
+        // counters identically.
+        let reg = registry::snapshot();
+        eprintln!(
+            "store: {} hit(s), {} miss(es), {} entr{} in {}",
+            reg.counter("store.hits"),
+            reg.counter("store.misses"),
+            store.len(),
+            if store.len() == 1 { "y" } else { "ies" },
+            store.dir().display()
+        );
+        eprint!("{}", reg.render_text());
     }
 
     if let Some(path) = bench_guard {

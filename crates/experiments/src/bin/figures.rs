@@ -33,6 +33,11 @@
 //! version) are served without replay, fresh cells are persisted, so a
 //! second (*warm*) run over the same suite skips replay entirely and a
 //! summary line reports the hit/miss split.
+//! `--diff` runs the standalone differential pass instead of figures:
+//! every organization is lockstep-diffed against the standard baseline
+//! over the shared mixed trace and one reconciled divergence report per
+//! pair goes to stdout (single-threaded, so byte-identical at any
+//! `--jobs` / `--cell-jobs` setting).
 //! `--bench-json PATH` additionally times raw / hit-heavy / miss-heavy
 //! replay micro-benchmarks in both probe modes and writes a JSON report
 //! (SoA and scalar refs/sec, speedup, peak RSS estimate, per-figure
@@ -54,8 +59,8 @@
 //! embedded in the `--bench-json` report.
 
 use sac_experiments::explain::{self, hit_heavy_trace, miss_heavy_trace, mixed_trace};
-use sac_experiments::runner::ReplayBatch;
-use sac_experiments::{figures, runner, Config, ResultStore, Suite, Table};
+use sac_experiments::runner::{ReplayBatch, REPLAY_CHUNK};
+use sac_experiments::{cli, diff, figures, runner, Config, ResultStore, Suite, Table};
 use sac_obs::registry;
 use sac_obs::span::{self, Span, SpanKey, SpanLevel, TraceMode};
 use sac_trace::{Access, Trace};
@@ -99,6 +104,7 @@ fn main() {
     let mut trace_json: Option<String> = None;
     let mut trace_logical = false;
     let mut trace_chunks = false;
+    let mut diff_pairs = false;
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -114,15 +120,13 @@ fn main() {
                 }));
             }
             "--cell-jobs" => {
-                let n = iter
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--cell-jobs needs a positive integer");
-                        std::process::exit(2);
-                    });
+                let n = cli::positive("--cell-jobs", iter.next()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
                 runner::set_cell_jobs(n);
             }
+            "--diff" => diff_pairs = true,
             "--trace-logical" => trace_logical = true,
             "--trace-chunks" => trace_chunks = true,
             "--bench-json" => {
@@ -150,21 +154,18 @@ fn main() {
                 }));
             }
             "--jobs" => {
-                let n = iter
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--jobs needs a positive integer");
-                        std::process::exit(2);
-                    });
+                let n = cli::positive("--jobs", iter.next()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
                 runner::set_jobs(n);
             }
             _ => {
                 if let Some(n) = a.strip_prefix("--jobs=") {
-                    match n.parse::<usize>() {
+                    match cli::positive("--jobs", Some(n.to_string())) {
                         Ok(n) => runner::set_jobs(n),
-                        Err(_) => {
-                            eprintln!("--jobs needs a positive integer, got {n:?}");
+                        Err(e) => {
+                            eprintln!("{e}");
                             std::process::exit(2);
                         }
                     }
@@ -215,6 +216,17 @@ fn main() {
             std::process::exit(2);
         }
     });
+
+    // `--diff` is a standalone pass: every organization lockstep-diffed
+    // against the standard baseline over the shared mixed trace, one
+    // reconciled divergence report per pair on stdout. The pass is
+    // single-threaded by construction, so the output is byte-identical
+    // at any `--jobs` / `--cell-jobs` setting — which is exactly what
+    // the CI determinism leg diffs.
+    if diff_pairs {
+        run_diff_pairs(small);
+        return;
+    }
 
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL.iter().map(|s| s.to_string()).collect();
@@ -392,6 +404,28 @@ fn main() {
     let reg = registry::snapshot();
     if !reg.is_empty() {
         eprint!("{}", reg.render_text());
+    }
+}
+
+/// The `--diff` pass: every non-standard organization lockstep-diffed
+/// against the standard baseline over the shared mixed trace. Each
+/// report is reconciled (mechanism deltas sum exactly to the pair's
+/// metrics difference) before it is printed.
+fn run_diff_pairs(small: bool) {
+    let len = if small { 50_000 } else { 200_000 };
+    let trace = mixed_trace(len);
+    let base = Config::standard();
+    for (name, config) in Config::all_organizations() {
+        if name == "standard" {
+            continue;
+        }
+        let report = diff::diff_configs("standard", &base, name, &config, &trace, REPLAY_CHUNK)
+            .unwrap_or_else(|e| {
+                eprintln!("--diff {name}: {e}");
+                std::process::exit(1);
+            });
+        print!("{}", report.render(3));
+        println!();
     }
 }
 

@@ -1,0 +1,54 @@
+//! Tiny argument-parsing helpers shared by the `explain` and `figures`
+//! binaries (the build is offline: no clap).
+
+use std::str::FromStr;
+
+/// Parses the value of an integer flag, requiring it to be present,
+/// numeric and strictly positive — the contract every count-like flag
+/// (`--jobs`, `--window`, `--len`, ...) documents in its error message.
+///
+/// # Errors
+///
+/// Returns the exact message the binary should die with: a missing
+/// value, a non-numeric value and an explicit `0` are all rejected.
+pub fn positive<T>(flag: &str, value: Option<String>) -> Result<T, String>
+where
+    T: FromStr + PartialEq + From<u8>,
+{
+    let raw = value.ok_or_else(|| format!("{flag} needs a positive integer"))?;
+    let n: T = raw
+        .parse()
+        .map_err(|_| format!("{flag} needs a positive integer, got {raw:?}"))?;
+    if n == T::from(0u8) {
+        return Err(format!("{flag} needs a positive integer, got {raw:?}"));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_integers() {
+        assert_eq!(positive::<usize>("--jobs", Some("4".into())), Ok(4));
+        assert_eq!(positive::<u64>("--window", Some("8192".into())), Ok(8192));
+    }
+
+    #[test]
+    fn rejects_missing_zero_and_garbage() {
+        assert_eq!(
+            positive::<usize>("--jobs", None),
+            Err("--jobs needs a positive integer".into())
+        );
+        assert_eq!(
+            positive::<usize>("--jobs", Some("0".into())),
+            Err("--jobs needs a positive integer, got \"0\"".into())
+        );
+        assert_eq!(
+            positive::<u64>("--window", Some("eight".into())),
+            Err("--window needs a positive integer, got \"eight\"".into())
+        );
+        assert!(positive::<usize>("--len", Some("-3".into())).is_err());
+    }
+}

@@ -161,6 +161,54 @@ impl Config {
         ]
     }
 
+    /// Resolves a CLI configuration name (the `--config`/`--diff`
+    /// vocabulary of the `explain` binary) to its standard-geometry
+    /// configuration. `None` for unknown names; [`Config::CLI_NAMES`]
+    /// lists the accepted ones.
+    pub fn by_name(name: &str) -> Option<Config> {
+        let geom = CacheGeometry::standard();
+        let mem = MemoryModel::default();
+        Some(match name {
+            "standard" => Config::standard(),
+            "victim" => Config::standard_victim(),
+            "bypass" => Config::Bypass {
+                geom,
+                mem,
+                mode: BypassMode::Buffered { lines: 4 },
+            },
+            "prefetch" => Config::HwPrefetch {
+                geom,
+                mem,
+                lines: 8,
+            },
+            "stream" => Config::StreamBuffer {
+                geom,
+                mem,
+                buffers: 4,
+                depth: 4,
+            },
+            "colassoc" => Config::ColumnAssoc { geom, mem },
+            "assist" => Config::Assist {
+                geom,
+                mem,
+                lines: 16,
+            },
+            "soft" => Config::soft(),
+            "soft-prefetch" => match Config::soft() {
+                Config::Soft(mut c) => {
+                    c.prefetch = true;
+                    Config::Soft(c)
+                }
+                _ => unreachable!(),
+            },
+            _ => return None,
+        })
+    }
+
+    /// The names [`Config::by_name`] accepts, for usage messages.
+    pub const CLI_NAMES: &'static str =
+        "standard | victim | bypass | prefetch | stream | colassoc | assist | soft | soft-prefetch";
+
     /// The main-cache geometry and memory model of this configuration —
     /// the shape a baseline or an observer config is derived from.
     pub fn shape(&self) -> (CacheGeometry, MemoryModel) {
@@ -327,6 +375,19 @@ mod tests {
             probed.run(&t);
             assert_eq!(*probed.metrics(), c.run(&t), "{c}");
         }
+    }
+
+    #[test]
+    fn by_name_covers_every_organization() {
+        for (name, config) in Config::all_organizations() {
+            assert_eq!(Config::by_name(name), Some(config), "{name}");
+            assert!(Config::CLI_NAMES.contains(name), "{name}");
+        }
+        assert!(matches!(
+            Config::by_name("soft-prefetch"),
+            Some(Config::Soft(c)) if c.prefetch
+        ));
+        assert_eq!(Config::by_name("nope"), None);
     }
 
     #[test]

@@ -254,6 +254,8 @@ impl Explanation {
             ("reads", o.reads, m.reads),
             ("writes", o.writes, m.writes),
             ("misses", o.misses, m.misses),
+            ("aux_hits", o.aux_hits, m.aux_hits),
+            ("bypasses", o.bypasses, m.bypasses),
             ("bounces", o.bounces, m.bounces),
             ("swaps", o.swaps, m.swaps),
             ("prefetches", o.prefetch_issues, m.prefetches),

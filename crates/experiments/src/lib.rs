@@ -27,6 +27,8 @@ mod config;
 mod suite;
 mod table;
 
+pub mod cli;
+pub mod diff;
 pub mod explain;
 pub mod figures;
 pub mod runner;

@@ -141,6 +141,7 @@ fn figures_writes_timeline_jsonl() {
     let jsonl = std::fs::read_to_string(&path).expect("timeline written");
     assert!(jsonl.contains("\"kind\": \"window\""), "{jsonl}");
     assert!(jsonl.contains("\"kind\": \"phase\""), "{jsonl}");
+    assert!(jsonl.contains("\"schema_version\": "), "{jsonl}");
     assert!(jsonl.contains("timeline/mixed/standard"), "{jsonl}");
     std::fs::remove_file(&path).ok();
 }
@@ -208,6 +209,107 @@ fn figures_store_warm_run_is_byte_identical_to_cold() {
     assert!(warm_line.contains("0 miss(es)"), "{warm_line}");
     assert!(!warm_line.contains("store: 0 hit(s)"), "{warm_line}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_diff_attributes_divergence_and_writes_jsonl() {
+    let path = std::env::temp_dir().join(format!("sac-diff-{}.jsonl", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_explain"))
+        .args(["--small", "--config", "standard", "--diff", "soft"])
+        .arg("--diff-json")
+        .arg(&path)
+        .output()
+        .expect("run explain");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("diff explain/mixed/standard vs explain/mixed/soft"),
+        "{text}"
+    );
+    assert!(
+        text.contains("mechanism deltas sum exactly to the metrics difference"),
+        "{text}"
+    );
+    let jsonl = std::fs::read_to_string(&path).expect("diff telemetry written");
+    assert!(
+        jsonl.starts_with("{\"type\":\"diff\",\"schema_version\":"),
+        "{jsonl}"
+    );
+    assert!(jsonl.contains("\"type\":\"side\""), "{jsonl}");
+    assert!(jsonl.contains("\"type\":\"mechanism\""), "{jsonl}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explain_diff_json_requires_a_diff_config() {
+    let out = Command::new(env!("CARGO_BIN_EXE_explain"))
+        .args(["--small", "--diff-json", "/tmp/never-written.jsonl"])
+        .output()
+        .expect("run explain");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--diff-json needs --diff"), "{err}");
+}
+
+#[test]
+fn figures_diff_reports_every_pair_against_standard() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["--small", "--diff"])
+        .output()
+        .expect("run figures");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let pairs = text.matches("diff standard vs ").count();
+    assert_eq!(pairs, 7, "one pair per non-standard organization: {text}");
+    assert!(text.contains("diff standard vs soft"), "{text}");
+    assert_eq!(
+        text.matches("mechanism deltas sum exactly").count(),
+        7,
+        "every pair reconciled: {text}"
+    );
+}
+
+/// The sampled-event telemetry is recorded on a single instrumented
+/// replay, so its JSONL must not depend on the sweep worker count.
+#[test]
+fn figures_obs_jsonl_is_byte_identical_across_jobs() {
+    let run = |jobs: &str, tag: &str| {
+        let path =
+            std::env::temp_dir().join(format!("sac-obs-jobs{tag}-{}.jsonl", std::process::id()));
+        let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+            .args(["--small", "fig04b", "--jobs", jobs])
+            .arg("--obs-json")
+            .arg(&path)
+            .output()
+            .expect("run figures");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let jsonl = std::fs::read(&path).expect("telemetry written");
+        std::fs::remove_file(&path).ok();
+        jsonl
+    };
+    let sequential = run("1", "1");
+    let parallel = run("4", "4");
+    assert!(!sequential.is_empty());
+    assert!(
+        String::from_utf8_lossy(&sequential).contains("\"schema_version\":"),
+        "obs records carry the schema version"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "obs JSONL must be byte-identical under --jobs 4"
+    );
 }
 
 #[test]

@@ -41,10 +41,47 @@ impl MissCause {
     }
 }
 
+/// The auxiliary structure that served a reference missing the main
+/// array — the mechanism behind an `aux_hits` count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuxSource {
+    /// A victim-cache hit (swap back into the main array).
+    Victim,
+    /// A column-associative rehash-location hit.
+    Rehash,
+    /// The bypass organization's single-line buffer.
+    LineBuffer,
+    /// The hardware next-line prefetch buffer.
+    PrefetchBuffer,
+    /// The head of a Jouppi stream buffer.
+    StreamBuffer,
+    /// The software-assisted design's bounce-back cache (or an
+    /// in-flight software prefetch demanded before arrival).
+    BounceBack,
+    /// The HP-7200-style assist cache.
+    Assist,
+}
+
+impl AuxSource {
+    /// Lower-case name, as used by the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            AuxSource::Victim => "victim",
+            AuxSource::Rehash => "rehash",
+            AuxSource::LineBuffer => "line_buffer",
+            AuxSource::PrefetchBuffer => "prefetch_buffer",
+            AuxSource::StreamBuffer => "stream_buffer",
+            AuxSource::BounceBack => "bounce_back",
+            AuxSource::Assist => "assist",
+        }
+    }
+}
+
 /// One mechanism-level event of a cache simulation.
 ///
 /// Events mirror the engine `Metrics` counters one-for-one so an
 /// observer can reconcile exactly: one `Miss` per `misses`, one
+/// `AuxHit` per `aux_hits`, one `Bypass` per `bypasses`, one
 /// `BounceBack` per `bounces`, one `Swap` per `swaps`, one
 /// `PrefetchIssue` per `prefetches`, one `PrefetchUse` per
 /// `useful_prefetches`, and `Writeback` events plus `Flush` writeback
@@ -92,6 +129,24 @@ pub enum Event {
         /// Whether it was dirty.
         dirty: bool,
     },
+    /// A reference missed the main array but was served by an auxiliary
+    /// structure (victim cache, rehash location, prefetch/stream/line
+    /// buffer, bounce-back cache, assist cache).
+    AuxHit {
+        /// The line that hit.
+        line: u64,
+        /// Which auxiliary structure served it.
+        source: AuxSource,
+    },
+    /// A reference the cache deliberately did not allocate for — a
+    /// non-temporal store sent to the write buffer, or a non-temporal
+    /// read served from memory without a fill.
+    Bypass {
+        /// The bypassed line.
+        line: u64,
+        /// Whether the bypassed reference was a store.
+        is_write: bool,
+    },
     /// A temporal line evicted from the bounce-back cache was re-injected
     /// into its main-cache set (§2.2).
     BounceBack {
@@ -137,6 +192,8 @@ impl Event {
             Event::LineFill { .. } => "line_fill",
             Event::VlineFill { .. } => "vline_fill",
             Event::MainEvict { .. } => "main_evict",
+            Event::AuxHit { .. } => "aux_hit",
+            Event::Bypass { .. } => "bypass",
             Event::BounceBack { .. } => "bounce_back",
             Event::Swap { .. } => "swap",
             Event::PrefetchIssue { .. } => "prefetch_issue",
@@ -164,7 +221,25 @@ mod tests {
             "miss"
         );
         assert_eq!(Event::Flush { writebacks: 2 }.kind(), "flush");
+        assert_eq!(
+            Event::AuxHit {
+                line: 0,
+                source: AuxSource::Victim
+            }
+            .kind(),
+            "aux_hit"
+        );
+        assert_eq!(
+            Event::Bypass {
+                line: 0,
+                is_write: true
+            }
+            .kind(),
+            "bypass"
+        );
         assert_eq!(MissCause::Compulsory.name(), "compulsory");
         assert_eq!(MissCause::Conflict.name(), "conflict");
+        assert_eq!(AuxSource::BounceBack.name(), "bounce_back");
+        assert_eq!(AuxSource::StreamBuffer.name(), "stream_buffer");
     }
 }

@@ -26,6 +26,14 @@
 //! [`registry`], a process-wide store of named counters, gauges and
 //! histograms for end-of-run snapshots and progress gauges.
 //!
+//! The differential layer (DESIGN.md §15) compares two configurations
+//! replaying the same trace in lockstep: [`OutcomeProbe`] folds each
+//! side's event stream into one per-reference outcome record
+//! ([`RefOutcome`]), and [`LineLifetime`] shadows main-array residency
+//! (fill→evict intervals, reuse counts, dead time) so a divergence can
+//! be tied to the lines whose lifetimes changed. The comparison and
+//! mechanism attribution live in `sac-experiments`.
+//!
 //! The crate deliberately depends only on `sac-trace` (for the word
 //! size): engines pass plain line/set/address numbers, so `sac-obs`
 //! sits below both engine crates without cycles.
@@ -34,8 +42,10 @@
 #![warn(missing_docs)]
 
 mod classify;
+mod diff;
 mod event;
 mod hist;
+mod lifetime;
 mod probe;
 pub mod registry;
 mod ring;
@@ -43,9 +53,17 @@ pub mod span;
 mod timeline;
 mod tracing;
 
+/// Version stamped into every JSONL export of this crate (obs, timeline
+/// and diff streams). Bump it whenever a field is added, removed or
+/// renamed, so downstream parsers fail loudly on format drift instead of
+/// silently misreading.
+pub const SCHEMA_VERSION: u32 = 2;
+
 pub use classify::{ShadowClassifier, ShadowOutcome};
-pub use event::{Event, MissCause, Victim};
+pub use diff::{EventCounts, OutcomeClass, OutcomeProbe, OutcomeTotals, RefOutcome, SideState};
+pub use event::{AuxSource, Event, MissCause, Victim};
 pub use hist::{Log2Histogram, SetHeatmap, WordUse};
+pub use lifetime::{FillOrigin, LifetimeSummary, LineLifetime, LineStats};
 pub use probe::{CountingProbe, NoopProbe, Probe};
 pub use registry::{MetricsRegistry, ProgressGauge};
 pub use ring::{EventRing, TimedEvent};

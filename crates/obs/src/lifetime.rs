@@ -1,0 +1,347 @@
+//! Per-line lifetime telemetry: a shadow of main-array residency.
+//!
+//! [`LineLifetime`] tracks, for every line currently resident in the
+//! observed cache's main array, when it was filled, how it got there
+//! ([`FillOrigin`]), when it was last touched and how often. When the
+//! line leaves (demand victim, displacement, flush) the residency folds
+//! into per-line cumulative [`LineStats`] and three run-wide
+//! [`Log2Histogram`]s: **lifetime** (references between fill and evict),
+//! **dead time** (references between the last touch and the evict — the
+//! span the line occupied a frame for nothing) and **reuse** (touches
+//! per residency).
+//!
+//! The shadow is driven from the event stream, so it is exact wherever
+//! the engines report fills and evictions as events and *best-effort*
+//! where they do not: the assist cache promotes lines from the assist
+//! array into the main array without an event (its `Miss` fills the
+//! assist array), so its lifetimes describe the combined structure. The
+//! differential layer's exactness guarantee (DESIGN.md §15) rests on
+//! outcome counts, never on this shadow.
+
+use crate::Log2Histogram;
+use std::collections::HashMap;
+
+/// How a line entered the main array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOrigin {
+    /// The demand fill of a miss.
+    Demand,
+    /// The speculative part of a virtual-line fill.
+    VlinePrefill,
+    /// A bounce-back re-injection from the bounce-back cache.
+    Bounce,
+    /// A swap with an auxiliary structure (victim cache, bounce-back
+    /// entry) brought it in.
+    Swap,
+    /// A prefetch buffer or stream buffer promoted it on use.
+    PrefetchPromote,
+}
+
+impl FillOrigin {
+    /// Lower-case name, as used by the diff JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            FillOrigin::Demand => "demand",
+            FillOrigin::VlinePrefill => "vline_prefill",
+            FillOrigin::Bounce => "bounce",
+            FillOrigin::Swap => "swap",
+            FillOrigin::PrefetchPromote => "prefetch_promote",
+        }
+    }
+
+    /// All origins, in the order of [`LifetimeSummary::fills_by_origin`].
+    pub const ALL: [FillOrigin; 5] = [
+        FillOrigin::Demand,
+        FillOrigin::VlinePrefill,
+        FillOrigin::Bounce,
+        FillOrigin::Swap,
+        FillOrigin::PrefetchPromote,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FillOrigin::Demand => 0,
+            FillOrigin::VlinePrefill => 1,
+            FillOrigin::Bounce => 2,
+            FillOrigin::Swap => 3,
+            FillOrigin::PrefetchPromote => 4,
+        }
+    }
+}
+
+/// One line currently resident in the shadow.
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    filled_at: u64,
+    last_touch: u64,
+    touches: u64,
+    origin: FillOrigin,
+}
+
+/// Cumulative lifetime statistics of one line, over all its residencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineStats {
+    /// Residencies started (fills into the main array).
+    pub fills: u64,
+    /// Residencies ended (folded into the histograms).
+    pub evictions: u64,
+    /// References to the line while it was resident.
+    pub touches: u64,
+    /// Sum of residency lengths, in references.
+    pub resident_refs: u64,
+    /// Sum of dead spans (evict − last touch), in references.
+    pub dead_refs: u64,
+}
+
+impl LineStats {
+    /// Mean references per residency (0 when never evicted).
+    pub fn mean_lifetime(&self) -> f64 {
+        if self.evictions == 0 {
+            0.0
+        } else {
+            self.resident_refs as f64 / self.evictions as f64
+        }
+    }
+
+    /// Mean dead references per residency (0 when never evicted).
+    pub fn mean_dead(&self) -> f64 {
+        if self.evictions == 0 {
+            0.0
+        } else {
+            self.dead_refs as f64 / self.evictions as f64
+        }
+    }
+}
+
+/// Run-wide lifetime aggregates, for the diff report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LifetimeSummary {
+    /// Fills into the main array.
+    pub fills: u64,
+    /// Residencies folded into the histograms.
+    pub evictions: u64,
+    /// Lines still resident when the run finished (folded by
+    /// [`LineLifetime::finish`] before the summary is read).
+    pub live: u64,
+    /// Fills per [`FillOrigin`], in [`FillOrigin::ALL`] order.
+    pub fills_by_origin: [u64; 5],
+    /// Mean residency length, in references.
+    pub mean_lifetime: f64,
+    /// Mean dead span, in references.
+    pub mean_dead: f64,
+    /// Mean touches per residency.
+    pub mean_reuse: f64,
+}
+
+/// The shadow residency tracker. All methods take `at`, the 1-based
+/// index of the reference being processed, so intervals are measured in
+/// references.
+#[derive(Debug, Clone)]
+pub struct LineLifetime {
+    resident: HashMap<u64, Resident>,
+    stats: HashMap<u64, LineStats>,
+    lifetimes: Log2Histogram,
+    dead: Log2Histogram,
+    reuse: Log2Histogram,
+    fills_by_origin: [u64; 5],
+    fills: u64,
+    evictions: u64,
+}
+
+impl LineLifetime {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        LineLifetime {
+            resident: HashMap::new(),
+            stats: HashMap::new(),
+            lifetimes: Log2Histogram::new(),
+            dead: Log2Histogram::new(),
+            reuse: Log2Histogram::new(),
+            fills_by_origin: [0; 5],
+            fills: 0,
+            evictions: 0,
+        }
+    }
+
+    /// A line entered the main array. A fill of an already-resident line
+    /// is ignored (the first origin wins — a swap and the prefetch-use
+    /// that caused it report the same fill).
+    pub fn fill(&mut self, line: u64, origin: FillOrigin, at: u64) {
+        if self.resident.contains_key(&line) {
+            return;
+        }
+        self.resident.insert(
+            line,
+            Resident {
+                filled_at: at,
+                last_touch: at,
+                touches: 0,
+                origin,
+            },
+        );
+        self.fills += 1;
+        self.fills_by_origin[origin.index()] += 1;
+        self.stats.entry(line).or_default().fills += 1;
+    }
+
+    /// The line was referenced. Ignored when it is not resident (served
+    /// by an auxiliary structure, or missing).
+    pub fn touch(&mut self, line: u64, at: u64) {
+        if let Some(r) = self.resident.get_mut(&line) {
+            r.touches += 1;
+            r.last_touch = at;
+            self.stats.entry(line).or_default().touches += 1;
+        }
+    }
+
+    /// The line left the main array. Ignored when it was not resident.
+    pub fn evict(&mut self, line: u64, at: u64) {
+        if let Some(r) = self.resident.remove(&line) {
+            let lifetime = at.saturating_sub(r.filled_at);
+            let dead = at.saturating_sub(r.last_touch);
+            self.lifetimes.record(lifetime);
+            self.dead.record(dead);
+            self.reuse.record(r.touches);
+            self.evictions += 1;
+            let s = self.stats.entry(line).or_default();
+            s.evictions += 1;
+            s.resident_refs += lifetime;
+            s.dead_refs += dead;
+        }
+    }
+
+    /// Everything left at once (context-switch flush).
+    pub fn flush(&mut self, at: u64) {
+        let lines: Vec<u64> = self.resident.keys().copied().collect();
+        for l in lines {
+            self.evict(l, at);
+        }
+    }
+
+    /// The fill origin of a currently resident line.
+    pub fn origin_of(&self, line: u64) -> Option<FillOrigin> {
+        self.resident.get(&line).map(|r| r.origin)
+    }
+
+    /// Lines currently resident in the shadow.
+    pub fn live(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Folds every still-resident line as if evicted at `at`. Call once,
+    /// after the run, before reading the summary.
+    pub fn finish(&mut self, at: u64) {
+        self.flush(at);
+    }
+
+    /// Cumulative stats of one line (zero for a line never filled).
+    pub fn stats(&self, line: u64) -> LineStats {
+        self.stats.get(&line).copied().unwrap_or_default()
+    }
+
+    /// The lifetime histogram (references between fill and evict).
+    pub fn lifetimes(&self) -> &Log2Histogram {
+        &self.lifetimes
+    }
+
+    /// The dead-time histogram (references between last touch and
+    /// evict).
+    pub fn dead_time(&self) -> &Log2Histogram {
+        &self.dead
+    }
+
+    /// The reuse histogram (touches per residency).
+    pub fn reuse(&self) -> &Log2Histogram {
+        &self.reuse
+    }
+
+    /// Run-wide aggregates for the diff report.
+    pub fn summary(&self) -> LifetimeSummary {
+        LifetimeSummary {
+            fills: self.fills,
+            evictions: self.evictions,
+            live: self.resident.len() as u64,
+            fills_by_origin: self.fills_by_origin,
+            mean_lifetime: self.lifetimes.mean(),
+            mean_dead: self.dead.mean(),
+            mean_reuse: self.reuse.mean(),
+        }
+    }
+}
+
+impl Default for LineLifetime {
+    fn default() -> Self {
+        LineLifetime::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_spans_fill_to_evict() {
+        let mut lt = LineLifetime::new();
+        lt.fill(7, FillOrigin::Demand, 10);
+        lt.touch(7, 12);
+        lt.touch(7, 14);
+        lt.evict(7, 20);
+        let s = lt.stats(7);
+        assert_eq!(s.fills, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.touches, 2);
+        assert_eq!(s.resident_refs, 10);
+        assert_eq!(s.dead_refs, 6);
+        assert!((s.mean_lifetime() - 10.0).abs() < 1e-12);
+        assert!((s.mean_dead() - 6.0).abs() < 1e-12);
+        assert_eq!(lt.reuse().total(), 1);
+        assert!((lt.reuse().mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_fill_keeps_first_origin() {
+        let mut lt = LineLifetime::new();
+        lt.fill(1, FillOrigin::Swap, 5);
+        lt.fill(1, FillOrigin::PrefetchPromote, 5);
+        assert_eq!(lt.origin_of(1), Some(FillOrigin::Swap));
+        assert_eq!(lt.summary().fills, 1);
+        assert_eq!(lt.summary().fills_by_origin[FillOrigin::Swap.index()], 1);
+    }
+
+    #[test]
+    fn untracked_lines_are_ignored() {
+        let mut lt = LineLifetime::new();
+        lt.touch(9, 1);
+        lt.evict(9, 2);
+        assert_eq!(lt.stats(9), LineStats::default());
+        assert_eq!(lt.summary().evictions, 0);
+    }
+
+    #[test]
+    fn finish_folds_residents() {
+        let mut lt = LineLifetime::new();
+        lt.fill(1, FillOrigin::Demand, 1);
+        lt.fill(2, FillOrigin::Bounce, 3);
+        lt.touch(2, 4);
+        assert_eq!(lt.live(), 2);
+        lt.finish(10);
+        assert_eq!(lt.live(), 0);
+        let sum = lt.summary();
+        assert_eq!(sum.fills, 2);
+        assert_eq!(sum.evictions, 2);
+        assert_eq!(sum.live, 0);
+        // Lifetimes 9 and 7; dead times 9 and 6.
+        assert!((sum.mean_lifetime - 8.0).abs() < 1e-12);
+        assert!((sum.mean_dead - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn origin_names_are_stable() {
+        assert_eq!(FillOrigin::Demand.name(), "demand");
+        assert_eq!(FillOrigin::VlinePrefill.name(), "vline_prefill");
+        assert_eq!(FillOrigin::PrefetchPromote.name(), "prefetch_promote");
+        for (i, o) in FillOrigin::ALL.into_iter().enumerate() {
+            assert_eq!(o.index(), i);
+        }
+    }
+}

@@ -299,11 +299,12 @@ impl Timeline {
             let d = &w.delta;
             writeln!(
                 out,
-                "{{\"kind\": \"window\", \"label\": \"{label}\", \"window\": {}, \
+                "{{\"kind\": \"window\", \"schema_version\": {}, \"label\": \"{label}\", \"window\": {}, \
                  \"start_ref\": {}, \"phase\": {}, \"refs\": {}, \"reads\": {}, \
                  \"writes\": {}, \"misses\": {}, \"miss_rate\": {:.6}, \"amat\": {:.6}, \
                  \"compulsory\": {}, \"capacity\": {}, \"conflict\": {}, \"bounces\": {}, \
                  \"writebacks\": {}, \"mem_cycles\": {}}}",
+                crate::SCHEMA_VERSION,
                 w.index,
                 w.start_ref,
                 w.phase,
@@ -324,9 +325,10 @@ impl Timeline {
         for (i, p) in self.phases.iter().enumerate() {
             writeln!(
                 out,
-                "{{\"kind\": \"phase\", \"label\": \"{label}\", \"phase\": {i}, \
+                "{{\"kind\": \"phase\", \"schema_version\": {}, \"label\": \"{label}\", \"phase\": {i}, \
                  \"start_window\": {}, \"windows\": {}, \"start_ref\": {}, \"refs\": {}, \
                  \"misses\": {}, \"miss_rate\": {:.6}, \"amat\": {:.6}}}",
+                crate::SCHEMA_VERSION,
                 p.start_window,
                 p.windows,
                 p.start_ref,

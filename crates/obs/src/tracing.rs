@@ -60,6 +60,10 @@ pub struct ObsCounts {
     pub writes: u64,
     /// `Miss` events.
     pub misses: u64,
+    /// `AuxHit` events (references served by an auxiliary structure).
+    pub aux_hits: u64,
+    /// `Bypass` events (references the cache did not allocate for).
+    pub bypasses: u64,
     /// `LineFill` events (demand-path physical line fetches).
     pub line_fills: u64,
     /// `VlineFill` events (spatial misses that spanned > 1 line).
@@ -214,15 +218,19 @@ impl TracingProbe {
         let c = &self.counts;
         writeln!(
             w,
-            "{{\"type\":\"summary\",\"label\":{},\"refs\":{},\"reads\":{},\"writes\":{},\
-             \"misses\":{},\"bounces\":{},\"swaps\":{},\"prefetch_issues\":{},\
+            "{{\"type\":\"summary\",\"schema_version\":{},\"label\":{},\"refs\":{},\"reads\":{},\
+             \"writes\":{},\"misses\":{},\"aux_hits\":{},\"bypasses\":{},\"bounces\":{},\
+             \"swaps\":{},\"prefetch_issues\":{},\
              \"prefetch_uses\":{},\"writebacks\":{},\"line_fills\":{},\"vline_fills\":{},\
              \"main_evicts\":{},\"footprint_lines\":{}}}",
+            crate::SCHEMA_VERSION,
             json_str(label),
             c.refs,
             c.reads,
             c.writes,
             c.misses,
+            c.aux_hits,
+            c.bypasses,
             c.bounces,
             c.swaps,
             c.prefetch_issues,
@@ -343,6 +351,8 @@ impl Probe for TracingProbe {
                 self.counts.main_evicts += 1;
                 self.evicted_from_main(line);
             }
+            Event::AuxHit { .. } => self.counts.aux_hits += 1,
+            Event::Bypass { .. } => self.counts.bypasses += 1,
             Event::BounceBack { line, .. } => {
                 self.counts.bounces += 1;
                 self.bounce_at.insert(line, self.counts.refs);
@@ -428,6 +438,13 @@ fn event_json(e: &TimedEvent) -> String {
         )),
         Event::MainEvict { line, dirty } => body.push_str(&format!(
             "\"kind\":\"main_evict\",\"line\":{line},\"dirty\":{dirty}"
+        )),
+        Event::AuxHit { line, source } => body.push_str(&format!(
+            "\"kind\":\"aux_hit\",\"line\":{line},\"source\":\"{}\"",
+            source.name()
+        )),
+        Event::Bypass { line, is_write } => body.push_str(&format!(
+            "\"kind\":\"bypass\",\"line\":{line},\"write\":{is_write}"
         )),
         Event::BounceBack { line, set } => body.push_str(&format!(
             "\"kind\":\"bounce_back\",\"line\":{line},\"set\":{set}"

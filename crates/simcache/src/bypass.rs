@@ -10,7 +10,7 @@
 use crate::{
     CacheEngine, CacheGeometry, CachePolicy, MemoryModel, MemorySystem, TagArray, MAIN_HIT_CYCLES,
 };
-use sac_obs::{Event, NoopProbe, Probe, Victim};
+use sac_obs::{AuxSource, Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 
 /// How non-temporal references bypass the cache.
@@ -148,6 +148,12 @@ impl<P: Probe> CachePolicy<P> for BypassPolicy {
             (_, true) => {
                 // Stores bypass through the write buffer.
                 sys.metrics_mut().bypasses += 1;
+                if P::ENABLED {
+                    probe.on_event(&Event::Bypass {
+                        line,
+                        is_write: true,
+                    });
+                }
                 cost += MAIN_HIT_CYCLES;
                 let wb_stall = sys.buffer_store();
                 sys.metrics_mut().stall_cycles += wb_stall;
@@ -156,6 +162,12 @@ impl<P: Probe> CachePolicy<P> for BypassPolicy {
             (None, false) => {
                 // Plain bypass: a full memory round trip per word.
                 sys.metrics_mut().bypasses += 1;
+                if P::ENABLED {
+                    probe.on_event(&Event::Bypass {
+                        line,
+                        is_write: false,
+                    });
+                }
                 cost +=
                     sys.memory().latency() + sys.memory().transfer_cycles(sac_trace::WORD_BYTES);
                 sys.metrics_mut().words_fetched += 1;
@@ -164,11 +176,21 @@ impl<P: Probe> CachePolicy<P> for BypassPolicy {
                 if buffer.probe(line).is_some() {
                     // Spatial locality recovered by the line buffer.
                     sys.metrics_mut().aux_hits += 1;
+                    if P::ENABLED {
+                        probe.on_event(&Event::AuxHit {
+                            line,
+                            source: AuxSource::LineBuffer,
+                        });
+                    }
                     cost += MAIN_HIT_CYCLES;
                 } else {
                     sys.metrics_mut().bypasses += 1;
                     cost += sys.fetch_lines(1);
                     if P::ENABLED {
+                        probe.on_event(&Event::Bypass {
+                            line,
+                            is_write: false,
+                        });
                         probe.on_event(&Event::LineFill { line, demand: true });
                     }
                     let way = buffer.victim_way(line);

@@ -19,7 +19,7 @@
 use crate::{
     CacheEngine, CacheGeometry, CachePolicy, MemoryModel, MemorySystem, TagArray, MAIN_HIT_CYCLES,
 };
-use sac_obs::{Event, NoopProbe, Probe, Victim};
+use sac_obs::{AuxSource, Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 
 /// The column-associative (rehash) policy, run by the shared
@@ -113,6 +113,10 @@ impl<P: Probe> CachePolicy<P> for ColAssocPolicy {
             sys.metrics_mut().aux_hits += 1;
             sys.metrics_mut().swaps += 1;
             if P::ENABLED {
+                probe.on_event(&Event::AuxHit {
+                    line,
+                    source: AuxSource::Rehash,
+                });
                 probe.on_event(&Event::Swap { line });
             }
             cost += MAIN_HIT_CYCLES + 1;

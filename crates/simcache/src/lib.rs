@@ -52,6 +52,7 @@ mod colassoc;
 mod config;
 mod engine;
 mod fused;
+mod lockstep;
 mod memsys;
 mod metrics;
 mod prefetch;
@@ -68,6 +69,7 @@ pub use colassoc::{ColAssocPolicy, ColumnAssociativeCache};
 pub use config::{CacheGeometry, MemoryModel};
 pub use engine::CacheSim;
 pub use fused::{LineRun, LineRuns};
+pub use lockstep::run_lockstep;
 pub use memsys::{CacheEngine, CachePolicy, MemorySystem};
 pub use metrics::{ChunkDelta, Metrics};
 pub use prefetch::{NextLinePrefetchCache, PrefetchPolicy};

@@ -4,7 +4,7 @@
 use crate::{
     CacheEngine, CacheGeometry, CachePolicy, MemoryModel, MemorySystem, TagArray, AUX_HIT_CYCLES,
 };
-use sac_obs::{Event, NoopProbe, Probe, Victim};
+use sac_obs::{AuxSource, Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 
 #[derive(Debug, Clone, Copy)]
@@ -107,11 +107,19 @@ impl PrefetchPolicy {
         let way = self.tags.victim_way(line);
         let old = self.tags.fill(line, way, a.addr(), a.kind().is_write());
         let mut extra = 0;
-        if old.valid && old.dirty {
+        if old.valid {
             if P::ENABLED {
-                probe.on_event(&Event::Writeback { line: old.line });
+                probe.on_event(&Event::MainEvict {
+                    line: old.line,
+                    dirty: old.dirty,
+                });
             }
-            extra += sys.writeback();
+            if old.dirty {
+                if P::ENABLED {
+                    probe.on_event(&Event::Writeback { line: old.line });
+                }
+                extra += sys.writeback();
+            }
         }
         cost + extra
     }
@@ -165,6 +173,10 @@ impl<P: Probe> CachePolicy<P> for PrefetchPolicy {
             sys.metrics_mut().aux_hits += 1;
             sys.metrics_mut().useful_prefetches += 1;
             if P::ENABLED {
+                probe.on_event(&Event::AuxHit {
+                    line,
+                    source: AuxSource::PrefetchBuffer,
+                });
                 probe.on_event(&Event::PrefetchUse { line });
             }
             cost += self.promote(sys, probe, slot, a);

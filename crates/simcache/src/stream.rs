@@ -12,7 +12,7 @@ use crate::{
     CacheEngine, CacheGeometry, CachePolicy, Entry, MemoryModel, MemorySystem, TagArray,
     MAIN_HIT_CYCLES,
 };
-use sac_obs::{Event, NoopProbe, Probe, Victim};
+use sac_obs::{AuxSource, Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 use std::collections::VecDeque;
 
@@ -165,6 +165,10 @@ impl<P: Probe> CachePolicy<P> for StreamPolicy {
             sys.metrics_mut().aux_hits += 1;
             sys.metrics_mut().useful_prefetches += 1;
             if P::ENABLED {
+                probe.on_event(&Event::AuxHit {
+                    line,
+                    source: AuxSource::StreamBuffer,
+                });
                 probe.on_event(&Event::PrefetchUse { line });
             }
             self.lru_clock += 1;
@@ -180,7 +184,13 @@ impl<P: Probe> CachePolicy<P> for StreamPolicy {
             if P::ENABLED {
                 probe.on_event(&Event::PrefetchIssue { line: next });
             }
-            let (_, wb_stall) = self.fill_main(sys, probe, line, a);
+            let (old, wb_stall) = self.fill_main(sys, probe, line, a);
+            if P::ENABLED && old.valid {
+                probe.on_event(&Event::MainEvict {
+                    line: old.line,
+                    dirty: old.dirty,
+                });
+            }
             cost += wb_stall;
             return (cost, 0);
         }

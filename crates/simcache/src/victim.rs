@@ -4,7 +4,7 @@ use crate::{
     CacheEngine, CacheGeometry, CachePolicy, MemoryModel, MemorySystem, TagArray, AUX_HIT_CYCLES,
     SWAP_LOCK_CYCLES,
 };
-use sac_obs::{Event, NoopProbe, Probe, Victim};
+use sac_obs::{AuxSource, Event, NoopProbe, Probe, Victim};
 use sac_trace::Access;
 
 /// The victim-cache policy: an LRU main array backed by a small
@@ -90,6 +90,10 @@ impl<P: Probe> CachePolicy<P> for VictimPolicy {
             sys.metrics_mut().aux_hits += 1;
             sys.metrics_mut().swaps += 1;
             if P::ENABLED {
+                probe.on_event(&Event::AuxHit {
+                    line,
+                    source: AuxSource::Victim,
+                });
                 probe.on_event(&Event::Swap { line });
             }
             if a.kind().is_write() {
@@ -98,6 +102,12 @@ impl<P: Probe> CachePolicy<P> for VictimPolicy {
             let way = self.main.victim_way(line);
             let displaced = self.main.install(line, way, ventry);
             if displaced.valid {
+                if P::ENABLED {
+                    probe.on_event(&Event::MainEvict {
+                        line: displaced.line,
+                        dirty: displaced.dirty,
+                    });
+                }
                 self.victim.install(displaced.line, vway, displaced);
             }
             return (stall + AUX_HIT_CYCLES, SWAP_LOCK_CYCLES);
