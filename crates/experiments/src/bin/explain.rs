@@ -34,6 +34,14 @@
 //! (mechanisms, top diverging lines with lifetime stats, top sets) as
 //! JSON Lines.
 //!
+//! `--cpus N` (with optional `--protocol mesi|dragon`) shards the trace
+//! round-robin over N CPUs and replays it through the coherent
+//! multi-core memory system instead of a single engine: per-CPU metrics,
+//! coherence counters (invalidations with their false-sharing split,
+//! upgrades, cache-to-cache fills, write-buffer forwards, updates) and
+//! shared-bus totals are printed after the SWMR invariant and the
+//! per-CPU ↔ global metrics reconciliation are verified.
+//!
 //! `--store DIR` opens a content-addressed result store: if DIR already
 //! holds this cell (same trace content, config, engine version) the
 //! stored counters are cross-checked against this run, otherwise the
@@ -58,6 +66,7 @@
 //! [`Timeline`]: sac_obs::Timeline
 
 use sac_experiments::cli;
+use sac_experiments::coherence::{self, Protocol};
 use sac_experiments::diff::diff_configs;
 use sac_experiments::explain::{
     bench_fused_speedup, bench_refs_per_sec, bench_speedup, explain_config, explain_timeline,
@@ -91,6 +100,8 @@ fn main() {
     let mut window = sac_obs::DEFAULT_WINDOW_REFS;
     let mut diff_name: Option<String> = None;
     let mut diff_json: Option<String> = None;
+    let mut cpus = 1usize;
+    let mut protocol = Protocol::Mesi;
 
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -114,6 +125,16 @@ fn main() {
             }
             "--diff" => diff_name = Some(value("--diff")),
             "--diff-json" => diff_json = Some(value("--diff-json")),
+            "--cpus" => cpus = cli::positive("--cpus", iter.next()).unwrap_or_else(|e| fail(&e)),
+            "--protocol" => {
+                let name = value("--protocol");
+                protocol = Protocol::by_name(&name).unwrap_or_else(|| {
+                    fail(&format!(
+                        "--protocol {name:?} not supported ({})",
+                        Protocol::CLI_NAMES
+                    ))
+                });
+            }
             "--store" => store_dir = Some(value("--store")),
             "--bench-guard" => bench_guard = Some(value("--bench-guard")),
             "--bench-guard-pct" => {
@@ -168,6 +189,26 @@ fn main() {
             "--trace {other:?} not supported (mixed | hit | miss)"
         )),
     };
+
+    // The multi-CPU path: shard the chosen trace round-robin over the
+    // CPUs and run the coherent system instead of a single engine. The
+    // run is verified (SWMR + per-CPU↔global reconciliation) inside
+    // `run_coherent` before anything is printed; the uniprocessor
+    // explainer below is untouched when `--cpus` is 1 or absent.
+    if cpus > 1 {
+        if cpus > sac_trace::MAX_CPUS {
+            fail(&format!("--cpus: at most {} CPUs", sac_trace::MAX_CPUS));
+        }
+        let (geom, mem) = config.shape();
+        let tagged = coherence::shard_round_robin(&trace, cpus);
+        let label = format!("explain/{trace_name}/{}cpu", cpus);
+        let start = Instant::now();
+        let summary = coherence::run_coherent(&label, protocol, geom, mem, cpus, &tagged)
+            .unwrap_or_else(|e| fail(&format!("coherent run failed: {e}")));
+        print!("{}", summary.render());
+        eprintln!("coherent run took {:.2?}", start.elapsed());
+        return;
+    }
 
     let label = format!("explain/{trace_name}/{config_name}");
     let start = Instant::now();

@@ -38,6 +38,12 @@
 //! over the shared mixed trace and one reconciled divergence report per
 //! pair goes to stdout (single-threaded, so byte-identical at any
 //! `--jobs` / `--cell-jobs` setting).
+//! `--coherence` runs the standalone multi-core pass instead of figures:
+//! the private-vs-shared sweep (miss ratio and AMAT at 2 and 4 CPUs,
+//! plus the false-sharing fraction) over two deterministic kernels and
+//! the two sharing microkernels, under MESI by default or the protocol
+//! named by `--protocol mesi|dragon`. Rows run sequentially, so the
+//! table is byte-identical at any `--jobs` setting.
 //! `--bench-json PATH` additionally times raw / hit-heavy / miss-heavy
 //! replay micro-benchmarks in both probe modes and writes a JSON report
 //! (SoA and scalar refs/sec, speedup, peak RSS estimate, per-figure
@@ -105,6 +111,8 @@ fn main() {
     let mut trace_logical = false;
     let mut trace_chunks = false;
     let mut diff_pairs = false;
+    let mut coherence_pass = false;
+    let mut protocol = sac_experiments::coherence::Protocol::Mesi;
     let mut iter = args.into_iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -127,6 +135,21 @@ fn main() {
                 runner::set_cell_jobs(n);
             }
             "--diff" => diff_pairs = true,
+            "--coherence" => coherence_pass = true,
+            "--protocol" => {
+                let name = iter.next().unwrap_or_else(|| {
+                    eprintln!("--protocol needs a value");
+                    std::process::exit(2);
+                });
+                protocol =
+                    sac_experiments::coherence::Protocol::by_name(&name).unwrap_or_else(|| {
+                        eprintln!(
+                            "--protocol {name:?} not supported ({})",
+                            sac_experiments::coherence::Protocol::CLI_NAMES
+                        );
+                        std::process::exit(2);
+                    });
+            }
             "--trace-logical" => trace_logical = true,
             "--trace-chunks" => trace_chunks = true,
             "--bench-json" => {
@@ -225,6 +248,30 @@ fn main() {
     // the CI determinism leg diffs.
     if diff_pairs {
         run_diff_pairs(small);
+        return;
+    }
+
+    // `--coherence` is a standalone pass like `--diff`: the
+    // private-vs-shared multi-CPU sweep, built sequentially so the
+    // emitted table is byte-identical at any `--jobs` / `--cell-jobs`
+    // setting — the property the CI coherence-determinism leg diffs.
+    if coherence_pass {
+        registry::reset_global();
+        println!("{}", sac_experiments::coherence::coherence_table(protocol));
+        // The sweep bumps the coherence.* registry counters; with
+        // `--bench-json` they ship as a small standalone artifact so the
+        // invalidation/upgrade/c2c totals land next to the replay report.
+        if let Some((path, f)) = bench_writer.as_mut() {
+            let report = format!(
+                "{{\n  \"schema\": \"sac-bench-coherence-v1\",\n  \"registry\": {}\n}}\n",
+                registry::snapshot().to_json(2).trim_start()
+            );
+            if let Err(e) = f.write_all(report.as_bytes()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote coherence bench report to {path}");
+        }
         return;
     }
 

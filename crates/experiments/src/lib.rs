@@ -28,6 +28,7 @@ mod suite;
 mod table;
 
 pub mod cli;
+pub mod coherence;
 pub mod diff;
 pub mod explain;
 pub mod figures;

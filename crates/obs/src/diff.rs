@@ -86,6 +86,9 @@ pub struct EventCounts {
     pub writebacks: u64,
     /// `Flush` events.
     pub flushes: u64,
+    /// `Coherence` events (multi-core snooping only; always zero in
+    /// uniprocessor runs).
+    pub coherence: u64,
 }
 
 impl EventCounts {
@@ -103,6 +106,7 @@ impl EventCounts {
         self.prefetch_uses += o.prefetch_uses;
         self.writebacks += o.writebacks;
         self.flushes += o.flushes;
+        self.coherence += o.coherence;
     }
 
     /// One event, counted.
@@ -123,6 +127,7 @@ impl EventCounts {
                 self.writebacks += writebacks;
                 self.flushes += 1;
             }
+            Event::Coherence { .. } => self.coherence += 1,
         }
     }
 }
@@ -278,7 +283,8 @@ impl SideState {
             | Event::AuxHit { .. }
             | Event::Bypass { .. }
             | Event::PrefetchIssue { .. }
-            | Event::Writeback { .. } => {}
+            | Event::Writeback { .. }
+            | Event::Coherence { .. } => {}
         }
         match &mut self.pending {
             Some(p) => {

@@ -77,6 +77,49 @@ impl AuxSource {
     }
 }
 
+/// The coherence operation behind an [`Event::Coherence`] event, emitted
+/// by the multi-core coherent driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceOp {
+    /// This CPU's write forced remote copies of the line out (BusRdX or
+    /// BusUpgr went on the bus).
+    InvalidateSent,
+    /// This CPU's copy was invalidated by a remote write;
+    /// `false_sharing` is true when this CPU never touched the word the
+    /// remote writer modified — the ping-pong is an artifact of line
+    /// granularity, not a real data dependence.
+    InvalidateRecv {
+        /// Whether the invalidation was classified as false sharing.
+        false_sharing: bool,
+    },
+    /// A write hit on a shared line took ownership with an address-only
+    /// bus upgrade.
+    Upgrade,
+    /// A miss was filled cache-to-cache by a remote holder instead of
+    /// memory.
+    C2CFill,
+    /// A miss was answered out of a write buffer still draining the
+    /// line (the newest copy had not reached memory yet).
+    WbForward,
+    /// An update-based protocol broadcast a written word to the remote
+    /// copies (Dragon BusUpd), which stay valid.
+    Update,
+}
+
+impl CoherenceOp {
+    /// Lower-case name, as used by the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoherenceOp::InvalidateSent => "invalidate_sent",
+            CoherenceOp::InvalidateRecv { .. } => "invalidate_recv",
+            CoherenceOp::Upgrade => "upgrade",
+            CoherenceOp::C2CFill => "c2c_fill",
+            CoherenceOp::WbForward => "wb_forward",
+            CoherenceOp::Update => "update",
+        }
+    }
+}
+
 /// One mechanism-level event of a cache simulation.
 ///
 /// Events mirror the engine `Metrics` counters one-for-one so an
@@ -182,6 +225,18 @@ pub enum Event {
         /// Dirty lines written back by the flush.
         writebacks: u64,
     },
+    /// A coherence action of the multi-core snooping system, attributed
+    /// to the CPU it happened on.
+    Coherence {
+        /// The CPU the operation is attributed to (the writer for
+        /// `InvalidateSent`/`Upgrade`/`Update`, the victim for
+        /// `InvalidateRecv`, the requester for `C2CFill`/`WbForward`).
+        cpu: u8,
+        /// The line involved.
+        line: u64,
+        /// What happened.
+        op: CoherenceOp,
+    },
 }
 
 impl Event {
@@ -200,6 +255,7 @@ impl Event {
             Event::PrefetchUse { .. } => "prefetch_use",
             Event::Writeback { .. } => "writeback",
             Event::Flush { .. } => "flush",
+            Event::Coherence { .. } => "coherence",
         }
     }
 }
@@ -241,5 +297,22 @@ mod tests {
         assert_eq!(MissCause::Conflict.name(), "conflict");
         assert_eq!(AuxSource::BounceBack.name(), "bounce_back");
         assert_eq!(AuxSource::StreamBuffer.name(), "stream_buffer");
+        assert_eq!(
+            Event::Coherence {
+                cpu: 1,
+                line: 0,
+                op: CoherenceOp::Upgrade
+            }
+            .kind(),
+            "coherence"
+        );
+        assert_eq!(CoherenceOp::C2CFill.name(), "c2c_fill");
+        assert_eq!(
+            CoherenceOp::InvalidateRecv {
+                false_sharing: true
+            }
+            .name(),
+            "invalidate_recv"
+        );
     }
 }

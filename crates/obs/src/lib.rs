@@ -57,11 +57,11 @@ mod tracing;
 /// and diff streams). Bump it whenever a field is added, removed or
 /// renamed, so downstream parsers fail loudly on format drift instead of
 /// silently misreading.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 pub use classify::{ShadowClassifier, ShadowOutcome};
 pub use diff::{EventCounts, OutcomeClass, OutcomeProbe, OutcomeTotals, RefOutcome, SideState};
-pub use event::{AuxSource, Event, MissCause, Victim};
+pub use event::{AuxSource, CoherenceOp, Event, MissCause, Victim};
 pub use hist::{Log2Histogram, SetHeatmap, WordUse};
 pub use lifetime::{FillOrigin, LifetimeSummary, LineLifetime, LineStats};
 pub use probe::{CountingProbe, NoopProbe, Probe};

@@ -59,6 +59,9 @@ pub struct WindowDelta {
     pub bounces: u64,
     /// Dirty lines written back (including flush writebacks).
     pub writebacks: u64,
+    /// Coherence operations (invalidations, upgrades, cache-to-cache
+    /// fills, …) attributed to the window; zero in uniprocessor runs.
+    pub coherence: u64,
     /// Memory cycles attributed to the window (difference of the
     /// engine's cumulative total between the folds bounding it).
     pub mem_cycles: u64,
@@ -76,6 +79,7 @@ impl WindowDelta {
         self.conflict += other.conflict;
         self.bounces += other.bounces;
         self.writebacks += other.writebacks;
+        self.coherence += other.coherence;
         self.mem_cycles += other.mem_cycles;
     }
 
@@ -303,7 +307,7 @@ impl Timeline {
                  \"start_ref\": {}, \"phase\": {}, \"refs\": {}, \"reads\": {}, \
                  \"writes\": {}, \"misses\": {}, \"miss_rate\": {:.6}, \"amat\": {:.6}, \
                  \"compulsory\": {}, \"capacity\": {}, \"conflict\": {}, \"bounces\": {}, \
-                 \"writebacks\": {}, \"mem_cycles\": {}}}",
+                 \"writebacks\": {}, \"coherence\": {}, \"mem_cycles\": {}}}",
                 crate::SCHEMA_VERSION,
                 w.index,
                 w.start_ref,
@@ -319,6 +323,7 @@ impl Timeline {
                 d.conflict,
                 d.bounces,
                 d.writebacks,
+                d.coherence,
                 d.mem_cycles
             )?;
         }
@@ -413,6 +418,7 @@ impl Probe for Timeline {
             Event::BounceBack { .. } => self.pending.bounces += 1,
             Event::Writeback { .. } => self.pending.writebacks += 1,
             Event::Flush { writebacks } => self.pending.writebacks += writebacks,
+            Event::Coherence { .. } => self.pending.coherence += 1,
             _ => {}
         }
     }

@@ -82,6 +82,8 @@ pub struct ObsCounts {
     pub writebacks: u64,
     /// `Flush` events.
     pub flushes: u64,
+    /// `Coherence` events (multi-core snooping only).
+    pub coherence: u64,
 }
 
 /// The aggregating probe: classifies every miss (3C, via the shadow
@@ -372,6 +374,7 @@ impl Probe for TracingProbe {
                 }
                 self.word_use.finish();
             }
+            Event::Coherence { .. } => self.counts.coherence += 1,
         }
         self.ring.push(TimedEvent {
             at_ref: self.counts.refs,
@@ -461,6 +464,15 @@ fn event_json(e: &TimedEvent) -> String {
         }
         Event::Flush { writebacks } => {
             body.push_str(&format!("\"kind\":\"flush\",\"writebacks\":{writebacks}"))
+        }
+        Event::Coherence { cpu, line, op } => {
+            body.push_str(&format!(
+                "\"kind\":\"coherence\",\"cpu\":{cpu},\"line\":{line},\"op\":\"{}\"",
+                op.name()
+            ));
+            if let crate::CoherenceOp::InvalidateRecv { false_sharing } = op {
+                body.push_str(&format!(",\"false_sharing\":{false_sharing}"));
+            }
         }
     }
     body.push('}');

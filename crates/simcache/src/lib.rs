@@ -45,9 +45,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bus;
 mod bypass;
 mod classify;
 mod clock;
+mod coherence;
+mod coherent;
 mod colassoc;
 mod config;
 mod engine;
@@ -62,9 +65,12 @@ mod tagarray;
 mod victim;
 mod writebuf;
 
+pub use bus::{BusTx, FillSource, SnoopBus};
 pub use bypass::{BypassCache, BypassMode, BypassPolicy};
 pub use classify::{classify_misses, MissClasses};
 pub use clock::Clock;
+pub use coherence::{CoherenceProtocol, Dragon, LineState, Mesi, SnoopReaction, WriteHitAction};
+pub use coherent::{CoherenceStats, CoherentSystem, CpuCoherence};
 pub use colassoc::{ColAssocPolicy, ColumnAssociativeCache};
 pub use config::{CacheGeometry, MemoryModel};
 pub use engine::CacheSim;
@@ -77,7 +83,7 @@ pub use standard::{StandardCache, StandardPolicy};
 pub use stream::{StreamBufferCache, StreamPolicy};
 pub use tagarray::{Entry, TagArray};
 pub use victim::{VictimCache, VictimPolicy};
-pub use writebuf::WriteBuffer;
+pub use writebuf::{SnoopWriteBuffer, WriteBuffer};
 
 /// Access cost of a main-cache hit, in cycles.
 pub const MAIN_HIT_CYCLES: u64 = 1;
@@ -92,3 +98,8 @@ pub const SWAP_LOCK_CYCLES: u64 = 2;
 
 /// Cycles to transfer one dirty line to the write buffer (§2.1 note 3).
 pub const DIRTY_TRANSFER_CYCLES: u64 = 2;
+
+/// Cycles for the address phase plus the wired-OR snoop answer of a bus
+/// transaction: the full cost of an address-only BusUpgr, and the head
+/// start a cache-to-cache fill has over a memory fetch.
+pub const SNOOP_CYCLES: u64 = 2;

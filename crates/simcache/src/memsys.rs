@@ -18,23 +18,25 @@
 use crate::clock::Clock;
 use crate::fused::LineRuns;
 use crate::{
-    CacheGeometry, CacheSim, ChunkDelta, MemoryModel, Metrics, WriteBuffer, MAIN_HIT_CYCLES,
+    CacheGeometry, CacheSim, ChunkDelta, MemoryModel, Metrics, SnoopBus, WriteBuffer,
+    MAIN_HIT_CYCLES,
 };
 use sac_obs::{Event, NoopProbe, Probe};
 use sac_trace::Access;
 
 /// The timing and accounting core shared by every cache organization:
-/// the cycle [`Clock`], the [`MemoryModel`] bus parameters, the dirty
-/// write-back [`WriteBuffer`] (8 entries retiring one line per bus
+/// the cycle [`Clock`], the [`SnoopBus`] pricing memory transfers, the
+/// dirty write-back [`WriteBuffer`] (8 entries retiring one line per bus
 /// transfer, as in §2.1) and the [`Metrics`] block.
 ///
-/// Policies never touch a clock or a write buffer directly; they ask the
-/// memory system to fetch lines, write back victims or lock the cache,
-/// and the memory system keeps the books.
+/// Policies never touch a clock, a bus or a write buffer directly; they
+/// ask the memory system to fetch lines, write back victims or lock the
+/// cache, and the memory system keeps the books. A uniprocessor system
+/// owns its bus privately; the multi-core [`crate::CoherentSystem`]
+/// shares one bus across all cores instead.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
-    mem: MemoryModel,
-    line_bytes: u64,
+    bus: SnoopBus,
     wb: WriteBuffer,
     clock: Clock,
     metrics: Metrics,
@@ -46,8 +48,7 @@ impl MemorySystem {
     /// transfer.
     pub fn new(mem: MemoryModel, line_bytes: u64) -> Self {
         MemorySystem {
-            mem,
-            line_bytes,
+            bus: SnoopBus::new(mem, line_bytes),
             wb: WriteBuffer::new(8, mem.transfer_cycles(line_bytes)),
             clock: Clock::new(),
             metrics: Metrics::new(),
@@ -57,13 +58,26 @@ impl MemorySystem {
     /// The memory/bus parameters.
     #[inline]
     pub fn memory(&self) -> MemoryModel {
-        self.mem
+        self.bus.memory()
     }
 
     /// The physical line size the write buffer and fetch costing use.
     #[inline]
     pub fn line_bytes(&self) -> u64 {
-        self.line_bytes
+        self.bus.line_bytes()
+    }
+
+    /// The bus this system charges transfers through.
+    #[inline]
+    pub fn bus(&self) -> &SnoopBus {
+        &self.bus
+    }
+
+    /// The bus, mutably (coherent drivers price snoop transactions
+    /// directly).
+    #[inline]
+    pub fn bus_mut(&mut self) -> &mut SnoopBus {
+        &mut self.bus
     }
 
     /// The metrics accumulated so far.
@@ -118,21 +132,21 @@ impl MemorySystem {
     /// returns the fetch cost `t_lat + n·LS/w_b`.
     #[inline]
     pub fn fetch_lines(&mut self, lines: u64) -> u64 {
-        self.metrics.record_fetch(lines, self.line_bytes);
-        self.mem.fetch_cycles(lines, self.line_bytes)
+        self.metrics.record_fetch(lines, self.bus.line_bytes());
+        self.bus.fetch_cycles(lines)
     }
 
     /// Records the traffic of `lines` fetched lines whose cycles are
     /// charged elsewhere (prefetches issued behind a demand fetch).
     #[inline]
     pub fn record_fetch_traffic(&mut self, lines: u64) {
-        self.metrics.record_fetch(lines, self.line_bytes);
+        self.metrics.record_fetch(lines, self.bus.line_bytes());
     }
 
     /// Bus cycles to transfer one cache line.
     #[inline]
     pub fn line_transfer_cycles(&self) -> u64 {
-        self.mem.transfer_cycles(self.line_bytes)
+        self.bus.line_transfer_cycles()
     }
 
     /// Sends one dirty line to the write buffer, counting the write-back;

@@ -93,6 +93,99 @@ impl WriteBuffer {
     }
 }
 
+/// A write buffer whose in-flight entries are visible to bus snoops.
+///
+/// Under snooping coherence a dirty line sitting in the write buffer is
+/// still the newest copy: a remote miss that races the drain must be
+/// answered from the buffer (a *write-buffer forward*), not from stale
+/// memory. This variant therefore remembers *which* line each pending
+/// entry holds and lets the coherent driver ask, timing-identical to
+/// [`WriteBuffer`] otherwise.
+#[derive(Debug, Clone)]
+pub struct SnoopWriteBuffer {
+    cap: usize,
+    retire_cycles: u64,
+    /// `(completion time, line)` of in-flight writes, oldest first.
+    inflight: VecDeque<(u64, u64)>,
+}
+
+impl SnoopWriteBuffer {
+    /// Creates a snoopable write buffer of `cap` line entries, each taking
+    /// `retire_cycles` of bus time to drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize, retire_cycles: u64) -> Self {
+        assert!(cap > 0, "write buffer needs at least one entry");
+        SnoopWriteBuffer {
+            cap,
+            retire_cycles: retire_cycles.max(1),
+            inflight: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries still in flight at `now`.
+    pub fn occupancy(&mut self, now: u64) -> usize {
+        self.drain(now);
+        self.inflight.len()
+    }
+
+    /// Whether a push at `now` would stall.
+    pub fn is_full(&mut self, now: u64) -> bool {
+        self.occupancy(now) == self.cap
+    }
+
+    /// Enqueues the dirty line `line` at cycle `now`; returns the stall in
+    /// cycles (0 unless the buffer was full). Timing matches
+    /// [`WriteBuffer::push`] exactly.
+    pub fn push_line(&mut self, now: u64, line: u64) -> u64 {
+        self.drain(now);
+        let mut stall = 0;
+        let mut now = now;
+        if self.inflight.len() == self.cap {
+            let (head, _) = *self.inflight.front().expect("full buffer has a head");
+            stall = head - now;
+            now = head;
+            self.inflight.pop_front();
+        }
+        let start = self
+            .inflight
+            .back()
+            .map(|&(t, _)| t)
+            .unwrap_or(now)
+            .max(now);
+        self.inflight.push_back((start + self.retire_cycles, line));
+        stall
+    }
+
+    /// Answers a bus snoop at cycle `now`: whether a pending entry holds
+    /// `line`. An entry retiring at cycle `t` occupies the bus through
+    /// `t`, so the visibility boundary is inclusive: a snoop at exactly
+    /// `t` still forwards (memory is only consistent from `t + 1` on).
+    /// The timing side ([`SnoopWriteBuffer::push_line`], occupancy) keeps
+    /// the plain buffer's exclusive boundary — only snoop *visibility*
+    /// extends through the final beat.
+    pub fn snoop(&self, now: u64, line: u64) -> bool {
+        self.inflight.iter().any(|&(t, l)| l == line && t >= now)
+    }
+
+    fn drain(&mut self, now: u64) {
+        while let Some(&(head, _)) = self.inflight.front() {
+            if head <= now {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +240,35 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = WriteBuffer::new(0, 2);
+    }
+
+    #[test]
+    fn snoop_buffer_timing_matches_plain_buffer() {
+        let mut plain = WriteBuffer::new(2, 10);
+        let mut snoopy = SnoopWriteBuffer::new(2, 10);
+        for (i, t) in [0u64, 0, 0, 25, 25].into_iter().enumerate() {
+            assert_eq!(plain.push(t), snoopy.push_line(t, i as u64), "push {i}");
+        }
+        assert_eq!(plain.occupancy(30), snoopy.occupancy(30));
+    }
+
+    #[test]
+    fn snoop_sees_pending_line_until_drain() {
+        let mut wb = SnoopWriteBuffer::new(4, 10);
+        wb.push_line(0, 0x40);
+        assert!(wb.snoop(5, 0x40), "pending entry forwards");
+        assert!(!wb.snoop(5, 0x80), "other lines do not");
+        // The final beat lands during cycle 10: still visible there,
+        // memory consistent from 11 on.
+        assert!(wb.snoop(10, 0x40));
+        assert!(!wb.snoop(11, 0x40));
+    }
+
+    #[test]
+    fn snoop_buffer_full_stalls_until_head_retires() {
+        let mut wb = SnoopWriteBuffer::new(1, 10);
+        assert_eq!(wb.push_line(0, 1), 0);
+        assert_eq!(wb.push_line(0, 2), 10);
+        assert!(wb.is_full(10));
     }
 }

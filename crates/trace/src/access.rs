@@ -50,6 +50,15 @@ const FLAG_SPATIAL: u8 = 1 << 2;
 /// Bits 3-4: the spatial *level* for variable-length virtual lines.
 const LEVEL_SHIFT: u8 = 3;
 const LEVEL_MASK: u8 = 0b11 << LEVEL_SHIFT;
+/// Bits 5-6: the issuing CPU of a multi-core interleaved trace. Bit 7
+/// stays reserved.
+const CPU_SHIFT: u8 = 5;
+const CPU_MASK: u8 = 0b11 << CPU_SHIFT;
+
+/// Maximum number of CPUs a multi-core trace can name: the cpu id lives
+/// in two flag bits of the 16-byte wire entry (single-CPU traces carry
+/// cpu 0 everywhere, so every pre-coherence trace reads back unchanged).
+pub const MAX_CPUS: usize = 4;
 
 /// One tagged memory reference.
 ///
@@ -165,6 +174,18 @@ impl Access {
         self
     }
 
+    /// Sets the issuing CPU id for a multi-core interleaved trace
+    /// (builder style). Single-CPU traces leave this at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu >= MAX_CPUS` (two flag bits).
+    pub fn with_cpu(mut self, cpu: u8) -> Self {
+        assert!((cpu as usize) < MAX_CPUS, "cpu id is a 2-bit field");
+        self.flags = (self.flags & !CPU_MASK) | (cpu << CPU_SHIFT);
+        self
+    }
+
     /// Sets the issue gap in cycles since the previous reference.
     ///
     /// Gaps above `u16::MAX` are clamped; the Figure 4b distribution never
@@ -219,6 +240,12 @@ impl Access {
     #[inline]
     pub fn spatial_level(&self) -> u8 {
         (self.flags & LEVEL_MASK) >> LEVEL_SHIFT
+    }
+
+    /// The issuing CPU id (0 for single-CPU traces).
+    #[inline]
+    pub fn cpu(&self) -> u8 {
+        (self.flags & CPU_MASK) >> CPU_SHIFT
     }
 
     /// Issue-time gap in cycles since the previous reference.
@@ -301,6 +328,27 @@ mod tests {
     #[should_panic(expected = "2-bit")]
     fn oversized_level_panics() {
         let _ = Access::read(0).with_spatial_level(4);
+    }
+
+    #[test]
+    fn cpu_round_trips_and_defaults_to_zero() {
+        assert_eq!(Access::read(0).cpu(), 0);
+        for cpu in 0..MAX_CPUS as u8 {
+            let a = Access::write(64)
+                .with_temporal(true)
+                .with_spatial_level(3)
+                .with_cpu(cpu);
+            assert_eq!(a.cpu(), cpu);
+            // The cpu bits disturb no neighbor field.
+            assert!(a.kind().is_write() && a.temporal());
+            assert_eq!(a.spatial_level(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2-bit")]
+    fn oversized_cpu_panics() {
+        let _ = Access::read(0).with_cpu(MAX_CPUS as u8);
     }
 
     #[test]

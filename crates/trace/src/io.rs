@@ -228,6 +228,7 @@ fn flags_byte(a: &Access) -> u8 {
         | (u8::from(a.temporal()) << 1)
         | (u8::from(a.spatial()) << 2)
         | (a.spatial_level() << 3)
+        | (a.cpu() << 5)
 }
 
 /// Rebuilds an [`Access`] from its on-disk parts.
@@ -242,6 +243,7 @@ fn access_from_parts(addr: u64, instr: u32, gap: u16, flags: u8) -> Access {
         .with_temporal(flags & 2 != 0)
         .with_spatial(flags & 4 != 0)
         .with_spatial_level((flags >> 3) & 0b11)
+        .with_cpu((flags >> 5) & 0b11)
         .with_gap(gap as u32)
         .with_instr(instr)
 }
@@ -714,9 +716,9 @@ impl<R: Read> Sact2Reader<R> {
             };
             if self.run_left == 0 {
                 let flags = self.read_byte().map_err(ctx)?;
-                if flags & 0xE0 != 0 {
+                if flags & 0x80 != 0 {
                     return Err(ReadError::BadEntry(format!(
-                        "entry {at}: reserved flag bits set ({flags:#04x})"
+                        "entry {at}: reserved flag bit set ({flags:#04x})"
                     )));
                 }
                 let len = self.read_varint().map_err(ctx)?;
@@ -943,14 +945,15 @@ impl<R: Read> ChunkSource for TraceReader<R> {
 }
 
 /// Whether every entry's flag byte in a raw `SACT` payload has the
-/// reserved bits (5-7) clear. The decoding path masks those bits away
-/// ([`access_from_parts`] rebuilds the flag byte from bits 0-4 only), so
-/// a zero-copy reinterpretation of the payload is observably identical
-/// to decoding exactly when they are already zero. [`SactWriter`] never
-/// sets them; a foreign or corrupted file that does simply takes the
-/// copying path and gets the same masking the streaming reader applies.
+/// reserved bit (7) clear. The decoding path masks that bit away
+/// ([`access_from_parts`] rebuilds the flag byte from bits 0-6 only —
+/// tags, level and the multi-core cpu id), so a zero-copy
+/// reinterpretation of the payload is observably identical to decoding
+/// exactly when it is already zero. [`SactWriter`] never sets it; a
+/// foreign or corrupted file that does simply takes the copying path and
+/// gets the same masking the streaming reader applies.
 fn sact_flags_clean(payload: &[u8]) -> bool {
-    payload.chunks_exact(ENTRY_BYTES).all(|e| e[14] & 0xE0 == 0)
+    payload.chunks_exact(ENTRY_BYTES).all(|e| e[14] & 0x80 == 0)
 }
 
 /// Reads one byte from a slice cursor (the mmap-backed twin of
@@ -1193,9 +1196,9 @@ impl MappedReader {
                     };
                     if *run_left == 0 {
                         let flags = slice_byte(bytes, pos).map_err(ctx)?;
-                        if flags & 0xE0 != 0 {
+                        if flags & 0x80 != 0 {
                             return Err(ReadError::BadEntry(format!(
-                                "entry {at}: reserved flag bits set ({flags:#04x})"
+                                "entry {at}: reserved flag bit set ({flags:#04x})"
                             )));
                         }
                         let len = slice_varint(bytes, pos).map_err(ctx)?;
@@ -1380,18 +1383,19 @@ pub fn read_path<P: AsRef<std::path::Path>>(path: P) -> Result<Trace, ReadError>
 /// Propagates I/O errors from the writer.
 pub fn write_text<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     writeln!(w, "# trace: {}", trace.name())?;
-    writeln!(w, "# kind addr temporal spatial gap instr level")?;
+    writeln!(w, "# kind addr temporal spatial gap instr level cpu")?;
     for a in trace {
         writeln!(
             w,
-            "{} {:#x} {} {} {} {} {}",
+            "{} {:#x} {} {} {} {} {} {}",
             a.kind(),
             a.addr(),
             u8::from(a.temporal()),
             u8::from(a.spatial()),
             a.gap(),
             a.instr(),
-            a.spatial_level()
+            a.spatial_level(),
+            a.cpu()
         )?;
     }
     Ok(())
@@ -1438,7 +1442,8 @@ pub fn read_text<R: Read>(r: R) -> Result<Trace, ReadError> {
             .next()
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| err("bad instr"))?;
-        // Optional trailing spatial level (older traces omit it).
+        // Optional trailing spatial level and cpu id (older traces omit
+        // them).
         let level: u8 = match parts.next() {
             None => 0,
             Some(s) => s.parse().map_err(|_| err("bad level"))?,
@@ -1446,11 +1451,19 @@ pub fn read_text<R: Read>(r: R) -> Result<Trace, ReadError> {
         if level > 3 {
             return Err(err("level out of range"));
         }
+        let cpu: u8 = match parts.next() {
+            None => 0,
+            Some(s) => s.parse().map_err(|_| err("bad cpu"))?,
+        };
+        if cpu as usize >= crate::MAX_CPUS {
+            return Err(err("cpu out of range"));
+        }
         trace.push(
             Access::new(addr, kind)
                 .with_temporal(temporal)
                 .with_spatial(spatial)
                 .with_spatial_level(level)
+                .with_cpu(cpu)
                 .with_gap(gap)
                 .with_instr(instr),
         );
@@ -1525,6 +1538,9 @@ mod tests {
                 a.with_temporal(i % 2 == 0)
                     .with_spatial(i % 5 == 0)
                     .with_spatial_level((i % 4) as u8)
+                    // Exercise the multi-core cpu bits in every wire
+                    // round-trip that uses this sample.
+                    .with_cpu((i % 2) as u8)
                     .with_gap(gaps.sample())
                     .with_instr((i % 7) as u32),
             );

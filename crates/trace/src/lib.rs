@@ -45,6 +45,6 @@ pub mod io;
 pub mod rng;
 pub mod stats;
 
-pub use access::{Access, AccessKind, WORD_BYTES};
+pub use access::{Access, AccessKind, MAX_CPUS, WORD_BYTES};
 pub use gaps::GapModel;
-pub use trace::Trace;
+pub use trace::{interleave_round_robin, Trace};

@@ -103,7 +103,8 @@ impl Trace {
             mix(u8::from(a.kind().is_write())
                 | (u8::from(a.temporal()) << 1)
                 | (u8::from(a.spatial()) << 2)
-                | (a.spatial_level() << 3));
+                | (a.spatial_level() << 3)
+                | (a.cpu() << 5));
         }
         // Mix in the length so a trace and its prefix never collide on
         // the trivial all-zero stream.
@@ -135,6 +136,12 @@ impl Trace {
         words.len()
     }
 
+    /// Number of CPUs the trace names: one past the highest cpu id seen
+    /// (1 for every single-CPU trace, including the empty one).
+    pub fn cpu_count(&self) -> usize {
+        self.entries.iter().map(|a| a.cpu()).max().unwrap_or(0) as usize + 1
+    }
+
     /// Fraction of references that are loads.
     pub fn read_fraction(&self) -> f64 {
         if self.entries.is_empty() {
@@ -143,6 +150,42 @@ impl Trace {
         let reads = self.entries.iter().filter(|a| a.kind().is_read()).count();
         reads as f64 / self.entries.len() as f64
     }
+}
+
+/// Interleaves one per-CPU reference stream per element of `streams`
+/// into a single multi-core trace, round-robin: reference `i` of stream
+/// `c` lands at interleaved position `i * streams.len() + c` (shorter
+/// streams simply drop out of the rotation once exhausted). Every entry
+/// is tagged with its stream index via [`Access::with_cpu`], so the
+/// interleave is reversible and a coherent simulation can attribute each
+/// reference to its core.
+///
+/// # Panics
+///
+/// Panics if `streams` is empty or names more than
+/// [`crate::MAX_CPUS`] CPUs.
+pub fn interleave_round_robin(name: impl Into<String>, streams: &[Trace]) -> Trace {
+    assert!(!streams.is_empty(), "need at least one stream");
+    assert!(
+        streams.len() <= crate::MAX_CPUS,
+        "at most {} CPU streams",
+        crate::MAX_CPUS
+    );
+    let total: usize = streams.iter().map(Trace::len).sum();
+    let mut out = Trace::with_capacity(name, total);
+    let mut next = vec![0usize; streams.len()];
+    let mut live = streams.len();
+    while live > 0 {
+        live = 0;
+        for (cpu, stream) in streams.iter().enumerate() {
+            if let Some(a) = stream.as_slice().get(next[cpu]) {
+                out.push(a.with_cpu(cpu as u8));
+                next[cpu] += 1;
+                live += 1;
+            }
+        }
+    }
+    out
 }
 
 impl FromIterator<Access> for Trace {
@@ -244,6 +287,46 @@ mod tests {
         t.push(Access::read(16));
         assert_eq!(t.footprint_words(), 3);
         assert!((t.read_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_robin_interleave_tags_and_orders() {
+        let a: Trace = (0..5u64).map(|i| Access::read(i * 8)).collect();
+        let b: Trace = (0..3u64).map(|i| Access::write(0x1000 + i * 8)).collect();
+        let t = interleave_round_robin("pair", &[a, b]);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.cpu_count(), 2);
+        // First rotation: a[0] then b[0].
+        assert_eq!(t.as_slice()[0].addr(), 0);
+        assert_eq!(t.as_slice()[0].cpu(), 0);
+        assert_eq!(t.as_slice()[1].addr(), 0x1000);
+        assert_eq!(t.as_slice()[1].cpu(), 1);
+        // After b is exhausted, a continues alone in order.
+        let tail: Vec<u64> = t.as_slice()[6..].iter().map(|x| x.addr()).collect();
+        assert_eq!(tail, vec![3 * 8, 4 * 8]);
+        // Per-cpu subsequences reproduce the inputs exactly.
+        let cpu0: Vec<u64> = t
+            .iter()
+            .filter(|x| x.cpu() == 0)
+            .map(|x| x.addr())
+            .collect();
+        assert_eq!(cpu0, (0..5u64).map(|i| i * 8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cpu_count_defaults_to_one() {
+        assert_eq!(Trace::new("e").cpu_count(), 1);
+        let t: Trace = (0..3u64).map(Access::read).collect();
+        assert_eq!(t.cpu_count(), 1);
+    }
+
+    #[test]
+    fn content_hash_sees_cpu_bits() {
+        let base: Trace = (0..10u64).map(|i| Access::read(i * 8)).collect();
+        let tagged: Trace = (0..10u64)
+            .map(|i| Access::read(i * 8).with_cpu(1))
+            .collect();
+        assert_ne!(base.content_hash(), tagged.content_hash());
     }
 
     #[test]

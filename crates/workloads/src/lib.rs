@@ -40,6 +40,7 @@ pub mod livermore;
 pub mod mv;
 pub mod nas;
 pub mod perfect;
+pub mod sharing;
 pub mod slalom;
 pub mod spmv;
 

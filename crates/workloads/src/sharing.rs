@@ -1,0 +1,134 @@
+//! Multi-core sharing microkernels for the coherent memory system.
+//!
+//! The uniprocessor benchmarks say nothing about coherence, so the
+//! multi-core experiments add two synthetic kernels whose sharing
+//! patterns bracket the design space:
+//!
+//! * [`producer_consumer`] — *true* sharing: CPU 0 writes a block of
+//!   words, the other CPUs read exactly those words back. Every
+//!   invalidation is a data dependence; an invalidation-based protocol
+//!   pays one coherence miss per handoff and no more.
+//! * [`false_sharing`] — *false* sharing: each CPU hammers its own
+//!   private word, but the words of all CPUs are packed into the same
+//!   cache lines. No data is ever communicated, yet under MESI the lines
+//!   ping-pong on every write. This is the pattern the false-sharing
+//!   detector (word-mask classifier) must flag at ~100%, and where an
+//!   update-based protocol like Dragon wins outright.
+//!
+//! Unlike the loop-nest stand-ins, these build cpu-tagged
+//! [`sac_trace::Trace`]s directly — the interleaving *is* the workload.
+
+use sac_trace::{Access, Trace, MAX_CPUS, WORD_BYTES};
+
+/// Builds a producer/consumer handoff trace: per round, CPU 0 writes
+/// `block_words` consecutive words starting at `base`, then CPUs
+/// `1..cpus` each read the same words back.
+///
+/// Accesses are issued back-to-back (gap 1) in program order, already
+/// interleaved: the handoff ordering is the point, so no round-robin
+/// re-shuffle is applied.
+///
+/// # Panics
+///
+/// Panics if `cpus` is not in `2..=`[`MAX_CPUS`], or if `rounds` or
+/// `block_words` is zero.
+pub fn producer_consumer(cpus: usize, rounds: usize, block_words: u64) -> Trace {
+    assert!(
+        (2..=MAX_CPUS).contains(&cpus),
+        "producer/consumer needs 2..={MAX_CPUS} CPUs"
+    );
+    assert!(rounds > 0, "need at least one round");
+    assert!(block_words > 0, "need at least one word per round");
+    let base = 0u64;
+    let mut t = Trace::new("producer_consumer");
+    for _ in 0..rounds {
+        for w in 0..block_words {
+            t.push(Access::write(base + w * WORD_BYTES).with_cpu(0));
+        }
+        for cpu in 1..cpus {
+            for w in 0..block_words {
+                t.push(Access::read(base + w * WORD_BYTES).with_cpu(cpu as u8));
+            }
+        }
+    }
+    t
+}
+
+/// Builds a false-sharing trace: each CPU increments (read + write) its
+/// own private counter word, but all counters sit packed in the same
+/// cache lines — `counters` words laid out contiguously per CPU slot.
+///
+/// With the standard 32-byte line and 8-byte words, `cpus = 2` and
+/// `counters = 2` packs both CPUs' counters into one line; larger
+/// `counters` spread the conflict over `cpus * counters / 4` lines.
+///
+/// # Panics
+///
+/// Panics if `cpus` is not in `2..=`[`MAX_CPUS`], or if `rounds` or
+/// `counters` is zero.
+pub fn false_sharing(cpus: usize, rounds: usize, counters: u64) -> Trace {
+    assert!(
+        (2..=MAX_CPUS).contains(&cpus),
+        "false sharing needs 2..={MAX_CPUS} CPUs"
+    );
+    assert!(rounds > 0, "need at least one round");
+    assert!(counters > 0, "need at least one counter per CPU");
+    let mut t = Trace::new("false_sharing");
+    for r in 0..rounds {
+        for cpu in 0..cpus {
+            // Counter words of CPU c occupy word slots c, cpus+c,
+            // 2*cpus+c, ... — fully interleaved so every line carries
+            // every CPU.
+            let k = r as u64 % counters;
+            let addr = (k * cpus as u64 + cpu as u64) * WORD_BYTES;
+            t.push(Access::read(addr).with_cpu(cpu as u8));
+            t.push(Access::write(addr).with_cpu(cpu as u8));
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_consumer_shape() {
+        let t = producer_consumer(3, 5, 4);
+        // Per round: 4 writes + 2 consumers * 4 reads.
+        assert_eq!(t.len(), 5 * (4 + 2 * 4));
+        assert_eq!(t.cpu_count(), 3);
+        let writes = t.iter().filter(|a| a.kind().is_write()).count();
+        assert_eq!(writes, 5 * 4);
+    }
+
+    #[test]
+    fn producer_consumer_consumers_touch_produced_words() {
+        let t = producer_consumer(2, 1, 2);
+        let accesses: Vec<_> = t.iter().collect();
+        assert!(accesses[0].kind().is_write() && accesses[0].cpu() == 0);
+        let read = accesses[2];
+        assert!(!read.kind().is_write() && read.cpu() == 1);
+        assert_eq!(read.addr(), accesses[0].addr());
+    }
+
+    #[test]
+    fn false_sharing_packs_cpus_into_shared_lines() {
+        let t = false_sharing(2, 4, 1);
+        // Both CPUs stay inside one 32-byte line.
+        assert!(t.iter().all(|a| a.addr() < 32));
+        assert_eq!(t.cpu_count(), 2);
+        // ...but never touch each other's word.
+        let mut words = [std::collections::BTreeSet::new(), Default::default()];
+        for a in &t {
+            words[a.cpu() as usize].insert(a.addr());
+        }
+        assert!(words[0].is_disjoint(&words[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 2..=")]
+    fn single_cpu_rejected() {
+        let _ = producer_consumer(1, 1, 1);
+    }
+}

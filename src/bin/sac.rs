@@ -18,7 +18,7 @@ use software_assisted_caches::simcache::{BypassMode, CacheGeometry, MemoryModel}
 use software_assisted_caches::trace::stats::{
     ReuseBand, ReuseHistogram, TagClass, TagFractions, VectorBand, VectorLengths,
 };
-use software_assisted_caches::trace::{io as trace_io, Trace};
+use software_assisted_caches::trace::{self as trace_mod, io as trace_io, Trace};
 use software_assisted_caches::workloads;
 use std::fs::File;
 use std::io::{BufReader, Write};
@@ -77,6 +77,8 @@ USAGE:
       -o, --out <file>             output path (default: <benchmark>.sact)
       --format bin|sact2|text      trace format (default: bin)
       --seed <n>                   issue-gap seed (default: 0x5AC)
+      --cpus <n>                   interleave n seeded per-CPU streams
+                                   round-robin (cpu-tagged, default: 1)
       --small                      scaled-down problem size
       --levels                     attach variable-virtual-line levels
   sac stats <trace-file>           reuse/vector/tag statistics of a trace
@@ -204,6 +206,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let mut seed = 0x5ACu64;
     let mut small = false;
     let mut levels = false;
+    let mut cpus = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -215,6 +218,15 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                     .ok_or("missing value for --seed")?
                     .parse()
                     .map_err(|_| "bad seed")?
+            }
+            "--cpus" => {
+                cpus = it
+                    .next()
+                    .ok_or("missing value for --cpus")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| (1..=trace_mod::MAX_CPUS).contains(&n))
+                    .ok_or_else(|| format!("--cpus takes 1..={}", trace_mod::MAX_CPUS))?
             }
             "--small" => small = true,
             "--levels" => levels = true,
@@ -229,13 +241,33 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     // directory fails immediately, not after generating the trace.
     let path = out.unwrap_or_else(|| format!("{}.sact", program.name()));
     let mut w = trace_io::create_output_buffered(&path).map_err(|e| e.to_string())?;
-    let trace = program
-        .trace(&TraceOptions {
-            seed,
-            gaps: true,
-            levels,
-        })
-        .map_err(|e| e.to_string())?;
+    // `--cpus N` generates N independently seeded streams of the same
+    // kernel (seeds seed, seed+1, ..., seed+N-1) and interleaves them
+    // round-robin with per-access cpu tags — deterministic input for the
+    // coherent multi-core system. `--cpus 1` is byte-identical to the
+    // original single-stream path.
+    let trace = if cpus == 1 {
+        program
+            .trace(&TraceOptions {
+                seed,
+                gaps: true,
+                levels,
+            })
+            .map_err(|e| e.to_string())?
+    } else {
+        let streams = (0..cpus)
+            .map(|i| {
+                program
+                    .trace(&TraceOptions {
+                        seed: seed + i as u64,
+                        gaps: true,
+                        levels,
+                    })
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        trace_mod::interleave_round_robin(program.name(), &streams)
+    };
     match format.as_str() {
         "bin" => write_with_progress(&trace, &mut w, false).map_err(|e| e.to_string())?,
         "bin2" | "sact2" => write_with_progress(&trace, &mut w, true).map_err(|e| e.to_string())?,

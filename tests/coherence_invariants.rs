@@ -1,0 +1,241 @@
+//! End-to-end invariants of the multi-core coherent memory system.
+//!
+//! Four families, mirroring the coherence design notes in DESIGN.md §16:
+//!
+//! 1. **SWMR fuzz** — on seeded-random multi-CPU traces, the
+//!    single-writer/multiple-reader invariant holds after *every* access
+//!    (at most one owner per line; an M or E copy is the sole cached
+//!    copy), under MESI and Dragon alike.
+//! 2. **Reconciliation** — the per-CPU [`Metrics`] blocks merge exactly
+//!    into the global block, reference for reference and cycle for
+//!    cycle.
+//! 3. **False-sharing ping-pong** — a 2-CPU trace whose CPUs write
+//!    disjoint words of the same line shows an invalidation ping-pong
+//!    (classified ~100% false sharing) that the same references run on
+//!    1 CPU do not exhibit at all.
+//! 4. **Write-buffer drain ordering under snooping** — a dirty line
+//!    pending in a core's write buffer is visible to a remote BusRd that
+//!    races the drain (forwarded at cache-to-cache cost), and invisible
+//!    one cycle after the drain completes.
+//!
+//! The build environment is offline, so instead of `proptest` the fuzz
+//! uses the hand-rolled [`SplitMix64`] generator; every assertion
+//! message carries the case seed so a failure is reproducible.
+
+use software_assisted_caches::simcache::{
+    CacheGeometry, CoherentSystem, Dragon, MemoryModel, Mesi, Metrics, SNOOP_CYCLES,
+};
+use software_assisted_caches::trace::rng::SplitMix64;
+use software_assisted_caches::trace::{interleave_round_robin, Access, Trace, MAX_CPUS};
+use software_assisted_caches::workloads::sharing;
+
+/// A seeded pseudo-random stream over `lines` cache lines' worth of
+/// addresses, mixed reads/writes with small issue gaps.
+fn random_stream(seed: u64, len: usize, lines: u64) -> Trace {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut t = Trace::new("fuzz");
+    for _ in 0..len {
+        let addr = rng.below(lines * 4) * 8;
+        let a = if rng.chance(0.4) {
+            Access::write(addr)
+        } else {
+            Access::read(addr)
+        };
+        t.push(a.with_gap(rng.below(3) as u32));
+    }
+    t
+}
+
+/// A multi-CPU interleave of `cpus` independently seeded streams.
+fn random_multi(seed: u64, cpus: usize, len_per_cpu: usize, lines: u64) -> Trace {
+    let streams: Vec<Trace> = (0..cpus as u64)
+        .map(|c| random_stream(seed ^ (c << 32) | c, len_per_cpu, lines))
+        .collect();
+    interleave_round_robin("fuzz-multi", &streams)
+}
+
+/// A small, conflict-prone geometry: 8 sets, direct-mapped, 32 B lines.
+fn tight_geom() -> CacheGeometry {
+    CacheGeometry::new(256, 32, 1)
+}
+
+#[test]
+fn swmr_holds_at_every_step_mesi() {
+    for case in 0..24u64 {
+        let cpus = 2 + (case % 3) as usize; // 2..=4
+        let trace = random_multi(0x5AC0_0000 + case, cpus, 400, 8);
+        let mut sys: CoherentSystem<Mesi> =
+            CoherentSystem::new(tight_geom(), MemoryModel::default(), cpus);
+        for (i, a) in trace.iter().enumerate() {
+            sys.access(a);
+            sys.check_swmr()
+                .unwrap_or_else(|e| panic!("case {case}, after access {i}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn swmr_holds_at_every_step_dragon() {
+    for case in 0..12u64 {
+        let cpus = 2 + (case % 3) as usize;
+        let trace = random_multi(0xD7A6_0000 + case, cpus, 400, 8);
+        let mut sys: CoherentSystem<Dragon> =
+            CoherentSystem::new(tight_geom(), MemoryModel::default(), cpus);
+        for (i, a) in trace.iter().enumerate() {
+            sys.access(a);
+            sys.check_swmr()
+                .unwrap_or_else(|e| panic!("case {case}, after access {i}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn per_cpu_outcome_totals_reconcile_exactly_with_global_metrics() {
+    for case in 0..16u64 {
+        let cpus = 2 + (case % 3) as usize;
+        let trace = random_multi(0xBEEF_0000 + case, cpus, 1500, 64);
+        let mut sys: CoherentSystem<Mesi> =
+            CoherentSystem::new(CacheGeometry::standard(), MemoryModel::default(), cpus);
+        sys.run(&trace);
+        let merged = Metrics::merged((0..cpus).map(|c| sys.core_metrics(c)));
+        assert_eq!(
+            merged,
+            *sys.metrics(),
+            "case {case}: per-CPU metrics must merge exactly into the global block"
+        );
+        sys.metrics()
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        // Every CPU saw its own share of the interleave, nothing more.
+        for c in 0..cpus {
+            assert_eq!(
+                sys.core_metrics(c).refs,
+                1500,
+                "case {case}: cpu {c} ref count"
+            );
+        }
+    }
+}
+
+#[test]
+fn max_cpus_interleave_runs_clean() {
+    let trace = random_multi(0xCAFE, MAX_CPUS, 1000, 32);
+    let mut sys: CoherentSystem<Mesi> =
+        CoherentSystem::new(CacheGeometry::standard(), MemoryModel::default(), MAX_CPUS);
+    sys.run(&trace);
+    sys.check_swmr().unwrap();
+    assert_eq!(sys.metrics().refs, (MAX_CPUS * 1000) as u64);
+}
+
+#[test]
+fn false_sharing_ping_pong_absent_on_one_cpu() {
+    // Two CPUs write disjoint words of the same lines.
+    let trace = sharing::false_sharing(2, 2_000, 4);
+    let mut two: CoherentSystem<Mesi> =
+        CoherentSystem::new(CacheGeometry::standard(), MemoryModel::default(), 2);
+    two.run(&trace);
+    two.check_swmr().unwrap();
+    let t2 = two.stats().totals();
+    assert!(
+        t2.invalidations_received > 1_000,
+        "2-CPU run must ping-pong: {t2:?}"
+    );
+    assert!(
+        t2.false_sharing_invalidations as f64 >= 0.99 * t2.invalidations_received as f64,
+        "disjoint words must classify as false sharing: {t2:?}"
+    );
+
+    // The same references, all issued from CPU 0: no coherence activity
+    // and (after the cold fills) no misses at all.
+    let mut solo_trace = Trace::new("false_sharing_solo");
+    for a in &trace {
+        solo_trace.push(a.with_cpu(0));
+    }
+    let mut one: CoherentSystem<Mesi> =
+        CoherentSystem::new(CacheGeometry::standard(), MemoryModel::default(), 1);
+    one.run(&solo_trace);
+    one.check_swmr().unwrap();
+    let t1 = one.stats().totals();
+    assert_eq!(t1.invalidations_received, 0, "1 CPU cannot invalidate");
+    assert_eq!(t1.upgrades + t1.c2c_fills + t1.updates, 0, "{t1:?}");
+    assert!(
+        one.metrics().misses < two.metrics().misses / 100,
+        "solo run keeps the lines resident: {} vs {}",
+        one.metrics().misses,
+        two.metrics().misses
+    );
+    // Dragon on the 2-CPU trace: updates instead of ping-pong.
+    let mut dragon: CoherentSystem<Dragon> =
+        CoherentSystem::new(CacheGeometry::standard(), MemoryModel::default(), 2);
+    dragon.run(&trace);
+    dragon.check_swmr().unwrap();
+    let td = dragon.stats().totals();
+    assert_eq!(td.invalidations_received, 0, "Dragon never invalidates");
+    assert!(td.updates > 1_000, "{td:?}");
+}
+
+#[test]
+fn pending_buffered_write_is_visible_to_remote_busrd_before_drain() {
+    // Zero memory latency makes the fill exactly as long as the write
+    // buffer's retire window, so a back-to-back remote read (gap 0)
+    // arrives on the drain's final beat.
+    let mem = MemoryModel::new(0, 16);
+    let geom = tight_geom();
+    let mut sys: CoherentSystem<Mesi> = CoherentSystem::new(geom, mem, 2);
+    sys.access(&Access::write(0).with_cpu(0)); // line 0 dirty in cpu 0
+    sys.access(&Access::read(256).with_cpu(0)); // conflict: evicts line 0 → wb
+    assert_eq!(
+        sys.metrics().writebacks,
+        1,
+        "eviction went through the buffer"
+    );
+
+    let before = sys.metrics().mem_cycles;
+    sys.access(&Access::read(0).with_cpu(1).with_gap(0));
+    let stats = sys.stats().totals();
+    assert_eq!(
+        stats.wb_forwards, 1,
+        "racing read must forward, not re-fetch"
+    );
+    assert_eq!(
+        sys.metrics().mem_cycles - before,
+        SNOOP_CYCLES + mem.transfer_cycles(geom.line_bytes()),
+        "forward is priced as a cache-to-cache fill, not a memory fill"
+    );
+    sys.check_swmr().unwrap();
+
+    // One cycle later the buffer has drained to memory: the same race
+    // now misses the window and pays the full memory fill.
+    let mut sys: CoherentSystem<Mesi> = CoherentSystem::new(geom, mem, 2);
+    sys.access(&Access::write(0).with_cpu(0));
+    sys.access(&Access::read(256).with_cpu(0));
+    let before = sys.metrics().mem_cycles;
+    sys.access(&Access::read(0).with_cpu(1).with_gap(1));
+    assert_eq!(
+        sys.stats().totals().wb_forwards,
+        0,
+        "drained entry must not forward"
+    );
+    assert_eq!(
+        sys.metrics().mem_cycles - before,
+        mem.latency() + mem.transfer_cycles(geom.line_bytes()),
+        "post-drain read pays the memory fill"
+    );
+}
+
+#[test]
+fn producer_consumer_hands_off_cache_to_cache() {
+    let trace = sharing::producer_consumer(2, 500, 4);
+    let mut sys: CoherentSystem<Mesi> =
+        CoherentSystem::new(CacheGeometry::standard(), MemoryModel::default(), 2);
+    sys.run(&trace);
+    sys.check_swmr().unwrap();
+    let t = sys.stats().totals();
+    // Every consumer refill after the first round comes from the
+    // producer's cache, and the sharing is true (same words).
+    assert!(t.c2c_fills > 400, "{t:?}");
+    assert_eq!(
+        t.false_sharing_invalidations, 0,
+        "producer/consumer shares the very words it writes: {t:?}"
+    );
+}
